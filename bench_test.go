@@ -1,0 +1,405 @@
+package gosplice
+
+// The benchmark harness: every table and figure of the paper's evaluation
+// has a bench that regenerates it, plus micro-benchmarks for the costs
+// the paper quotes (the ~0.7 ms stop_machine pause of section 5.2, the
+// few-cycles trampoline overhead of section 2) and ablations for the
+// design choices DESIGN.md calls out. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Custom metrics carry the reproduced quantities (counts, pauses, bytes)
+// alongside the usual ns/op.
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"gosplice/internal/codegen"
+	"gosplice/internal/core"
+	"gosplice/internal/cvedb"
+	"gosplice/internal/eval"
+	"gosplice/internal/kernel"
+	"gosplice/internal/srctree"
+)
+
+// BenchmarkEvalAll64 regenerates the headline result (abstract, section
+// 6.3): all 64 significant vulnerabilities taken through the full
+// pipeline. Metrics: patches applied without new code, with custom code,
+// and the average stop_machine pause.
+func BenchmarkEvalAll64(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := eval.Run(eval.Options{StressRounds: 20})
+		if err != nil {
+			b.Fatal(err)
+		}
+		noCode, withCode, ok := 0, 0, 0
+		var pause time.Duration
+		for _, p := range res.Patches {
+			if p.OK() {
+				ok++
+			}
+			if p.NeedsNewCode {
+				withCode++
+			} else {
+				noCode++
+			}
+			pause += p.Pause
+		}
+		if ok != 64 {
+			b.Fatalf("only %d/64 updates succeeded", ok)
+		}
+		b.ReportMetric(float64(noCode), "patches-no-new-code")
+		b.ReportMetric(float64(withCode), "patches-custom-code")
+		b.ReportMetric(float64(pause.Nanoseconds())/64, "pause-ns/update")
+	}
+}
+
+// BenchmarkFigure3PatchLengths regenerates the Figure 3 histogram from
+// the corpus diffs. Metrics: the <=5-line and <=15-line shares.
+func BenchmarkFigure3PatchLengths(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		within5, within15 := 0, 0
+		for _, c := range cvedb.All() {
+			loc := c.PatchLoC()
+			if loc <= 5 {
+				within5++
+			}
+			if loc <= 15 {
+				within15++
+			}
+		}
+		b.ReportMetric(float64(within5), "patches<=5loc")
+		b.ReportMetric(float64(within15), "patches<=15loc")
+	}
+}
+
+// BenchmarkTable1Updates regenerates Table 1: the eight data-semantics
+// patches are built into hot updates (hooks and all). Metric: average
+// lines of programmer-written new code.
+func BenchmarkTable1Updates(b *testing.B) {
+	var table1 []*cvedb.CVE
+	for _, c := range cvedb.All() {
+		if c.DataSemantics {
+			table1 = append(table1, c)
+		}
+	}
+	if len(table1) != 8 {
+		b.Fatalf("found %d Table 1 entries", len(table1))
+	}
+	for i := 0; i < b.N; i++ {
+		lines := 0
+		for _, c := range table1 {
+			tree := cvedb.Tree(c.Version)
+			u, err := core.CreateUpdate(tree, c.Patch(), core.CreateOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !u.HasHooks() {
+				b.Fatalf("%s: no hooks in update", c.ID)
+			}
+			lines += c.NewCodeLines()
+		}
+		b.ReportMetric(float64(lines)/8, "new-code-lines/patch")
+	}
+}
+
+// busyKernel boots a corpus kernel with background CPUs grinding worker
+// threads, for pause measurements.
+func busyKernel(b *testing.B) *kernel.Kernel {
+	b.Helper()
+	tree := cvedb.Tree(cvedb.Versions[0])
+	k, err := kernel.Boot(kernel.Config{Tree: tree})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := k.Spawn("bg", "stress_main", 0, 1_000_000_000); err != nil {
+			b.Fatal(err)
+		}
+	}
+	k.StartCPUs(2)
+	b.Cleanup(k.StopCPUs)
+	return k
+}
+
+// BenchmarkStopMachinePause measures the stop_machine interruption window
+// on a busy kernel — the paper's ~0.7 ms claim (sections 2 and 5.2). The
+// pause-ns metric is the window during which no thread can be scheduled.
+func BenchmarkStopMachinePause(b *testing.B) {
+	k := busyKernel(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := k.StopMachine(func() error { return nil }); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	_, pauses := k.StopMachineStats()
+	var sum time.Duration
+	for _, p := range pauses {
+		sum += p
+	}
+	b.ReportMetric(float64(sum.Nanoseconds())/float64(len(pauses)), "pause-ns")
+}
+
+// BenchmarkApplyUndo measures a full splice cycle — run-pre matching,
+// module load, stop_machine, trampolines — and its reversal, on a live
+// kernel (section 5).
+func BenchmarkApplyUndo(b *testing.B) {
+	c, _ := cvedb.ByID("CVE-2006-2451")
+	tree := cvedb.Tree(c.Version)
+	k, err := kernel.Boot(kernel.Config{Tree: tree})
+	if err != nil {
+		b.Fatal(err)
+	}
+	mgr := core.NewManager(k)
+	u, err := core.CreateUpdate(tree, c.Patch(), core.CreateOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mgr.Apply(u, core.ApplyOptions{}); err != nil {
+			b.Fatal(err)
+		}
+		if err := mgr.Undo(core.ApplyOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCallUnpatched and BenchmarkCallPatched measure the section 2
+// claim that calls to replaced functions take only a few cycles longer
+// (one extra jump): the guest-instruction count per call rises by
+// exactly 1.
+func BenchmarkCallUnpatched(b *testing.B) {
+	benchCallOverhead(b, false)
+}
+
+func BenchmarkCallPatched(b *testing.B) {
+	benchCallOverhead(b, true)
+}
+
+func benchCallOverhead(b *testing.B, patched bool) {
+	c, _ := cvedb.ByID("CVE-2006-3626")
+	tree := cvedb.Tree(c.Version)
+	k, err := kernel.Boot(kernel.Config{Tree: tree})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if patched {
+		mgr := core.NewManager(k)
+		u, err := core.CreateUpdate(tree, c.Patch(), core.CreateOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := mgr.Apply(u, core.ApplyOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var addr uint32
+	for _, s := range k.Syms.Lookup("sys_procset") {
+		if s.Func && s.Module == "" {
+			addr = s.Addr
+		}
+	}
+	steps0 := k.TotalSteps()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := k.CallIsolatedAddr(addr, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(k.TotalSteps()-steps0)/float64(b.N), "guest-insns/call")
+}
+
+// BenchmarkRunPreMatch measures the matching engine over a whole
+// compilation unit (section 4.3). Metric: pre text bytes verified.
+func BenchmarkRunPreMatch(b *testing.B) {
+	c, _ := cvedb.ByID("CVE-2005-4639")
+	tree := cvedb.Tree(c.Version)
+	k, err := kernel.Boot(kernel.Config{Tree: tree})
+	if err != nil {
+		b.Fatal(err)
+	}
+	helper, err := srctree.BuildUnit(tree, "drivers/dst_ca.mc", codegen.KspliceBuild())
+	if err != nil {
+		b.Fatal(err)
+	}
+	k.Lock()
+	mem := k.LockedMem()
+	k.Unlock()
+	b.ResetTimer()
+	var matched int
+	for i := 0; i < b.N; i++ {
+		res, err := core.MatchUnit(mem, k.Syms, helper)
+		if err != nil {
+			b.Fatal(err)
+		}
+		matched = res.BytesMatched
+	}
+	b.ReportMetric(float64(matched), "pre-bytes-matched")
+}
+
+// BenchmarkPrePostDiff measures ksplice-create end to end for a small
+// security patch (section 3): two full tree builds plus object
+// extraction.
+func BenchmarkPrePostDiff(b *testing.B) {
+	c, _ := cvedb.ByID("CVE-2008-0600")
+	tree := cvedb.Tree(c.Version)
+	patch := c.Patch()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u, err := core.CreateUpdate(tree, patch, core.CreateOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(u.Units) == 0 {
+			b.Fatal("empty update")
+		}
+	}
+}
+
+// Ablation (section 3.1): how much object code appears changed when the
+// kernel is compiled as one .text per unit (the default, where a single
+// length change cascades through relative jumps and function offsets)
+// versus with per-function sections. Metrics: bytes that differ between
+// the pre and post objects of the patched unit under each option.
+func BenchmarkDiffGranularityWholeText(b *testing.B) {
+	benchDiffGranularity(b, codegen.KernelBuild())
+}
+
+func BenchmarkDiffGranularityFuncSections(b *testing.B) {
+	benchDiffGranularity(b, codegen.KspliceBuild())
+}
+
+func benchDiffGranularity(b *testing.B, opts codegen.Options) {
+	c, _ := cvedb.ByID("CVE-2006-2451")
+	tree := cvedb.Tree(c.Version)
+	post, err := tree.Patch(c.Patch())
+	if err != nil {
+		b.Fatal(err)
+	}
+	const unit = "kernel/c2006_2451.mc"
+	b.ResetTimer()
+	var diff int
+	for i := 0; i < b.N; i++ {
+		preF, err := srctree.BuildUnit(tree, unit, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		postF, err := srctree.BuildUnit(post, unit, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		diff = 0
+		for _, ps := range preF.Sections {
+			qs := postF.Section(ps.Name)
+			if qs == nil || !bytes.Equal(ps.Data, qs.Data) {
+				// Whole differing section counts: without per-function
+				// granularity the entire .text must be treated as changed.
+				diff += int(ps.Len())
+			}
+		}
+	}
+	b.ReportMetric(float64(diff), "changed-text-bytes")
+}
+
+// BenchmarkKernelBuild measures a full corpus kernel build (74 units:
+// lex, parse, check, inline, codegen, relax).
+func BenchmarkKernelBuild(b *testing.B) {
+	tree := cvedb.Tree(cvedb.Versions[0])
+	for i := 0; i < b.N; i++ {
+		if _, err := srctree.Build(tree, codegen.KernelBuild()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBoot measures build + link + boot + kinit.
+func BenchmarkBoot(b *testing.B) {
+	tree := cvedb.Tree(cvedb.Versions[0])
+	for i := 0; i < b.N; i++ {
+		if _, err := kernel.Boot(kernel.Config{Tree: tree}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSyscallRoundTrip measures guest syscall dispatch through the
+// in-memory sys_call_table. Metric: guest instructions per syscall.
+func BenchmarkSyscallRoundTrip(b *testing.B) {
+	tree := cvedb.Tree(cvedb.Versions[0])
+	k, err := kernel.Boot(kernel.Config{Tree: tree})
+	if err != nil {
+		b.Fatal(err)
+	}
+	addr, err := k.Syms.ResolveUnique("exploit_2006_3626")
+	if err != nil {
+		b.Fatal(err)
+	}
+	steps0 := k.TotalSteps()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := k.CallIsolatedAddr(addr); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(k.TotalSteps()-steps0)/float64(b.N), "guest-insns/op")
+}
+
+// BenchmarkStackedUpdates measures section 5.4: the cost of the Nth
+// update when N-1 are already resident (run-pre matching binds against
+// the newest replacement code each time).
+func BenchmarkStackedUpdates(b *testing.B) {
+	c, _ := cvedb.ByID("CVE-2005-4639")
+	base := cvedb.Tree(c.Version)
+	for i := 0; i < b.N; i++ {
+		k, err := kernel.Boot(kernel.Config{Tree: base})
+		if err != nil {
+			b.Fatal(err)
+		}
+		mgr := core.NewManager(k)
+		tree := base
+		patch := c.Patch()
+		for depth := 0; depth < 4; depth++ {
+			u, err := core.CreateUpdate(tree, patch, core.CreateOptions{Name: fmt.Sprintf("stack-%d", depth)})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := mgr.Apply(u, core.ApplyOptions{}); err != nil {
+				b.Fatal(err)
+			}
+			tree, err = tree.Patch(patch)
+			if err != nil {
+				b.Fatal(err)
+			}
+			patch = nextStackPatch(depth)
+		}
+	}
+}
+
+// nextStackPatch produces follow-up patches that keep modifying the same
+// function.
+func nextStackPatch(depth int) string {
+	from := "ca_slots[slot]"
+	if depth > 0 {
+		from = fmt.Sprintf("ca_slots[slot] + %d", depth*100)
+	}
+	to := fmt.Sprintf("ca_slots[slot] + %d", (depth+1)*100)
+	return fmt.Sprintf(`--- a/drivers/dst_ca.mc
++++ b/drivers/dst_ca.mc
+@@ -11,5 +11,5 @@
+ 	if (debug) {
+ 		printk("dst_ca: slot query\n");
+ 	}
+-	return %s;
++	return %s;
+ }
+`, from, to)
+}

@@ -1,0 +1,115 @@
+// Command ksplice-channel distributes hot updates the way the paper's
+// conclusion proposes (section 8): a publisher builds a channel of update
+// tarballs for a kernel release, and subscribed machines transparently
+// receive every update they are missing — eliminating all their security
+// reboots at once.
+//
+//	ksplice-channel -publish -dir channel -version sim-2.6.20-deb
+//	ksplice-channel -publish -dir channel -version sim-2.6.20-deb -cve CVE-2007-3851
+//	ksplice-channel -subscribe -dir channel -state machine.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"gosplice/internal/channel"
+	"gosplice/internal/cvedb"
+	"gosplice/internal/simstate"
+)
+
+func main() {
+	publish := flag.Bool("publish", false, "publish updates into the channel")
+	subscribe := flag.Bool("subscribe", false, "apply the channel's missing updates to a machine")
+	dir := flag.String("dir", "channel", "channel directory")
+	version := flag.String("version", "", "kernel release (publish)")
+	cveID := flag.String("cve", "", "publish only this CVE's fix (default: all of the release's)")
+	statePath := flag.String("state", "machine.json", "machine state file (subscribe)")
+	flag.Parse()
+
+	switch {
+	case *publish:
+		doPublish(*dir, *version, *cveID)
+	case *subscribe:
+		doSubscribe(*dir, *statePath)
+	default:
+		fatal(fmt.Errorf("need -publish or -subscribe"))
+	}
+}
+
+func doPublish(dir, version, cveID string) {
+	if version == "" {
+		fatal(fmt.Errorf("-publish needs -version"))
+	}
+	pub, err := channel.NewPublisher(dir, cvedb.Tree(version))
+	if err != nil {
+		fatal(err)
+	}
+	var cves []*cvedb.CVE
+	if cveID != "" {
+		c, ok := cvedb.ByID(cveID)
+		if !ok {
+			fatal(fmt.Errorf("unknown CVE %q", cveID))
+		}
+		cves = append(cves, c)
+	} else {
+		cves = cvedb.ForVersion(version)
+	}
+	for _, c := range cves {
+		u, err := pub.Publish("ksplice-"+c.ID, c.ID, c.Patch())
+		if err != nil {
+			fatal(fmt.Errorf("publishing %s: %w", c.ID, err))
+		}
+		extra := ""
+		if u.HasHooks() {
+			extra = " (carries custom code)"
+		}
+		fmt.Printf("published %s: %d-line patch, replaces %v%s\n",
+			u.Name, u.PatchLines, u.PatchedFuncs(), extra)
+	}
+}
+
+func doSubscribe(dir, statePath string) {
+	st, err := simstate.Load(statePath)
+	if err != nil {
+		fatal(err)
+	}
+	_, mgr, err := st.Replay()
+	if err != nil {
+		fatal(err)
+	}
+	applied, err := channel.Subscribe(dir, mgr, len(st.Updates))
+	if err != nil {
+		fatal(err)
+	}
+	if len(applied) == 0 {
+		fmt.Println("machine is up to date")
+		return
+	}
+	m, err := channel.ReadManifest(dir)
+	if err != nil {
+		fatal(err)
+	}
+	stateDir := filepath.Dir(statePath)
+	start := len(st.Updates)
+	for i, u := range applied {
+		entry := m.Updates[start+i]
+		rel, err := filepath.Rel(stateDir, filepath.Join(dir, entry.File))
+		if err != nil {
+			rel = filepath.Join(dir, entry.File)
+		}
+		st.Updates = append(st.Updates, rel)
+		fmt.Printf("applied %s (%s)\n", u.Name, entry.CVE)
+	}
+	if err := st.Save(statePath); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("machine now carries %d hot updates; zero reboots\n", len(st.Updates))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ksplice-channel:", err)
+	os.Exit(1)
+}

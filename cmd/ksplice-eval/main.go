@@ -1,0 +1,81 @@
+// Command ksplice-eval regenerates the paper's evaluation artifacts
+// against the corpus: the headline result, Figure 3, Table 1, and the
+// section 6.3 censuses.
+//
+//	ksplice-eval -all
+//	ksplice-eval -figure 3
+//	ksplice-eval -table headline|1|inlining|symbols|pause
+//	ksplice-eval -only CVE-2006-2451,CVE-2005-2709 -v
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"gosplice/internal/eval"
+)
+
+func main() {
+	all := flag.Bool("all", false, "print every table and figure")
+	table := flag.String("table", "", "print one table: headline, 1, inlining, symbols, pause")
+	figure := flag.Int("figure", 0, "print one figure (3)")
+	only := flag.String("only", "", "comma-separated CVE IDs to evaluate")
+	verbose := flag.Bool("v", false, "log per-patch progress")
+	stress := flag.Int("stress", 50, "stress workload rounds per update")
+	stacked := flag.Bool("stacked", false, "leave every update applied (one kernel per release accumulates all its fixes)")
+	flag.Parse()
+
+	if !*all && *table == "" && *figure == 0 {
+		*all = true
+	}
+
+	opts := eval.Options{StressRounds: *stress, KeepApplied: *stacked}
+	if *verbose {
+		opts.Log = os.Stderr
+	}
+	if *only != "" {
+		opts.Only = map[string]bool{}
+		for _, id := range strings.Split(*only, ",") {
+			opts.Only[strings.TrimSpace(id)] = true
+		}
+	}
+
+	res, err := eval.Run(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ksplice-eval:", err)
+		os.Exit(1)
+	}
+
+	switch {
+	case *all:
+		fmt.Print(res.Report())
+	case *figure == 3:
+		fmt.Print(res.Figure3())
+	case *table == "headline":
+		fmt.Print(res.Headline())
+	case *table == "1":
+		fmt.Print(res.Table1())
+	case *table == "inlining":
+		fmt.Print(res.InliningTable())
+	case *table == "symbols":
+		fmt.Print(res.SymbolsTable())
+	case *table == "pause":
+		fmt.Print(res.PauseTable())
+	default:
+		fmt.Fprintf(os.Stderr, "ksplice-eval: unknown table/figure\n")
+		os.Exit(2)
+	}
+
+	failed := 0
+	for _, p := range res.Patches {
+		if !p.OK() {
+			failed++
+			fmt.Fprintf(os.Stderr, "FAILED %s: %s\n", p.ID, p.Err)
+		}
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

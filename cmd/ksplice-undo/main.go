@@ -1,0 +1,49 @@
+// Command ksplice-undo reverses the most recently applied hot update on a
+// simulated machine: the original function entries are restored and the
+// update leaves the machine's state file.
+//
+//	ksplice-undo -state machine.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gosplice/internal/core"
+	"gosplice/internal/simstate"
+)
+
+func main() {
+	statePath := flag.String("state", "machine.json", "machine state file")
+	flag.Parse()
+
+	st, err := simstate.Load(*statePath)
+	if err != nil {
+		fatal(err)
+	}
+	if len(st.Updates) == 0 {
+		fatal(fmt.Errorf("no updates applied to this machine"))
+	}
+	_, mgr, err := st.Replay()
+	if err != nil {
+		fatal(err)
+	}
+	applied := mgr.Applied()
+	last := applied[len(applied)-1]
+	if err := mgr.Undo(core.ApplyOptions{}); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("reversed %s: %d function(s) restored\n",
+		last.Update.Name, len(last.Trampolines))
+
+	st.Updates = st.Updates[:len(st.Updates)-1]
+	if err := st.Save(*statePath); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ksplice-undo:", err)
+	os.Exit(1)
+}

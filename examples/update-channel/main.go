@@ -1,0 +1,98 @@
+// Update channels: the paper's closing proposal (section 8) — publish
+// hot update packages for a kernel release once, and every subscribed
+// machine transparently receives the updates it is missing. One
+// subscription call eliminates all of the release's security reboots.
+//
+//	go run ./examples/update-channel
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"gosplice/internal/channel"
+	"gosplice/internal/core"
+	"gosplice/internal/cvedb"
+	"gosplice/internal/kernel"
+)
+
+func main() {
+	version := cvedb.Versions[1]
+	dir, err := os.MkdirTemp("", "ksplice-channel-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// The distributor publishes every fix for the release. Each update is
+	// built against the accumulated previously-patched source, so they
+	// stack cleanly in order.
+	pub, err := channel.NewPublisher(dir, cvedb.Tree(version))
+	if err != nil {
+		log.Fatal(err)
+	}
+	cves := cvedb.ForVersion(version)
+	for _, c := range cves {
+		u, err := pub.Publish("ksplice-"+c.ID, c.ID, c.Patch())
+		if err != nil {
+			log.Fatal(err)
+		}
+		note := ""
+		if u.HasHooks() {
+			note = "  [custom code]"
+		}
+		fmt.Printf("published %-24s (%2d-line patch)%s\n", u.Name, u.PatchLines, note)
+	}
+
+	// A long-running production machine subscribes.
+	k, err := kernel.Boot(kernel.Config{Tree: cvedb.Tree(version)})
+	if err != nil {
+		log.Fatal(err)
+	}
+	mgr := core.NewManager(k)
+	fmt.Printf("\nmachine booted: %s, uptime %d instructions\n", k.Version, k.TotalSteps())
+
+	applied, err := channel.Subscribe(dir, mgr, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	calls, pauses := k.StopMachineStats()
+	var worst int64
+	for _, p := range pauses {
+		if p.Nanoseconds() > worst {
+			worst = p.Nanoseconds()
+		}
+	}
+	fmt.Printf("subscribed: %d hot updates applied, %d stop_machine captures, worst pause %dns\n",
+		len(applied), calls, worst)
+	fmt.Printf("uptime now %d instructions — the machine never stopped being itself\n", k.TotalSteps())
+
+	// Prove the whole batch: every probe reports fixed behaviour and the
+	// stress workload stays clean.
+	flipped := 0
+	for _, c := range cves {
+		var addr uint32
+		for _, s := range k.Syms.Lookup(c.Probe.Entry) {
+			if s.Func && s.Module == "" {
+				addr = s.Addr
+			}
+		}
+		task, err := k.SpawnAt("probe", addr, c.Probe.UID, c.Probe.Args...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := k.RunUntilExit(task, 50_000_000); err != nil {
+			log.Fatal(err)
+		}
+		if task.ExitCode == c.Probe.FixedResult {
+			flipped++
+		}
+		k.ReapExited()
+	}
+	fmt.Printf("probes reporting fixed behaviour: %d of %d\n", flipped, len(cves))
+	if bad, err := k.Call("stress_main", 200); err != nil || bad != 0 {
+		log.Fatalf("stress: %d, %v", bad, err)
+	}
+	fmt.Println("stress workload: clean; zero reboots")
+}

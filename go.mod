@@ -1,0 +1,3 @@
+module gosplice
+
+go 1.22

@@ -1,0 +1,173 @@
+// Package channel implements the paper's closing proposal (section 8):
+// "one could use Ksplice to create hot update packages for common
+// starting kernel configurations. People who subscribe their systems to
+// these updates would be able to transparently receive kernel hot
+// updates" — a distribution channel of update tarballs per kernel
+// release, and a subscriber that brings a machine up to date.
+//
+// A channel is a directory holding a channel.json manifest and the update
+// tarballs it names, in application order. Publishing builds each update
+// against the accumulated previously-patched source (the section 5.4
+// requirement), so subscribers apply them strictly in order; a machine's
+// position in the channel is simply how many updates it has applied.
+package channel
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"gosplice/internal/core"
+	"gosplice/internal/srctree"
+)
+
+// Manifest is the channel's ordered update list.
+type Manifest struct {
+	// KernelVersion names the release the channel serves.
+	KernelVersion string `json:"kernel_version"`
+	// Updates lists tarball file names in application order.
+	Updates []Entry `json:"updates"`
+}
+
+// Entry is one published update.
+type Entry struct {
+	Name string `json:"name"`
+	File string `json:"file"`
+	// CVE is the advisory the update fixes (informational).
+	CVE string `json:"cve,omitempty"`
+	// PatchLines is the source patch length.
+	PatchLines int `json:"patch_lines"`
+	// CustomCode marks Table 1-style updates that carry hooks.
+	CustomCode bool `json:"custom_code,omitempty"`
+}
+
+const manifestName = "channel.json"
+
+// Publisher accumulates a channel: each Publish builds the next update
+// against the previously-patched source and writes it into the directory.
+type Publisher struct {
+	Dir      string
+	manifest Manifest
+	tree     *srctree.Tree
+}
+
+// NewPublisher opens (or creates) a channel directory for the release
+// whose base source is tree.
+func NewPublisher(dir string, tree *srctree.Tree) (*Publisher, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	p := &Publisher{
+		Dir:      dir,
+		manifest: Manifest{KernelVersion: tree.Version},
+		tree:     tree.Clone(),
+	}
+	// Resume an existing channel: replay its patches over the base tree.
+	if m, err := ReadManifest(dir); err == nil {
+		if m.KernelVersion != tree.Version {
+			return nil, fmt.Errorf("channel: directory serves %q, tree is %q", m.KernelVersion, tree.Version)
+		}
+		p.manifest = *m
+		for _, e := range m.Updates {
+			u, err := loadUpdate(dir, e.File)
+			if err != nil {
+				return nil, err
+			}
+			p.tree, err = p.tree.Patch(u.PatchText)
+			if err != nil {
+				return nil, fmt.Errorf("channel: replaying %s: %w", e.Name, err)
+			}
+		}
+	}
+	return p, nil
+}
+
+// Publish converts a source patch into the channel's next update.
+func (p *Publisher) Publish(name, cve, patchText string) (*core.Update, error) {
+	u, err := core.CreateUpdate(p.tree, patchText, core.CreateOptions{Name: name})
+	if err != nil {
+		return nil, err
+	}
+	file := u.Name + ".tar"
+	f, err := os.Create(filepath.Join(p.Dir, file))
+	if err != nil {
+		return nil, err
+	}
+	if err := u.WriteTar(f); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Close(); err != nil {
+		return nil, err
+	}
+	next, err := p.tree.Patch(patchText)
+	if err != nil {
+		return nil, err
+	}
+	p.tree = next
+	p.manifest.Updates = append(p.manifest.Updates, Entry{
+		Name: u.Name, File: file, CVE: cve,
+		PatchLines: u.PatchLines, CustomCode: u.HasHooks(),
+	})
+	return u, p.writeManifest()
+}
+
+func (p *Publisher) writeManifest() error {
+	b, err := json.MarshalIndent(&p.manifest, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(p.Dir, manifestName), append(b, '\n'), 0o644)
+}
+
+// ReadManifest loads a channel directory's manifest.
+func ReadManifest(dir string) (*Manifest, error) {
+	b, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		return nil, err
+	}
+	m := &Manifest{}
+	if err := json.Unmarshal(b, m); err != nil {
+		return nil, fmt.Errorf("channel: %s: %w", dir, err)
+	}
+	return m, nil
+}
+
+func loadUpdate(dir, file string) (*core.Update, error) {
+	f, err := os.Open(filepath.Join(dir, file))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return core.ReadTar(f)
+}
+
+// Subscribe applies every channel update the machine does not yet have,
+// in order, through mgr. applied is how many of the channel's updates the
+// machine already runs (its channel position). It returns the updates
+// applied this call.
+func Subscribe(dir string, mgr *core.Manager, applied int) ([]*core.Update, error) {
+	m, err := ReadManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	if m.KernelVersion != mgr.K.Version {
+		return nil, fmt.Errorf("channel: serves %q, machine runs %q", m.KernelVersion, mgr.K.Version)
+	}
+	if applied > len(m.Updates) {
+		return nil, fmt.Errorf("channel: machine claims %d updates, channel has %d", applied, len(m.Updates))
+	}
+	var out []*core.Update
+	for _, e := range m.Updates[applied:] {
+		u, err := loadUpdate(dir, e.File)
+		if err != nil {
+			return out, err
+		}
+		if _, err := mgr.Apply(u, core.ApplyOptions{}); err != nil {
+			return out, fmt.Errorf("channel: applying %s: %w", e.Name, err)
+		}
+		out = append(out, u)
+	}
+	return out, nil
+}

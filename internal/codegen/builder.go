@@ -1,0 +1,356 @@
+// Package codegen translates checked MiniC units into SOF object files,
+// and assembles MiniC asm() text and whole assembly source files.
+//
+// The compiler reproduces the gcc behaviours the paper's techniques are
+// built around:
+//
+//   - FunctionSections/DataSections modes. With them, every function and
+//     data object gets its own section and every cross-object reference
+//     becomes a relocation (how Ksplice builds its pre and post objects).
+//     Without them — how running kernels are actually built — a unit's
+//     functions share one .text whose internal references the assembler
+//     resolves directly, with alignment padding between and inside
+//     functions.
+//   - Branch relaxation. In whole-.text mode, branches whose targets are
+//     near enough use the 2-3 byte short forms; in function-sections mode
+//     every branch uses the 5-6 byte near form (mirroring the paper's
+//     observation that -ffunction-sections turns small relative jumps
+//     into longer jumps). Same source, different bytes: exactly the
+//     difference run-pre matching must see through.
+//   - Loop-head alignment. Alignment padding depends on a function's
+//     position within its section, so the same function padded at offset
+//     0 (its own section) and at its link position (shared .text)
+//     carries different no-op runs.
+//   - Automatic inlining of small functions regardless of the `inline`
+//     keyword.
+package codegen
+
+import (
+	"fmt"
+
+	"gosplice/internal/isa"
+	"gosplice/internal/obj"
+)
+
+// relocRef is a relocation request against a symbol name; the unit
+// assembler translates names to symbol-table indices at the end.
+type relocRef struct {
+	off    uint32 // within the fragment payload
+	typ    obj.RelocType
+	sym    string
+	addend int32
+}
+
+type fragKind int
+
+const (
+	fragRaw    fragKind = iota // literal bytes, possibly with relocs
+	fragBranch                 // branch needing target resolution/relaxation
+	fragAlign                  // pad with no-ops to an alignment boundary
+)
+
+type frag struct {
+	kind fragKind
+
+	// fragRaw
+	data   []byte
+	relocs []relocRef
+
+	// fragBranch
+	class  isa.BranchClass
+	cc     isa.CC
+	target string // label name or external symbol name
+	near   bool   // forced or grown to near form
+
+	// fragAlign
+	align uint32
+
+	// computed during layout
+	off  uint32
+	size uint32
+}
+
+// Builder accumulates code for one output section, resolving local labels
+// with branch relaxation and emitting relocations for everything else.
+type Builder struct {
+	name  string
+	frags []*frag
+	// labels maps a label to the index of the frag it precedes.
+	labels map[string]int
+	// syms records symbol extents: label -> start marker; sizes computed
+	// against end labels.
+	symStart map[string]int
+	symEnd   map[string]int
+	// relax enables short branch forms for in-range local targets.
+	relax bool
+	// pendingRelocs carries the name-based relocations produced by the
+	// most recent Finalize.
+	pendingRelocs []relocRef
+	err           error
+}
+
+// NewBuilder creates a section builder. relax selects whether local
+// branches may use short encodings.
+func NewBuilder(name string, relax bool) *Builder {
+	return &Builder{
+		name:     name,
+		labels:   make(map[string]int),
+		symStart: make(map[string]int),
+		symEnd:   make(map[string]int),
+		relax:    relax,
+	}
+}
+
+func (b *Builder) setErr(err error) {
+	if b.err == nil {
+		b.err = err
+	}
+}
+
+// Label defines a local label at the current position.
+func (b *Builder) Label(name string) {
+	if _, dup := b.labels[name]; dup {
+		b.setErr(fmt.Errorf("codegen: duplicate label %q in %s", name, b.name))
+		return
+	}
+	b.labels[name] = len(b.frags)
+}
+
+// HasLabel reports whether name is defined as a local label.
+func (b *Builder) HasLabel(name string) bool {
+	_, ok := b.labels[name]
+	return ok
+}
+
+// BeginSym marks the start of a named symbol (function or data object).
+func (b *Builder) BeginSym(name string) {
+	b.Label(name)
+	b.symStart[name] = len(b.frags)
+}
+
+// EndSym marks the end of a named symbol.
+func (b *Builder) EndSym(name string) {
+	b.symEnd[name] = len(b.frags)
+}
+
+// Raw appends literal bytes.
+func (b *Builder) Raw(data []byte) {
+	if len(data) == 0 {
+		return
+	}
+	b.frags = append(b.frags, &frag{kind: fragRaw, data: data})
+}
+
+// RawReloc appends literal bytes carrying one relocation at off.
+func (b *Builder) RawReloc(data []byte, off uint32, typ obj.RelocType, sym string, addend int32) {
+	b.frags = append(b.frags, &frag{
+		kind: fragRaw, data: data,
+		relocs: []relocRef{{off: off, typ: typ, sym: sym, addend: addend}},
+	})
+}
+
+// Align pads to an n-byte boundary with no-op instructions.
+func (b *Builder) Align(n uint32) {
+	b.frags = append(b.frags, &frag{kind: fragAlign, align: n})
+}
+
+// Jmp appends an unconditional jump to a local label or external symbol.
+func (b *Builder) Jmp(target string) {
+	b.frags = append(b.frags, &frag{kind: fragBranch, class: isa.BranchJmp, target: target})
+}
+
+// Jcc appends a conditional jump.
+func (b *Builder) Jcc(cc isa.CC, target string) {
+	b.frags = append(b.frags, &frag{kind: fragBranch, class: isa.BranchJcc, cc: cc, target: target})
+}
+
+// Call appends a call. Calls always use the near form.
+func (b *Builder) Call(target string) {
+	b.frags = append(b.frags, &frag{kind: fragBranch, class: isa.BranchCall, target: target, near: true})
+}
+
+func (f *frag) branchNearSize() uint32 {
+	if f.class == isa.BranchJcc {
+		return 6
+	}
+	return 5
+}
+
+func (f *frag) branchShortSize() uint32 {
+	if f.class == isa.BranchJcc {
+		return 3
+	}
+	return 2
+}
+
+// Finalize lays out the section, relaxing branches and computing
+// alignment, and returns the section plus the symbol extents defined via
+// BeginSym/EndSym.
+func (b *Builder) Finalize(kind obj.SectionKind, align uint32) (*obj.Section, map[string][2]uint32, error) {
+	if b.err != nil {
+		return nil, nil, b.err
+	}
+
+	// Initial sizing: short where permitted (local target and relaxation
+	// on), near otherwise. Then grow monotonically until every short
+	// branch fits; alignment pads are recomputed every pass.
+	for _, f := range b.frags {
+		if f.kind != fragBranch {
+			continue
+		}
+		_, local := b.labels[f.target]
+		if !local {
+			f.near = true // external targets need relocations: near only
+		}
+		if !b.relax {
+			f.near = true
+		}
+	}
+
+	for pass := 0; ; pass++ {
+		if pass > len(b.frags)+8 {
+			return nil, nil, fmt.Errorf("codegen: relaxation did not converge in %s", b.name)
+		}
+		// Compute offsets.
+		var off uint32
+		for _, f := range b.frags {
+			f.off = off
+			switch f.kind {
+			case fragRaw:
+				f.size = uint32(len(f.data))
+			case fragBranch:
+				if f.near {
+					f.size = f.branchNearSize()
+				} else {
+					f.size = f.branchShortSize()
+				}
+			case fragAlign:
+				f.size = pad(off, f.align)
+			}
+			off += f.size
+		}
+		// Grow out-of-range short branches.
+		changed := false
+		for _, f := range b.frags {
+			if f.kind != fragBranch || f.near {
+				continue
+			}
+			ti, ok := b.labels[f.target]
+			if !ok {
+				return nil, nil, fmt.Errorf("codegen: undefined label %q in %s", f.target, b.name)
+			}
+			rel := int64(b.fragOffset(ti)) - int64(f.off+f.size)
+			if rel < -128 || rel > 127 {
+				f.near = true
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	// Emit.
+	sec := &obj.Section{Name: b.name, Kind: kind, Align: align}
+	var out []byte
+	var refs []relocRef
+	for _, f := range b.frags {
+		base := uint32(len(out))
+		if base != f.off {
+			return nil, nil, fmt.Errorf("codegen: layout drift in %s: %#x != %#x", b.name, base, f.off)
+		}
+		switch f.kind {
+		case fragRaw:
+			out = append(out, f.data...)
+			for _, r := range f.relocs {
+				r.off += base
+				refs = append(refs, r)
+			}
+		case fragAlign:
+			out = isa.Nop(out, int(f.size))
+		case fragBranch:
+			if ti, local := b.labels[f.target]; local {
+				rel := int64(b.fragOffset(ti)) - int64(f.off+f.size)
+				if f.near {
+					switch f.class {
+					case isa.BranchJmp:
+						out = isa.JMP(out, int32(rel))
+					case isa.BranchJcc:
+						out = isa.JCC(out, f.cc, int32(rel))
+					case isa.BranchCall:
+						out = isa.CALL(out, int32(rel))
+					}
+				} else {
+					switch f.class {
+					case isa.BranchJmp:
+						out = isa.JMPS(out, int8(rel))
+					case isa.BranchJcc:
+						out = isa.JCCS(out, f.cc, int8(rel))
+					}
+				}
+			} else {
+				// External: near form with a PC-relative relocation. The
+				// displacement field sits 4 bytes before the end of the
+				// instruction, hence addend -4.
+				var fieldOff uint32
+				switch f.class {
+				case isa.BranchJmp:
+					out = isa.JMP(out, 0)
+					fieldOff = 1
+				case isa.BranchJcc:
+					out = isa.JCC(out, f.cc, 0)
+					fieldOff = 2
+				case isa.BranchCall:
+					out = isa.CALL(out, 0)
+					fieldOff = 1
+				}
+				refs = append(refs, relocRef{off: base + fieldOff, typ: obj.RelPC32, sym: f.target, addend: -4})
+			}
+		}
+	}
+	sec.Data = out
+
+	// Symbol extents.
+	exts := make(map[string][2]uint32, len(b.symStart))
+	for name, si := range b.symStart {
+		start := b.fragOffset(si)
+		endIdx, ok := b.symEnd[name]
+		if !ok {
+			return nil, nil, fmt.Errorf("codegen: symbol %q not ended in %s", name, b.name)
+		}
+		end := b.fragOffset(endIdx)
+		exts[name] = [2]uint32{start, end - start}
+	}
+
+	// Store name-based relocs in the section temporarily via a side
+	// table returned to the unit assembler.
+	b.pendingRelocs = refs
+	return sec, exts, nil
+}
+
+// pendingRelocs carries the name-based relocations of the most recent
+// Finalize; the unit assembler resolves names to symbol indices.
+func (b *Builder) PendingRelocs() []relocRef { return b.pendingRelocs }
+
+func (b *Builder) fragOffset(idx int) uint32 {
+	if idx >= len(b.frags) {
+		// Label at end of section.
+		if len(b.frags) == 0 {
+			return 0
+		}
+		last := b.frags[len(b.frags)-1]
+		return last.off + last.size
+	}
+	return b.frags[idx].off
+}
+
+func pad(off, align uint32) uint32 {
+	if align <= 1 {
+		return 0
+	}
+	rem := off % align
+	if rem == 0 {
+		return 0
+	}
+	return align - rem
+}

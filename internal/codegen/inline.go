@@ -1,0 +1,432 @@
+package codegen
+
+import (
+	"gosplice/internal/minic"
+)
+
+// inlineUnit performs the compiler's automatic inlining: any call to a
+// unit-visible function whose body is a single `return expr;` small enough
+// to fit the node budget is replaced by the substituted expression. The
+// `inline` keyword plays no part in the decision — exactly the gcc
+// behaviour the paper warns about: you cannot tell where a function has
+// been inlined by looking at the source (section 4.2).
+//
+// Cross-unit inlining happens the same way it does in real kernels:
+// `static inline` helpers defined in headers are parsed into every
+// including unit, so each unit inlines its own copy.
+func inlineUnit(u *minic.Unit, maxNodes int) {
+	if maxNodes <= 0 {
+		maxNodes = 24
+	}
+	inl := &inliner{maxNodes: maxNodes}
+	// Iterate to a fixpoint so chains of small helpers flatten, with a
+	// depth cap as a cycle guard.
+	for pass := 0; pass < 8; pass++ {
+		inl.changed = false
+		for _, fn := range u.Funcs {
+			if fn.Body == nil {
+				continue
+			}
+			inl.caller = fn
+			inl.block(fn.Body)
+		}
+		if !inl.changed {
+			return
+		}
+	}
+}
+
+type inliner struct {
+	maxNodes int
+	caller   *minic.FuncDecl
+	changed  bool
+}
+
+// inlinable returns the body expression if fn is an inlining candidate.
+func (il *inliner) inlinable(fn *minic.FuncDecl) (minic.Expr, bool) {
+	if fn == nil || fn.Body == nil || fn.HasAsm || len(fn.StaticLocals) > 0 {
+		return nil, false
+	}
+	if fn == il.caller {
+		return nil, false // direct recursion
+	}
+	if len(fn.Body.Stmts) != 1 {
+		return nil, false
+	}
+	ret, ok := fn.Body.Stmts[0].(*minic.Return)
+	if !ok || ret.Expr == nil {
+		return nil, false
+	}
+	if exprNodes(ret.Expr) > il.maxNodes {
+		return nil, false
+	}
+	if referencesFunc(ret.Expr, fn) || takesParamAddress(ret.Expr) {
+		return nil, false
+	}
+	return ret.Expr, true
+}
+
+func exprNodes(e minic.Expr) int {
+	n := 1
+	switch x := e.(type) {
+	case *minic.Unary:
+		n += exprNodes(x.X)
+	case *minic.Binary:
+		n += exprNodes(x.X) + exprNodes(x.Y)
+	case *minic.Assign:
+		n += exprNodes(x.LHS) + exprNodes(x.RHS)
+	case *minic.Cond:
+		n += exprNodes(x.C) + exprNodes(x.Then) + exprNodes(x.Else)
+	case *minic.Call:
+		n += exprNodes(x.Callee)
+		for _, a := range x.Args {
+			n += exprNodes(a)
+		}
+	case *minic.Index:
+		n += exprNodes(x.X) + exprNodes(x.I)
+	case *minic.Member:
+		n += exprNodes(x.X)
+	case *minic.Cast:
+		n += exprNodes(x.X)
+	}
+	return n
+}
+
+func referencesFunc(e minic.Expr, fn *minic.FuncDecl) bool {
+	found := false
+	walk(e, func(x minic.Expr) {
+		if id, ok := x.(*minic.Ident); ok && id.Obj != nil && id.Obj.Func == fn {
+			found = true
+		}
+	})
+	return found
+}
+
+func takesParamAddress(e minic.Expr) bool {
+	found := false
+	walk(e, func(x minic.Expr) {
+		if un, ok := x.(*minic.Unary); ok && un.Op == minic.UAddr {
+			if id, ok := un.X.(*minic.Ident); ok && id.Obj != nil && id.Obj.Kind == minic.ObjParam {
+				found = true
+			}
+		}
+	})
+	return found
+}
+
+func walk(e minic.Expr, f func(minic.Expr)) {
+	if e == nil {
+		return
+	}
+	f(e)
+	switch x := e.(type) {
+	case *minic.Unary:
+		walk(x.X, f)
+	case *minic.Binary:
+		walk(x.X, f)
+		walk(x.Y, f)
+	case *minic.Assign:
+		walk(x.LHS, f)
+		walk(x.RHS, f)
+	case *minic.Cond:
+		walk(x.C, f)
+		walk(x.Then, f)
+		walk(x.Else, f)
+	case *minic.Call:
+		walk(x.Callee, f)
+		for _, a := range x.Args {
+			walk(a, f)
+		}
+	case *minic.Index:
+		walk(x.X, f)
+		walk(x.I, f)
+	case *minic.Member:
+		walk(x.X, f)
+	case *minic.Cast:
+		walk(x.X, f)
+	}
+}
+
+// pure reports whether evaluating e has no side effects, so it can be
+// duplicated or dropped during substitution.
+func pure(e minic.Expr) bool {
+	switch x := e.(type) {
+	case *minic.NumLit, *minic.StrLit, *minic.Ident, *minic.SizeofType:
+		return true
+	case *minic.Unary:
+		switch x.Op {
+		case minic.UPreInc, minic.UPreDec, minic.UPostInc, minic.UPostDec:
+			return false
+		}
+		return pure(x.X)
+	case *minic.Binary:
+		return pure(x.X) && pure(x.Y)
+	case *minic.Cond:
+		return pure(x.C) && pure(x.Then) && pure(x.Else)
+	case *minic.Index:
+		return pure(x.X) && pure(x.I)
+	case *minic.Member:
+		return pure(x.X)
+	case *minic.Cast:
+		return pure(x.X)
+	}
+	return false
+}
+
+// cheap reports whether e may be duplicated without changing cost class.
+func cheap(e minic.Expr) bool {
+	switch e.(type) {
+	case *minic.NumLit, *minic.Ident:
+		return true
+	case *minic.Cast:
+		return cheap(e.(*minic.Cast).X)
+	}
+	return false
+}
+
+func countParamUses(e minic.Expr, obj *minic.Object) int {
+	n := 0
+	walk(e, func(x minic.Expr) {
+		if id, ok := x.(*minic.Ident); ok && id.Obj == obj {
+			n++
+		}
+	})
+	return n
+}
+
+// tryInline attempts to replace call with the callee's substituted body
+// expression; it returns the replacement or nil.
+func (il *inliner) tryInline(call *minic.Call) minic.Expr {
+	fn := call.Direct()
+	if fn == nil {
+		return nil
+	}
+	body, ok := il.inlinable(fn)
+	if !ok {
+		return nil
+	}
+	// Each argument must be safe to substitute for its parameter: used
+	// exactly once, or pure-and-cheap enough to duplicate/drop.
+	sub := map[*minic.Object]minic.Expr{}
+	for i, p := range fn.Params {
+		uses := countParamUses(body, p.Obj)
+		arg := call.Args[i]
+		if uses != 1 && !(pure(arg) && (uses == 0 || cheap(arg))) {
+			return nil
+		}
+		sub[p.Obj] = arg
+	}
+	return cloneExpr(body, sub)
+}
+
+// cloneExpr deep-copies e, replacing parameter references per sub.
+func cloneExpr(e minic.Expr, sub map[*minic.Object]minic.Expr) minic.Expr {
+	switch x := e.(type) {
+	case *minic.NumLit:
+		c := *x
+		return &c
+	case *minic.StrLit:
+		c := *x
+		return &c
+	case *minic.SizeofType:
+		c := *x
+		return &c
+	case *minic.Ident:
+		if r, ok := sub[x.Obj]; ok {
+			return cloneExpr(r, nil)
+		}
+		c := *x
+		return &c
+	case *minic.Unary:
+		c := *x
+		c.X = cloneExpr(x.X, sub)
+		return &c
+	case *minic.Binary:
+		c := *x
+		c.X = cloneExpr(x.X, sub)
+		c.Y = cloneExpr(x.Y, sub)
+		return &c
+	case *minic.Assign:
+		c := *x
+		c.LHS = cloneExpr(x.LHS, sub)
+		c.RHS = cloneExpr(x.RHS, sub)
+		return &c
+	case *minic.Cond:
+		c := *x
+		c.C = cloneExpr(x.C, sub)
+		c.Then = cloneExpr(x.Then, sub)
+		c.Else = cloneExpr(x.Else, sub)
+		return &c
+	case *minic.Call:
+		c := *x
+		c.Callee = cloneExpr(x.Callee, sub)
+		c.Args = make([]minic.Expr, len(x.Args))
+		for i, a := range x.Args {
+			c.Args[i] = cloneExpr(a, sub)
+		}
+		return &c
+	case *minic.Index:
+		c := *x
+		c.X = cloneExpr(x.X, sub)
+		c.I = cloneExpr(x.I, sub)
+		return &c
+	case *minic.Member:
+		c := *x
+		c.X = cloneExpr(x.X, sub)
+		return &c
+	case *minic.Cast:
+		c := *x
+		c.X = cloneExpr(x.X, sub)
+		return &c
+	}
+	return e
+}
+
+// rewrite walks an expression tree bottom-up, inlining calls.
+func (il *inliner) rewrite(e minic.Expr) minic.Expr {
+	switch x := e.(type) {
+	case *minic.Unary:
+		x.X = il.rewrite(x.X)
+	case *minic.Binary:
+		x.X = il.rewrite(x.X)
+		x.Y = il.rewrite(x.Y)
+	case *minic.Assign:
+		x.LHS = il.rewrite(x.LHS)
+		x.RHS = il.rewrite(x.RHS)
+	case *minic.Cond:
+		x.C = il.rewrite(x.C)
+		x.Then = il.rewrite(x.Then)
+		x.Else = il.rewrite(x.Else)
+	case *minic.Call:
+		x.Callee = il.rewrite(x.Callee)
+		for i, a := range x.Args {
+			x.Args[i] = il.rewrite(a)
+		}
+		if repl := il.tryInline(x); repl != nil {
+			il.changed = true
+			return repl
+		}
+	case *minic.Index:
+		x.X = il.rewrite(x.X)
+		x.I = il.rewrite(x.I)
+	case *minic.Member:
+		x.X = il.rewrite(x.X)
+	case *minic.Cast:
+		x.X = il.rewrite(x.X)
+	}
+	return e
+}
+
+func (il *inliner) block(b *minic.Block) {
+	for _, s := range b.Stmts {
+		il.stmt(s)
+	}
+}
+
+func (il *inliner) stmt(s minic.Stmt) {
+	switch n := s.(type) {
+	case *minic.Block:
+		il.block(n)
+	case *minic.If:
+		n.Cond = il.rewrite(n.Cond)
+		il.stmt(n.Then)
+		if n.Else != nil {
+			il.stmt(n.Else)
+		}
+	case *minic.While:
+		n.Cond = il.rewrite(n.Cond)
+		il.stmt(n.Body)
+	case *minic.For:
+		if n.Init != nil {
+			il.stmt(n.Init)
+		}
+		if n.Cond != nil {
+			n.Cond = il.rewrite(n.Cond)
+		}
+		if n.Post != nil {
+			il.stmt(n.Post)
+		}
+		il.stmt(n.Body)
+	case *minic.Return:
+		if n.Expr != nil {
+			n.Expr = il.rewrite(n.Expr)
+		}
+	case *minic.ExprStmt:
+		n.Expr = il.rewrite(n.Expr)
+	case *minic.DeclStmt:
+		if n.Decl.Init != nil {
+			n.Decl.Init = il.rewrite(n.Decl.Init)
+		}
+	}
+}
+
+// InlinedCalls reports, for analysis and the evaluation's inlining census,
+// which functions the inliner would inline into at least one caller within
+// the unit. It must be called on a freshly checked unit (before Compile,
+// which performs the actual rewriting).
+func InlinedCalls(u *minic.Unit, maxNodes int) map[string][]string {
+	if maxNodes <= 0 {
+		maxNodes = 24
+	}
+	il := &inliner{maxNodes: maxNodes}
+	out := map[string][]string{}
+	for _, fn := range u.Funcs {
+		if fn.Body == nil {
+			continue
+		}
+		il.caller = fn
+		var visit func(e minic.Expr)
+		visit = func(e minic.Expr) {
+			walk(e, func(x minic.Expr) {
+				if call, ok := x.(*minic.Call); ok {
+					if callee := call.Direct(); callee != nil {
+						if _, ok := il.inlinable(callee); ok {
+							out[callee.Name] = append(out[callee.Name], fn.Name)
+						}
+					}
+				}
+			})
+		}
+		var walkStmt func(s minic.Stmt)
+		walkStmt = func(s minic.Stmt) {
+			switch n := s.(type) {
+			case *minic.Block:
+				for _, st := range n.Stmts {
+					walkStmt(st)
+				}
+			case *minic.If:
+				visit(n.Cond)
+				walkStmt(n.Then)
+				if n.Else != nil {
+					walkStmt(n.Else)
+				}
+			case *minic.While:
+				visit(n.Cond)
+				walkStmt(n.Body)
+			case *minic.For:
+				if n.Init != nil {
+					walkStmt(n.Init)
+				}
+				if n.Cond != nil {
+					visit(n.Cond)
+				}
+				if n.Post != nil {
+					walkStmt(n.Post)
+				}
+				walkStmt(n.Body)
+			case *minic.Return:
+				if n.Expr != nil {
+					visit(n.Expr)
+				}
+			case *minic.ExprStmt:
+				visit(n.Expr)
+			case *minic.DeclStmt:
+				if n.Decl.Init != nil {
+					visit(n.Decl.Init)
+				}
+			}
+		}
+		walkStmt(fn.Body)
+	}
+	return out
+}

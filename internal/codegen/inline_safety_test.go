@@ -1,0 +1,177 @@
+package codegen
+
+import (
+	"testing"
+
+	"gosplice/internal/obj"
+)
+
+// refsCallee reports whether a compiled caller still carries a call to
+// callee (i.e. the call was NOT inlined).
+func refsCallee(t *testing.T, f *obj.File, caller, callee string) bool {
+	t.Helper()
+	sec := f.Section(obj.FuncSectionPrefix + caller)
+	if sec == nil {
+		t.Fatalf("no section for %s", caller)
+	}
+	for _, r := range sec.Relocs {
+		if f.Symbols[r.Sym].Name == callee {
+			return true
+		}
+	}
+	return false
+}
+
+// TestInlinerRefusesSideEffectDuplication: the candidate uses its
+// parameter twice; an argument with side effects must not be duplicated,
+// so the call survives — and the observable effect happens exactly once.
+func TestInlinerRefusesSideEffectDuplication(t *testing.T) {
+	files := map[string]string{"i.mc": `
+int effects = 0;
+int bump(void) { effects++; return 3; }
+static int square(int v) { return v * v; }
+int use(void) { return square(bump()); }
+`}
+	fs := compileUnits(t, files, []string{"i.mc"}, KspliceBuild())
+	if !refsCallee(t, fs[0], "use", "square") {
+		t.Fatal("square(bump()) was inlined; bump would run twice")
+	}
+	// Semantics: effects incremented once, result 9.
+	m, th, im := load(t, fs)
+	if got := callFunc(t, m, th, im, "use"); got != 9 {
+		t.Errorf("use = %d", got)
+	}
+	eff, _ := im.LookupOne("effects")
+	var v uint32
+	for i := 0; i < 4; i++ {
+		v |= uint32(m.Mem[eff.Addr+uint32(i)]) << (8 * i)
+	}
+	if v != 1 {
+		t.Errorf("effects = %d, want 1", v)
+	}
+}
+
+// TestInlinerRefusesDroppingSideEffects: the candidate ignores its
+// parameter; an impure argument must still be evaluated, so the call is
+// kept.
+func TestInlinerRefusesDroppingSideEffects(t *testing.T) {
+	files := map[string]string{"i.mc": `
+int effects = 0;
+int bump(void) { effects++; return 3; }
+static int always7(int ignored) { return 7; }
+int use(void) { return always7(bump()); }
+`}
+	fs := compileUnits(t, files, []string{"i.mc"}, KspliceBuild())
+	if !refsCallee(t, fs[0], "use", "always7") {
+		t.Fatal("always7(bump()) was inlined; bump's effect would vanish")
+	}
+	m, th, im := load(t, fs)
+	if got := callFunc(t, m, th, im, "use"); got != 7 {
+		t.Errorf("use = %d", got)
+	}
+	eff, _ := im.LookupOne("effects")
+	if m.Mem[eff.Addr] != 1 {
+		t.Errorf("effects = %d, want 1", m.Mem[eff.Addr])
+	}
+}
+
+// TestInlinerDuplicatesCheapPureArgs: with a cheap pure argument,
+// double use is fine and the helper disappears.
+func TestInlinerDuplicatesCheapPureArgs(t *testing.T) {
+	files := map[string]string{"i.mc": `
+static int square(int v) { return v * v; }
+int use(int x) { return square(x); }
+`}
+	fs := compileUnits(t, files, []string{"i.mc"}, KspliceBuild())
+	if fs[0].Section(obj.FuncSectionPrefix+"square") != nil {
+		t.Error("square still emitted")
+	}
+	m, th, im := load(t, fs)
+	if got := callFunc(t, m, th, im, "use", 9); got != 81 {
+		t.Errorf("use(9) = %d", got)
+	}
+}
+
+// TestInlinerRefusesRecursion: a self-referencing single-return function
+// must not be expanded.
+func TestInlinerRefusesRecursion(t *testing.T) {
+	files := map[string]string{"i.mc": `
+int count(int n) { return n <= 0 ? 0 : 1 + count(n - 1); }
+int use(void) { return count(5); }
+`}
+	fs := compileUnits(t, files, []string{"i.mc"}, KspliceBuild())
+	if !refsCallee(t, fs[0], "use", "count") {
+		t.Error("recursive count inlined into use")
+	}
+	m, th, im := load(t, fs)
+	if got := callFunc(t, m, th, im, "use"); got != 5 {
+		t.Errorf("use = %d", got)
+	}
+}
+
+// TestInlinerRefusesAddressOfParam: &param cannot survive substitution.
+func TestInlinerRefusesAddressOfParam(t *testing.T) {
+	files := map[string]string{"i.mc": `
+int deref(int *p);
+static int addr_trick(int v) { return deref(&v); }
+int deref(int *p) { return *p + 1; }
+int use(int x) { return addr_trick(x); }
+`}
+	fs := compileUnits(t, files, []string{"i.mc"}, KspliceBuild())
+	if !refsCallee(t, fs[0], "use", "addr_trick") {
+		t.Error("addr_trick inlined despite &param")
+	}
+	m, th, im := load(t, fs)
+	if got := callFunc(t, m, th, im, "use", 41); got != 42 {
+		t.Errorf("use(41) = %d", got)
+	}
+}
+
+// TestInlinerChains: helper-of-helper flattens across passes.
+func TestInlinerChains(t *testing.T) {
+	files := map[string]string{"i.mc": `
+static int one(int v) { return v + 1; }
+static int two(int v) { return one(v) + 1; }
+int use(int x) { return two(x); }
+`}
+	fs := compileUnits(t, files, []string{"i.mc"}, KspliceBuild())
+	if refsCallee(t, fs[0], "use", "two") || refsCallee(t, fs[0], "use", "one") {
+		t.Error("chain not fully inlined")
+	}
+	m, th, im := load(t, fs)
+	if got := callFunc(t, m, th, im, "use", 40); got != 42 {
+		t.Errorf("use(40) = %d", got)
+	}
+}
+
+// TestPointerIncDecStepsByElementSize exercises ++/-- on pointers
+// end to end.
+func TestPointerIncDecStepsByElementSize(t *testing.T) {
+	files := map[string]string{"p.mc": `
+struct wide { long a; long b; };
+static struct wide arr[4];
+int stride(void) {
+	struct wide *p = &arr[0];
+	p++;
+	p++;
+	p--;
+	arr[1].a = 77;
+	return (int)p->a;
+}
+int post_pre(void) {
+	int v = 5;
+	int a = v++;
+	int b = ++v;
+	return a * 100 + b * 10 + v;
+}
+`}
+	fs := compileUnits(t, files, []string{"p.mc"}, KernelBuild())
+	m, th, im := load(t, fs)
+	if got := callFunc(t, m, th, im, "stride"); got != 77 {
+		t.Errorf("stride = %d", got)
+	}
+	// a=5 (post), b=7 (pre), v=7 -> 5*100 + 7*10 + 7 = 577.
+	if got := callFunc(t, m, th, im, "post_pre"); got != 577 {
+		t.Errorf("post_pre = %d, want 577", got)
+	}
+}

@@ -1,0 +1,329 @@
+package codegen
+
+// End-to-end language coverage: compile, link, execute, compare against
+// the C semantics the checker and code generator claim to implement.
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gosplice/internal/minic"
+	"gosplice/internal/obj"
+)
+
+func TestContinueAndNestedBreak(t *testing.T) {
+	files := map[string]string{"l.mc": `
+int odds_sum(int n) {
+	int acc = 0;
+	int i;
+	for (i = 0; i < n; i++) {
+		if ((i & 1) == 0) {
+			continue;
+		}
+		acc += i;
+	}
+	return acc;
+}
+int find_pair(int target) {
+	int i;
+	int found = -1;
+	for (i = 0; i < 10; i++) {
+		int j;
+		for (j = 0; j < 10; j++) {
+			if (i * 10 + j == target) {
+				found = i * 100 + j;
+				break;
+			}
+		}
+		if (found >= 0) {
+			break;
+		}
+	}
+	return found;
+}
+int while_continue(int n) {
+	int acc = 0;
+	int i = 0;
+	while (i < n) {
+		i++;
+		if (i == 3) {
+			continue;
+		}
+		acc += i;
+	}
+	return acc;
+}
+`}
+	fs := compileUnits(t, files, []string{"l.mc"}, KernelBuild())
+	m, th, im := load(t, fs)
+	if got := callFunc(t, m, th, im, "odds_sum", 10); got != 25 {
+		t.Errorf("odds_sum(10) = %d", got)
+	}
+	if got := callFunc(t, m, th, im, "find_pair", 57); got != 507 {
+		t.Errorf("find_pair(57) = %d", got)
+	}
+	if got := callFunc(t, m, th, im, "while_continue", 5); got != 12 {
+		t.Errorf("while_continue(5) = %d (1+2+4+5)", got)
+	}
+}
+
+func TestCharWraparoundAndUnsignedCompare(t *testing.T) {
+	files := map[string]string{"c.mc": `
+int char_wrap(void) {
+	char c = 120;
+	c += 10;
+	return c;
+}
+int uchar_wrap(void) {
+	unsigned char c = 250;
+	c += 10;
+	return c;
+}
+int ucmp(unsigned int a, unsigned int b) {
+	if (a < b) {
+		return -1;
+	}
+	if (a > b) {
+		return 1;
+	}
+	return 0;
+}
+int scmp(int a, int b) {
+	if (a < b) {
+		return -1;
+	}
+	if (a > b) {
+		return 1;
+	}
+	return 0;
+}
+`}
+	fs := compileUnits(t, files, []string{"c.mc"}, KernelBuild())
+	m, th, im := load(t, fs)
+	if got := int64(callFunc(t, m, th, im, "char_wrap")); got != -126 {
+		t.Errorf("char_wrap = %d, want -126 (signed char overflow)", got)
+	}
+	if got := callFunc(t, m, th, im, "uchar_wrap"); got != 4 {
+		t.Errorf("uchar_wrap = %d, want 4", got)
+	}
+	// -1 as unsigned is max: a=-1 > b=1 unsigned, < signed.
+	if got := int64(callFunc(t, m, th, im, "ucmp", -1, 1)); got != 1 {
+		t.Errorf("ucmp(-1,1) = %d, want 1 (unsigned)", got)
+	}
+	if got := int64(callFunc(t, m, th, im, "scmp", -1, 1)); got != -1 {
+		t.Errorf("scmp(-1,1) = %d, want -1 (signed)", got)
+	}
+}
+
+func TestPointerDifferenceAndCompoundPointerOps(t *testing.T) {
+	files := map[string]string{"p.mc": `
+struct cell { long v; long w; };
+static struct cell cells[8];
+int span(void) {
+	struct cell *a = &cells[1];
+	struct cell *b = &cells[6];
+	return b - a;
+}
+int walk(void) {
+	struct cell *p = &cells[0];
+	p += 3;
+	p -= 1;
+	cells[2].v = 99;
+	return (int)p->v;
+}
+int cmp_ptrs(void) {
+	struct cell *a = &cells[1];
+	struct cell *b = &cells[2];
+	if (a < b) {
+		return 1;
+	}
+	return 0;
+}
+`}
+	fs := compileUnits(t, files, []string{"p.mc"}, KernelBuild())
+	m, th, im := load(t, fs)
+	if got := callFunc(t, m, th, im, "span"); got != 5 {
+		t.Errorf("span = %d", got)
+	}
+	if got := callFunc(t, m, th, im, "walk"); got != 99 {
+		t.Errorf("walk = %d", got)
+	}
+	if got := callFunc(t, m, th, im, "cmp_ptrs"); got != 1 {
+		t.Errorf("cmp_ptrs = %d", got)
+	}
+}
+
+func TestShiftAndBitwiseSemantics(t *testing.T) {
+	files := map[string]string{"s.mc": `
+int sar(int v, int n) { return v >> n; }
+unsigned int shr(unsigned int v, int n) { return v >> n; }
+long lshl(long v, int n) { return v << n; }
+int mask(int v) { return (v & 0xF0) | (v ^ 0xFF) & 0x0F; }
+`}
+	fs := compileUnits(t, files, []string{"s.mc"}, KernelBuild())
+	m, th, im := load(t, fs)
+	if got := int64(callFunc(t, m, th, im, "sar", -16, 2)); got != -4 {
+		t.Errorf("sar(-16,2) = %d (arithmetic shift)", got)
+	}
+	if got := callFunc(t, m, th, im, "shr", -16, 2); uint32(got) != 0xFFFFFFF0>>2 {
+		t.Errorf("shr(-16,2) = %#x (logical shift)", got)
+	}
+	if got := callFunc(t, m, th, im, "lshl", 3, 40); got != 3<<40 {
+		t.Errorf("lshl = %#x", got)
+	}
+	if got := callFunc(t, m, th, im, "mask", 0xA5); got != 0xA0|0x0A {
+		t.Errorf("mask = %#x", got)
+	}
+}
+
+func TestStringsAndEscapesAtRuntime(t *testing.T) {
+	files := map[string]string{"str.mc": `
+char *msg = "a\tb\n";
+int nth(int i) {
+	return msg[i];
+}
+int same_literal_pooled(void) {
+	char *a = "pool";
+	char *b = "pool";
+	return a == b;
+}
+`}
+	fs := compileUnits(t, files, []string{"str.mc"}, KernelBuild())
+	m, th, im := load(t, fs)
+	if got := callFunc(t, m, th, im, "nth", 1); got != '\t' {
+		t.Errorf("nth(1) = %d", got)
+	}
+	if got := callFunc(t, m, th, im, "nth", 3); got != '\n' {
+		t.Errorf("nth(3) = %d", got)
+	}
+	// The unit-level interner pools identical literals.
+	if got := callFunc(t, m, th, im, "same_literal_pooled"); got != 1 {
+		t.Errorf("identical literals not pooled")
+	}
+}
+
+func TestFunctionPointerAsArgument(t *testing.T) {
+	files := map[string]string{"fp.mc": `
+int twice(int v) { return v * 2; }
+int thrice(int v) { return v * 3; }
+int apply(void *fn, int v) {
+	return fn(v);
+}
+int run(int which, int v) {
+	if (which == 2) {
+		return apply(twice, v);
+	}
+	return apply(thrice, v);
+}
+`}
+	fs := compileUnits(t, files, []string{"fp.mc"}, KernelBuild())
+	m, th, im := load(t, fs)
+	if got := callFunc(t, m, th, im, "run", 2, 10); got != 20 {
+		t.Errorf("run(2,10) = %d", got)
+	}
+	if got := callFunc(t, m, th, im, "run", 3, 10); got != 30 {
+		t.Errorf("run(3,10) = %d", got)
+	}
+}
+
+func TestStructArgumentFieldsThroughPointer(t *testing.T) {
+	files := map[string]string{"sp.mc": `
+struct req { int op; int arg; struct req *next; };
+static struct req q[3];
+int enqueue(int op, int arg) {
+	q[op & 1].op = op;
+	q[op & 1].arg = arg;
+	q[op & 1].next = &q[2];
+	q[2].arg = 1000;
+	return 0;
+}
+int total(struct req *r) {
+	int acc = 0;
+	while (r) {
+		acc += r->arg;
+		r = r->next;
+		if (r == &q[2]) {
+			acc += r->arg;
+			r = 0;
+		}
+	}
+	return acc;
+}
+int scenario(void) {
+	enqueue(1, 5);
+	return total(&q[1]);
+}
+`}
+	fs := compileUnits(t, files, []string{"sp.mc"}, KernelBuild())
+	m, th, im := load(t, fs)
+	if got := callFunc(t, m, th, im, "scenario"); got != 1005 {
+		t.Errorf("scenario = %d", got)
+	}
+}
+
+// Property: MiniC integer arithmetic on int agrees with Go int32 for a
+// compiled modexp-style expression.
+func TestCompiledArithmeticProperty(t *testing.T) {
+	files := map[string]string{"prop.mc": `
+int mix(int a, int b) {
+	return (a * 31 + b) ^ (a >> 3) ^ (b << 2);
+}
+`}
+	fs := compileUnits(t, files, []string{"prop.mc"}, KernelBuild())
+	m, th, im := load(t, fs)
+	f := func(a, b int32) bool {
+		got := int32(callFunc(t, m, th, im, "mix", int64(a), int64(b)))
+		want := (a*31 + b) ^ (a >> 3) ^ (b << 2)
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The primary-module-style build: FunctionSections output for any unit
+// must produce one text section per emitted function, each starting at
+// value 0 with the full section as its extent.
+func TestFunctionSectionsInvariant(t *testing.T) {
+	files := map[string]string{"inv.mc": `
+int a(void) { return 1; }
+static int b_used(void) { return 2; }
+int c(void) { return b_used(); }
+`}
+	fs := compileUnits(t, files, []string{"inv.mc"}, KspliceBuild())
+	f := fs[0]
+	for _, sec := range f.Sections {
+		name := obj.FuncNameOfSection(sec.Name)
+		if name == "" {
+			continue
+		}
+		sym := f.Symbol(name)
+		if sym == nil || !sym.Func {
+			t.Errorf("section %s has no function symbol", sec.Name)
+			continue
+		}
+		if sym.Value != 0 || sym.Size != sec.Len() {
+			t.Errorf("%s: value=%d size=%d seclen=%d", name, sym.Value, sym.Size, sec.Len())
+		}
+	}
+}
+
+func TestCheckerRejectsRuntimeHazards(t *testing.T) {
+	// Constructs the checker must refuse (each once compiled would have
+	// produced undefined machine behaviour).
+	bad := []string{
+		`struct s { int x; }; int f(struct s v) { return v.x; }`, // struct by value
+		`struct s { int x; }; struct s f(void) { struct s v; return v; }`,
+		`int f(void) { return *(void *)0; }`, // deref void*
+		`int f(int *p) { return p % 3; }`,    // mod on pointer
+	}
+	for _, src := range bad {
+		u, err := minic.ParseString("bad.mc", src)
+		if err == nil {
+			err = minic.Check(u)
+		}
+		if err == nil {
+			t.Errorf("accepted %q", src)
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package codegen
+
+// Options configures a compilation, mirroring the gcc options the paper
+// discusses.
+type Options struct {
+	// FunctionSections gives every function its own ".text.name" section
+	// and forces near branch encodings, like -ffunction-sections. Ksplice
+	// pre/post builds enable it; running kernels are built without it.
+	FunctionSections bool
+	// DataSections gives every data object its own ".data.name" /
+	// ".bss.name" section, like -fdata-sections.
+	DataSections bool
+	// Inline enables the automatic inliner. Like gcc, the inliner works
+	// from a size heuristic: the `inline` keyword is neither necessary
+	// nor sufficient.
+	Inline bool
+	// InlineMaxNodes is the inliner's body-size budget (AST nodes in the
+	// returned expression).
+	InlineMaxNodes int
+	// AlignLoops pads loop heads to 8-byte boundaries with no-ops.
+	AlignLoops bool
+	// Version is the compiler identification stamp recorded in object
+	// files. Run-pre matching is sensitive to compiler changes; tools
+	// compare stamps to warn before an abort happens (paper section 4.3).
+	Version string
+}
+
+// KernelBuild returns the options a distributor uses to build a running
+// kernel: shared .text per unit, relaxed branches, aligned loops, inlining
+// on, no per-function sections.
+func KernelBuild() Options {
+	return Options{
+		FunctionSections: false,
+		DataSections:     false,
+		Inline:           true,
+		InlineMaxNodes:   24,
+		AlignLoops:       true,
+		Version:          DefaultVersion,
+	}
+}
+
+// KspliceBuild returns the options ksplice-create uses for pre and post
+// object generation: per-function and per-data sections so that every
+// reference is a relocation (paper section 3.2).
+func KspliceBuild() Options {
+	return Options{
+		FunctionSections: true,
+		DataSections:     true,
+		Inline:           true,
+		InlineMaxNodes:   24,
+		AlignLoops:       true,
+		Version:          DefaultVersion,
+	}
+}
+
+// DefaultVersion identifies this compiler build.
+const DefaultVersion = "minicc 1.0 (sim32-linux)"

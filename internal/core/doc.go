@@ -1,0 +1,33 @@
+// Package core implements the Ksplice engine: constructing hot updates
+// from traditional source-code patches at the object code layer, and
+// applying them to a running simulated kernel without rebooting it.
+//
+// The two techniques of the paper are here in full:
+//
+//   - Pre-post differencing (section 3, prepost.go). CreateUpdate builds
+//     the kernel source twice — before (pre) and after (post) applying
+//     the patch — with per-function/per-data sections enabled, compares
+//     the object code, and extracts every changed or new function into a
+//     primary object per unit, alongside the entire pre object of each
+//     changed compilation unit (the helper).
+//
+//   - Run-pre matching (section 4, runpre.go). Before anything is
+//     spliced, every byte of the pre code is checked against the running
+//     kernel's memory: no-op padding is skipped on either side, short
+//     and near branch encodings are accepted interchangeably with their
+//     targets verified through an offset-correspondence map, and
+//     relocation sites are used in reverse — the already-relocated run
+//     bytes give S = val + Prun - A, recovering the value of every
+//     referenced symbol, ambiguous or not, with cross-site consistency
+//     checking. Any other difference aborts the update.
+//
+// Applying an update (apply.go) loads the primary objects as a kernel
+// module whose imports are resolved from the run-pre results, captures
+// the machine with stop_machine, rechecks that no thread's instruction
+// pointer or stack points into a function being replaced (retrying after
+// a delay, then abandoning, per section 5.2), writes a 5-byte jump
+// trampoline over each obsolete function, and runs any ksplice_apply
+// hooks the patch registered (section 5.3). Updates stack: a later
+// update's run-pre match binds against the newest replacement code
+// (section 5.4). Undo restores the saved entry bytes in reverse order.
+package core

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"gosplice/internal/kernel"
+	"gosplice/internal/srctree"
+)
+
+// TestRunPreDetectsTamperedKernelText simulates the section 7.2 hazard:
+// the running kernel's code does not match what the "original source"
+// builds — here because something (a rootkit, a stray write) flipped a
+// byte in a function the update must match. Run-pre matching walks every
+// byte of the pre code, so the tamper cannot hide.
+func TestRunPreDetectsTamperedKernelText(t *testing.T) {
+	tree := testTree()
+	k := boot(t, tree)
+	m := NewManager(k)
+
+	// Corrupt one byte inside sys_getsecret (an unchanged function of the
+	// unit being patched — exactly where naive systems would not look).
+	addr, err := k.Syms.ResolveUnique("sys_getsecret")
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, err := k.ReadMem(addr+8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.WriteMem(addr+8, []byte{orig[0] ^ 0x01}); err != nil {
+		t.Fatal(err)
+	}
+
+	u, err := CreateUpdate(tree, setuidPatch, CreateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = m.Apply(u, ApplyOptions{})
+	if !errors.Is(err, ErrRunPreMismatch) {
+		t.Fatalf("apply over tampered text: %v", err)
+	}
+	if len(k.Modules()) != 0 {
+		t.Error("module left after aborted update")
+	}
+
+	// Restore the byte; the update applies.
+	if err := k.WriteMem(addr+8, orig); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Apply(u, ApplyOptions{}); err != nil {
+		t.Fatalf("apply after restore: %v", err)
+	}
+}
+
+// TestTrampolineRefusedForTinyAssemblyFunction: MiniC prologues guarantee
+// room for the 5-byte jump, but hand-written assembly can be shorter; the
+// engine must refuse rather than overwrite a neighbour.
+func TestTrampolineRefusedForTinyAssemblyFunction(t *testing.T) {
+	files := kernel.Lib()
+	files["tiny.mcs"] = `.global tiny_ret
+.func tiny_ret
+	ret
+.endfunc
+.global tiny_user
+.func tiny_user
+	push fp
+	mov fp, sp
+	addi64 sp, 0
+	call tiny_ret
+	mov sp, fp
+	pop fp
+	ret
+.endfunc
+`
+	tree := srctree.New("tiny-1.0", files)
+	k := boot(t, tree)
+	m := NewManager(k)
+
+	patch := `--- a/tiny.mcs
++++ b/tiny.mcs
+@@ -1,5 +1,6 @@
+ .global tiny_ret
+ .func tiny_ret
++	movi r0, 1
+ 	ret
+ .endfunc
+ .global tiny_user
+`
+	u, err := CreateUpdate(tree, patch, CreateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = m.Apply(u, ApplyOptions{})
+	if err == nil || !strings.Contains(err.Error(), "too small for a trampoline") {
+		t.Fatalf("tiny splice: %v", err)
+	}
+	if len(k.Modules()) != 0 {
+		t.Error("module left after refusal")
+	}
+}
+
+// TestRunPreBytesAccounting: matching a unit verifies at least the sum of
+// its pre text bytes minus padding — the "passes over every byte of the
+// pre code" claim of section 4.3, made measurable.
+func TestRunPreBytesAccounting(t *testing.T) {
+	tree := testTree()
+	k := boot(t, tree)
+	m := NewManager(k)
+	u, err := CreateUpdate(tree, setuidPatch, CreateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := m.Apply(u, ApplyOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := a.Matches["sys.mc"]
+	if res == nil {
+		t.Fatal("no match result recorded")
+	}
+	textBytes := 0
+	for _, sec := range u.Units[0].Helper.Sections {
+		if strings.HasPrefix(sec.Name, ".text.") {
+			textBytes += int(sec.Len())
+		}
+	}
+	if res.BytesMatched != textBytes {
+		t.Errorf("matched %d bytes, helper text is %d", res.BytesMatched, textBytes)
+	}
+	// The paper notes the helper can be much larger than the primary
+	// (section 5.1): the helper carries whole units, the primary only the
+	// changed functions.
+	if a.HelperBytes <= a.PrimaryBytes {
+		t.Errorf("helper %d bytes <= primary %d bytes", a.HelperBytes, a.PrimaryBytes)
+	}
+}

@@ -1,0 +1,334 @@
+package core
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"gosplice/internal/codegen"
+	"gosplice/internal/diffutil"
+	"gosplice/internal/obj"
+	"gosplice/internal/srctree"
+)
+
+// ErrNoChanges is returned by CreateUpdate when the patch produces no
+// object-code differences (for example a comment-only patch).
+var ErrNoChanges = errors.New("core: patch produces no object code changes")
+
+// CreateOptions configures CreateUpdate.
+type CreateOptions struct {
+	// Name overrides the generated ksplice-xxxxxx update name.
+	Name string
+	// BuildOpts overrides the pre/post build options. The default is
+	// codegen.KspliceBuild(): per-function and per-data sections. Using
+	// the same compiler version as the running kernel's build is
+	// advisable (paper section 4.3); run-pre matching is the backstop.
+	BuildOpts *codegen.Options
+}
+
+// CreateUpdate implements ksplice-create: it builds the tree before and
+// after the patch, diffs the object code, and packages a hot update.
+//
+// The tree must be the source of the running kernel — including any
+// previously hot-applied patches when stacking updates (section 5.4).
+func CreateUpdate(tree *srctree.Tree, patchText string, o CreateOptions) (*Update, error) {
+	patch, err := diffutil.ParsePatch(patchText)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	post, err := tree.Patch(patchText)
+	if err != nil {
+		return nil, fmt.Errorf("core: applying source patch: %w", err)
+	}
+	buildOpts := codegen.KspliceBuild()
+	if o.BuildOpts != nil {
+		buildOpts = *o.BuildOpts
+	}
+	preB, err := srctree.Build(tree, buildOpts)
+	if err != nil {
+		return nil, fmt.Errorf("core: pre build: %w", err)
+	}
+	postB, err := srctree.Build(post, buildOpts)
+	if err != nil {
+		return nil, fmt.Errorf("core: post build: %w", err)
+	}
+
+	name := o.Name
+	if name == "" {
+		sum := sha256.Sum256([]byte(patchText))
+		name = fmt.Sprintf("ksplice-%x", sum[:4])
+	}
+	u := &Update{
+		Name:          name,
+		KernelVersion: tree.Version,
+		Compiler:      buildOpts.Version,
+		PatchLines:    patch.ChangedLines(),
+		PatchText:     patchText,
+	}
+
+	// Union of unit paths, sorted.
+	paths := map[string]bool{}
+	for _, f := range preB.Objects {
+		paths[f.SourcePath] = true
+	}
+	for _, f := range postB.Objects {
+		paths[f.SourcePath] = true
+	}
+	var sorted []string
+	for p := range paths {
+		sorted = append(sorted, p)
+	}
+	sort.Strings(sorted)
+
+	for _, path := range sorted {
+		preF := preB.Object(path)
+		postF := postB.Object(path)
+		if postF == nil {
+			// Unit deleted: code cannot be removed from a running kernel;
+			// nothing to do unless a function it defined is still called,
+			// in which case the kernel keeps the old code (correct, since
+			// unchanged callers are unchanged).
+			continue
+		}
+		if preF != nil && filesEqual(preF, postF) {
+			continue
+		}
+		uu, err := extractUnit(preF, postF, path)
+		if err != nil {
+			return nil, err
+		}
+		u.Units = append(u.Units, uu)
+	}
+	if len(u.Units) == 0 {
+		return nil, ErrNoChanges
+	}
+	if err := u.Validate(); err != nil {
+		return nil, err
+	}
+	return u, nil
+}
+
+// Section-name categories under FunctionSections/DataSections builds.
+func isStringSection(name string) bool { return strings.HasPrefix(name, ".rodata") }
+func isHookSection(name string) bool   { return strings.HasPrefix(name, ".ksplice.") }
+
+func dataObjectName(secName string) (string, bool) {
+	if n, ok := strings.CutPrefix(secName, obj.DataSectionPrefix); ok {
+		return n, true
+	}
+	if n, ok := strings.CutPrefix(secName, ".bss."); ok {
+		return n, true
+	}
+	return "", false
+}
+
+// relocsEqual compares relocation lists by symbol name rather than index.
+func relocsEqual(a []obj.Reloc, af *obj.File, b []obj.Reloc, bf *obj.File) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		ra, rb := a[i], b[i]
+		if ra.Offset != rb.Offset || ra.Type != rb.Type || ra.Addend != rb.Addend {
+			return false
+		}
+		sa, sb := af.Symbols[ra.Sym], bf.Symbols[rb.Sym]
+		if sa.Name != sb.Name || sa.Local != sb.Local {
+			return false
+		}
+	}
+	return true
+}
+
+func sectionsEqual(a *obj.Section, af *obj.File, b *obj.Section, bf *obj.File) bool {
+	return a.Kind == b.Kind &&
+		a.Align == b.Align &&
+		a.Size == b.Size &&
+		bytes.Equal(a.Data, b.Data) &&
+		relocsEqual(a.Relocs, af, b.Relocs, bf)
+}
+
+// filesEqual reports whether two object files are entirely equivalent.
+func filesEqual(a, b *obj.File) bool {
+	if len(a.Sections) != len(b.Sections) || len(a.Symbols) != len(b.Symbols) {
+		return false
+	}
+	for i := range a.Sections {
+		if a.Sections[i].Name != b.Sections[i].Name ||
+			!sectionsEqual(a.Sections[i], a, b.Sections[i], b) {
+			return false
+		}
+	}
+	for i := range a.Symbols {
+		sa, sb := a.Symbols[i], b.Symbols[i]
+		if sa.Name != sb.Name || sa.Local != sb.Local || sa.Func != sb.Func ||
+			sa.Section != sb.Section || sa.Value != sb.Value || sa.Size != sb.Size {
+			return false
+		}
+	}
+	return true
+}
+
+// extractUnit compares one unit's pre and post objects and builds the
+// primary (replacement) object. preF is nil for units new in post.
+func extractUnit(preF, postF *obj.File, path string) (*UpdateUnit, error) {
+	uu := &UpdateUnit{Path: path, Helper: preF}
+
+	keep := make(map[int]bool)
+	for si, sec := range postF.Sections {
+		switch {
+		case obj.FuncNameOfSection(sec.Name) != "":
+			fname := obj.FuncNameOfSection(sec.Name)
+			var preSec *obj.Section
+			if preF != nil {
+				preSec = preF.Section(sec.Name)
+			}
+			if preSec == nil {
+				keep[si] = true
+				uu.New = append(uu.New, fname)
+				continue
+			}
+			if !sectionsEqual(preSec, preF, sec, postF) {
+				keep[si] = true
+				if ps := preF.Symbol(fname); ps != nil && ps.Func && ps.Defined() {
+					uu.Patched = append(uu.Patched, fname)
+				} else {
+					uu.New = append(uu.New, fname)
+				}
+			}
+		case isHookSection(sec.Name):
+			keep[si] = true
+		case isStringSection(sec.Name):
+			// Included below only if referenced by kept sections.
+		default:
+			name, ok := dataObjectName(sec.Name)
+			if !ok {
+				return nil, fmt.Errorf("core: %s: unclassifiable section %q (pre/post builds must use data sections)", path, sec.Name)
+			}
+			var preSec *obj.Section
+			if preF != nil {
+				preSec = preF.Section(sec.Name)
+				if preSec == nil {
+					// The object may have moved between .data and .bss
+					// (e.g. gaining or losing an initializer); treat that
+					// as a data-semantics change.
+					other := obj.DataSectionPrefix + name
+					if strings.HasPrefix(sec.Name, obj.DataSectionPrefix) {
+						other = ".bss." + name
+					}
+					if preF.Section(other) != nil {
+						uu.DataInitChanges = append(uu.DataInitChanges, name)
+						continue
+					}
+				}
+			}
+			if preSec == nil && (preF == nil || preF.Section(sec.Name) == nil) {
+				keep[si] = true
+				uu.NewData = append(uu.NewData, name)
+				continue
+			}
+			if preSec != nil && !sectionsEqual(preSec, preF, sec, postF) {
+				// Existing data whose initial value changed: the live
+				// kernel keeps its state; flag for custom code.
+				uu.DataInitChanges = append(uu.DataInitChanges, name)
+			}
+		}
+	}
+
+	// Functions removed by the patch (informational; the running kernel
+	// keeps them).
+	if preF != nil {
+		for _, sec := range preF.Sections {
+			if fname := obj.FuncNameOfSection(sec.Name); fname != "" && postF.Section(sec.Name) == nil {
+				uu.Removed = append(uu.Removed, fname)
+			}
+		}
+	}
+
+	// Transitively include referenced read-only string sections: they are
+	// immutable, so duplicating them in the primary module is always safe
+	// and avoids guessing which kernel copy matches.
+	for changed := true; changed; {
+		changed = false
+		for si := range keep {
+			for _, r := range postF.Sections[si].Relocs {
+				sym := postF.Symbols[r.Sym]
+				if sym.Defined() && !keep[sym.Section] && isStringSection(postF.Sections[sym.Section].Name) {
+					keep[sym.Section] = true
+					changed = true
+				}
+			}
+		}
+	}
+
+	prim, err := buildPrimary(postF, keep, path)
+	if err != nil {
+		return nil, err
+	}
+	uu.Primary = prim
+	sort.Strings(uu.Patched)
+	sort.Strings(uu.New)
+	sort.Strings(uu.NewData)
+	sort.Strings(uu.DataInitChanges)
+	sort.Strings(uu.Removed)
+	return uu, nil
+}
+
+// buildPrimary assembles the replacement object from the kept post
+// sections, turning references to everything else into imports —
+// unit-scoped ones for file-local symbols that stay in the kernel.
+func buildPrimary(postF *obj.File, keep map[int]bool, path string) (*obj.File, error) {
+	prim := &obj.File{SourcePath: path, Compiler: postF.Compiler}
+	secMap := map[int]int{}
+	for si, sec := range postF.Sections {
+		if !keep[si] {
+			continue
+		}
+		clone := &obj.Section{
+			Name: sec.Name, Kind: sec.Kind, Align: sec.Align, Size: sec.Size,
+			Data:   append([]byte(nil), sec.Data...),
+			Relocs: append([]obj.Reloc(nil), sec.Relocs...),
+		}
+		secMap[si] = prim.AddSection(clone)
+	}
+
+	// Defined symbols for kept sections.
+	symMap := map[int]int{}
+	for oi, sym := range postF.Symbols {
+		if !sym.Defined() || !keep[sym.Section] {
+			continue
+		}
+		prim.Symbols = append(prim.Symbols, &obj.Symbol{
+			Name: sym.Name, Local: sym.Local, Section: secMap[sym.Section],
+			Value: sym.Value, Size: sym.Size, Func: sym.Func,
+		})
+		symMap[oi] = len(prim.Symbols) - 1
+	}
+
+	// Rewrite relocations.
+	for _, sec := range prim.Sections {
+		for i := range sec.Relocs {
+			oi := sec.Relocs[i].Sym
+			if ni, ok := symMap[oi]; ok {
+				sec.Relocs[i].Sym = ni
+				continue
+			}
+			old := postF.Symbols[oi]
+			name := old.Name
+			if old.Defined() && old.Local {
+				// A file-local symbol that stays in the running kernel:
+				// bind by unit-scoped import, resolved from run-pre
+				// matching (never from the ambiguous global namespace).
+				name = MangleImport(name, path)
+			}
+			sec.Relocs[i].Sym = prim.SymbolIndex(name)
+		}
+	}
+	if err := prim.Validate(); err != nil {
+		return nil, fmt.Errorf("core: building primary for %s: %w", path, err)
+	}
+	return prim, nil
+}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"gosplice/internal/kernel"
+	"gosplice/internal/srctree"
+)
+
+// TestUnresolvableAmbiguousLocalAbortsCleanly covers the one corner where
+// even run-pre matching cannot help: the replacement code references a
+// file-local symbol that no pre code of the unit touches (so nothing is
+// inferred), and the bare name is ambiguous kernel-wide (so the kallsyms
+// fallback must refuse). The only safe outcome is a clean abort with the
+// kernel untouched — guessing between the candidates is exactly the
+// unsafety the paper attributes to source-level systems (section 4.1).
+func TestUnresolvableAmbiguousLocalAbortsCleanly(t *testing.T) {
+	files := kernel.Lib()
+	// Two units each define a static "hidden" that nothing references.
+	files["left.mc"] = `
+static int hidden = 1;
+int left_touch(int x) { return x + 10; }
+`
+	files["right.mc"] = `
+static int hidden = 2;
+int right_probe(void) { return 5; }
+`
+	tree := srctree.New("amb-1.0", files)
+	k := boot(t, tree)
+	if got := len(k.Syms.Lookup("hidden")); got != 2 {
+		t.Fatalf("premise: hidden has %d definitions", got)
+	}
+
+	// The patch makes left_touch reference its unit's hidden for the
+	// first time: the helper's pre code carries no relocation against it,
+	// so run-pre inference is empty for that name.
+	patch := `--- a/left.mc
++++ b/left.mc
+@@ -1,4 +1,4 @@
+
+ static int hidden = 1;
+ int left_touch(int x) {
+-	return x + 10;
++	return x + hidden;
+ }
+`
+	// Normalize the file so the patch context matches.
+	files["left.mc"] = "\nstatic int hidden = 1;\nint left_touch(int x) {\n\treturn x + 10;\n}\n"
+	tree = srctree.New("amb-1.0", files)
+	k = boot(t, tree)
+	m := NewManager(k)
+
+	u, err := CreateUpdate(tree, patch, CreateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The import is unit-scoped in the update...
+	mangled := false
+	for _, sym := range u.Units[0].Primary.Symbols {
+		if strings.Contains(sym.Name, importSep) && strings.HasPrefix(sym.Name, "hidden") {
+			mangled = true
+		}
+	}
+	if !mangled {
+		t.Fatal("premise: hidden not imported with unit scope")
+	}
+
+	// ...but no evidence exists to resolve it, and kallsyms is ambiguous.
+	_, err = m.Apply(u, ApplyOptions{})
+	if err == nil {
+		t.Fatal("apply succeeded despite unresolvable ambiguous local")
+	}
+	if !strings.Contains(err.Error(), "hidden") {
+		t.Errorf("error does not name the symbol: %v", err)
+	}
+	if len(k.Modules()) != 0 {
+		t.Error("module left loaded after aborted update")
+	}
+	// The kernel is untouched.
+	if got, err := k.Call("left_touch", 1); err != nil || got != 11 {
+		t.Errorf("left_touch = %d, %v", got, err)
+	}
+
+	// Contrast: if the name were unique, the kallsyms fallback resolves
+	// it and the same patch applies (TestKallsymsFallbackForUnreferencedLocal).
+}

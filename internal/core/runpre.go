@@ -1,0 +1,338 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sort"
+
+	"gosplice/internal/isa"
+	"gosplice/internal/kernel"
+	"gosplice/internal/obj"
+)
+
+// ErrRunPreMismatch is wrapped by every matching failure: the running
+// code does not correspond to the pre code, so the update must abort
+// (paper section 4.3).
+var ErrRunPreMismatch = errors.New("core: run-pre mismatch")
+
+// MatchResult is the outcome of matching one compilation unit's pre
+// object against the running kernel.
+type MatchResult struct {
+	// Unit is the compilation unit path.
+	Unit string
+	// Vals maps each pre-file symbol name to its recovered run address:
+	// matched function anchors plus every symbol inferred from relocation
+	// sites (S = val + Prun - A for PC-relative, S = val - A for
+	// absolute).
+	Vals map[string]uint32
+	// Anchors maps each matched pre function to the run-code symbol it
+	// matched, carrying the address and extent the safety check needs.
+	Anchors map[string]kernel.Sym
+	// BytesMatched counts pre text bytes verified against run code.
+	BytesMatched int
+}
+
+// inference accumulates symbol values with cross-site consistency
+// checking: the same name inferred at two sites must agree — modulo
+// trampolines. In a previously-patched kernel an unchanged caller still
+// calls the original (trampolined) entry while the patched function
+// itself matches at its replacement address; both are the same symbol, so
+// values are canonicalized by following applied trampolines before
+// comparison (section 5.4).
+type inference struct {
+	vals  map[string]uint32
+	canon func(uint32) uint32
+}
+
+func (inf *inference) canonical(v uint32) uint32 {
+	if inf.canon == nil {
+		return v
+	}
+	return inf.canon(v)
+}
+
+func (inf *inference) record(name string, val uint32) error {
+	val = inf.canonical(val)
+	if prev, ok := inf.vals[name]; ok && prev != val {
+		return fmt.Errorf("%w: symbol %q inferred as both %#x and %#x", ErrRunPreMismatch, name, prev, val)
+	}
+	inf.vals[name] = val
+	return nil
+}
+
+// MatchUnit run-pre matches every function of a pre object file against
+// kernel memory. mem is the machine memory (caller holds the machine
+// lock or the machine is stopped), symtab the running kernel's symbol
+// table. On success the result carries recovered symbol values for the
+// unit; any inconsistency returns an ErrRunPreMismatch-wrapped error.
+// MatchUnit uses identity canonicalization; stacked updates go through
+// MatchUnitCanon.
+func MatchUnit(mem []byte, symtab *kernel.SymTab, preF *obj.File) (*MatchResult, error) {
+	return MatchUnitCanon(mem, symtab, preF, nil)
+}
+
+// MatchUnitCanon is MatchUnit with an address canonicalizer that follows
+// already-applied trampolines, required when matching against a
+// previously-patched kernel.
+func MatchUnitCanon(mem []byte, symtab *kernel.SymTab, preF *obj.File, canon func(uint32) uint32) (*MatchResult, error) {
+	res := &MatchResult{
+		Unit:    preF.SourcePath,
+		Vals:    map[string]uint32{},
+		Anchors: map[string]kernel.Sym{},
+	}
+	inf := &inference{vals: map[string]uint32{}, canon: canon}
+
+	// Match functions in section order. Each must match exactly one
+	// kallsyms candidate of its name.
+	for _, sec := range preF.Sections {
+		fname := obj.FuncNameOfSection(sec.Name)
+		if fname == "" {
+			continue
+		}
+		sym := preF.Symbol(fname)
+		if sym == nil || !sym.Func {
+			return nil, fmt.Errorf("%w: pre object %s has no function symbol for %s", ErrRunPreMismatch, preF.SourcePath, sec.Name)
+		}
+		candidates := symtab.Lookup(fname)
+		var matches []kernel.Sym
+		var failures []string
+		for _, cand := range candidates {
+			if !cand.Func {
+				continue
+			}
+			// Trial-match against a scratch copy of the inference so a
+			// failed candidate leaves no partial state.
+			trial := &inference{vals: map[string]uint32{}, canon: canon}
+			for k, v := range inf.vals {
+				trial.vals[k] = v
+			}
+			n, err := matchFunc(mem, cand.Addr, sec, preF, trial)
+			if err != nil {
+				failures = append(failures, fmt.Sprintf("  candidate %#x (%s): %v", cand.Addr, cand.Owner, err))
+				continue
+			}
+			matches = append(matches, cand)
+			if len(matches) == 1 {
+				inf.vals = trial.vals
+				res.BytesMatched += n
+			}
+		}
+		switch len(matches) {
+		case 0:
+			detail := "no kallsyms candidates"
+			if len(failures) > 0 {
+				detail = "\n" + joinLines(failures)
+			}
+			return nil, fmt.Errorf("%w: function %s of %s does not match the running kernel: %s",
+				ErrRunPreMismatch, fname, preF.SourcePath, detail)
+		case 1:
+			res.Anchors[fname] = matches[0]
+			if err := inf.record(fname, matches[0].Addr); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("%w: function %s of %s matches %d distinct run locations",
+				ErrRunPreMismatch, fname, preF.SourcePath, len(matches))
+		}
+	}
+
+	// Verify inferred read-only data against run memory (immutable, so a
+	// mismatch means the wrong symbol was inferred or the source does not
+	// correspond to the kernel).
+	for _, sym := range preF.Symbols {
+		if !sym.Defined() {
+			continue
+		}
+		sec := preF.Sections[sym.Section]
+		if sec.Kind != obj.ROData || len(sec.Relocs) != 0 {
+			continue
+		}
+		addr, ok := inf.vals[sym.Name]
+		if !ok {
+			continue
+		}
+		lo, hi := int(sym.Value), int(sym.Value+sym.Size)
+		if int(addr)+hi-lo > len(mem) {
+			return nil, fmt.Errorf("%w: rodata %q inferred at %#x outside memory", ErrRunPreMismatch, sym.Name, addr)
+		}
+		if !bytes.Equal(sec.Data[lo:hi], mem[addr:int(addr)+hi-lo]) {
+			return nil, fmt.Errorf("%w: rodata %q at %#x differs from pre contents", ErrRunPreMismatch, sym.Name, addr)
+		}
+	}
+
+	res.Vals = inf.vals
+	return res, nil
+}
+
+func joinLines(lines []string) string {
+	sort.Strings(lines)
+	out := ""
+	for _, l := range lines {
+		out += l + "\n"
+	}
+	return out
+}
+
+// matchFunc walks every byte of one pre function section against run code
+// at runAddr. It returns the number of pre bytes matched.
+//
+// The walk embodies the architecture knowledge of section 4.3: no-op
+// sequences are recognized and skipped independently on both sides, and
+// instruction lengths plus the PC-relative instruction table let the
+// matcher verify that short- and near-encoded branches point at
+// corresponding locations even though their offsets (and lengths) differ.
+func matchFunc(mem []byte, runAddr uint32, sec *obj.Section, preF *obj.File, inf *inference) (int, error) {
+	pre := sec.Data
+	relocAt := map[uint32]obj.Reloc{}
+	for _, r := range sec.Relocs {
+		relocAt[r.Offset] = r
+	}
+
+	// corr maps pre offsets (at instruction boundaries, after no-op
+	// skipping) to run addresses; branch targets must correspond.
+	corr := map[uint32]uint32{}
+	type pend struct{ preOff, runAddr uint32 }
+	var pending []pend
+
+	mismatch := func(p uint32, r uint32, format string, args ...any) error {
+		return fmt.Errorf("%w: at pre+%#x/run %#x: %s", ErrRunPreMismatch, p, r, fmt.Sprintf(format, args...))
+	}
+
+	p := uint32(0)
+	r := runAddr
+	for int(p) < len(pre) {
+		p = uint32(isa.SkipNops(pre, int(p)))
+		if int(p) >= len(pre) {
+			break
+		}
+		if int(r) >= len(mem) {
+			return 0, mismatch(p, r, "run cursor out of memory")
+		}
+		r = uint32(isa.SkipNops(mem, int(r)))
+		corr[p] = r
+
+		preIn, err := isa.Decode(pre, int(p))
+		if err != nil {
+			return 0, mismatch(p, r, "pre decode: %v", err)
+		}
+		runIn, err := isa.Decode(mem, int(r))
+		if err != nil {
+			return 0, mismatch(p, r, "run decode: %v", err)
+		}
+
+		// Relocation inside this pre instruction?
+		var rel *obj.Reloc
+		for off := p; off < p+uint32(preIn.Len); off++ {
+			if rr, ok := relocAt[off]; ok {
+				rel = &rr
+				break
+			}
+		}
+
+		if rel != nil {
+			symName := preF.Symbols[rel.Sym].Name
+			switch rel.Type {
+			case obj.RelAbs32, obj.RelAbs64:
+				if runIn.Op != preIn.Op {
+					return 0, mismatch(p, r, "opcode %s vs run %s at absolute relocation", preIn.Op.Name(), runIn.Op.Name())
+				}
+				fieldOff := rel.Offset - p
+				size := uint32(rel.Type.Size())
+				// All bytes outside the relocated field must agree.
+				for i := uint32(0); i < uint32(preIn.Len); i++ {
+					if i >= fieldOff && i < fieldOff+size {
+						continue
+					}
+					if pre[p+i] != mem[r+i] {
+						return 0, mismatch(p, r, "byte %d differs outside relocation field", i)
+					}
+				}
+				val := readLE(mem, r+fieldOff, int(size))
+				// field = S + A  =>  S = val - A.
+				s := uint32(val) - uint32(rel.Addend)
+				if err := inf.record(symName, s); err != nil {
+					return 0, err
+				}
+				p += uint32(preIn.Len)
+				r += uint32(runIn.Len)
+
+			case obj.RelPC32:
+				// External branch: the pre side is always near-form; the
+				// run side may be near or short.
+				if preIn.Op.Branch() == isa.BranchNone {
+					return 0, mismatch(p, r, "pc32 relocation on non-branch %s", preIn.Op.Name())
+				}
+				if runIn.Op.Branch() != preIn.Op.Branch() {
+					return 0, mismatch(p, r, "branch class %s vs run %s", preIn.Op.Name(), runIn.Op.Name())
+				}
+				if preIn.Op.Branch() == isa.BranchJcc && preIn.CC != runIn.CC {
+					return 0, mismatch(p, r, "condition %s vs run %s", preIn.CC, runIn.CC)
+				}
+				// Pre semantics: target = S + A + 4 (field = S+A-P, target
+				// = P+4+field). So S = run target - A - 4.
+				target := runIn.Target(r)
+				s := target - uint32(rel.Addend) - 4
+				if err := inf.record(symName, s); err != nil {
+					return 0, err
+				}
+				p += uint32(preIn.Len)
+				r += uint32(runIn.Len)
+
+			default:
+				return 0, mismatch(p, r, "unsupported relocation type %s in text", rel.Type)
+			}
+			continue
+		}
+
+		// No relocation: bytes must be identical, or the instructions
+		// must be equivalent branch encodings with corresponding targets.
+		if int(r)+preIn.Len <= len(mem) && bytes.Equal(pre[p:p+uint32(preIn.Len)], mem[r:r+uint32(preIn.Len)]) {
+			p += uint32(preIn.Len)
+			r += uint32(preIn.Len)
+			continue
+		}
+		bc := preIn.Op.Branch()
+		if bc != isa.BranchNone && bc == runIn.Op.Branch() &&
+			(bc != isa.BranchJcc || preIn.CC == runIn.CC) {
+			preTarget := p + uint32(preIn.Len) + uint32(preIn.Rel)
+			runTarget := runIn.Target(r)
+			if int64(preTarget) > int64(len(pre)) {
+				return 0, mismatch(p, r, "pre branch target %#x outside function", preTarget)
+			}
+			if got, ok := corr[preTarget]; ok {
+				if got != runTarget {
+					return 0, mismatch(p, r, "branch targets diverge: pre+%#x is run %#x, branch says %#x", preTarget, got, runTarget)
+				}
+			} else {
+				pending = append(pending, pend{preTarget, runTarget})
+			}
+			p += uint32(preIn.Len)
+			r += uint32(runIn.Len)
+			continue
+		}
+		return 0, mismatch(p, r, "code differs: pre %s vs run %s", preIn, runIn)
+	}
+	// End-of-function correspondence (branches to the function end).
+	corr[uint32(len(pre))] = r
+
+	for _, pd := range pending {
+		got, ok := corr[pd.preOff]
+		if !ok {
+			return 0, fmt.Errorf("%w: branch target pre+%#x is not an instruction boundary", ErrRunPreMismatch, pd.preOff)
+		}
+		if got != pd.runAddr {
+			return 0, fmt.Errorf("%w: forward branch to pre+%#x resolves to run %#x, expected %#x",
+				ErrRunPreMismatch, pd.preOff, got, pd.runAddr)
+		}
+	}
+	return len(pre), nil
+}
+
+func readLE(b []byte, off uint32, n int) uint64 {
+	var v uint64
+	for i := 0; i < n; i++ {
+		v |= uint64(b[off+uint32(i)]) << (8 * i)
+	}
+	return v
+}

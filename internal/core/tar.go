@@ -1,0 +1,172 @@
+package core
+
+import (
+	"archive/tar"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"gosplice/internal/obj"
+)
+
+// The on-disk update format (the "Ksplice update tarball" of section 5):
+// a tar archive containing metadata.json plus one SOF object per unit
+// payload under primary/ and helper/.
+
+type tarMeta struct {
+	Name          string   `json:"name"`
+	KernelVersion string   `json:"kernel_version"`
+	Compiler      string   `json:"compiler"`
+	PatchLines    int      `json:"patch_lines"`
+	PatchText     string   `json:"patch_text,omitempty"`
+	Units         []tmUnit `json:"units"`
+}
+
+type tmUnit struct {
+	Path            string   `json:"path"`
+	Patched         []string `json:"patched,omitempty"`
+	New             []string `json:"new,omitempty"`
+	DataInitChanges []string `json:"data_init_changes,omitempty"`
+	NewData         []string `json:"new_data,omitempty"`
+	Removed         []string `json:"removed,omitempty"`
+	HasHelper       bool     `json:"has_helper"`
+}
+
+// unitFileName flattens a unit path for use as an archive member name.
+func unitFileName(path string) string {
+	return strings.ReplaceAll(path, "/", "__") + ".sof"
+}
+
+// WriteTar serializes the update as a tarball.
+func (u *Update) WriteTar(w io.Writer) error {
+	tw := tar.NewWriter(w)
+	meta := tarMeta{
+		Name:          u.Name,
+		KernelVersion: u.KernelVersion,
+		Compiler:      u.Compiler,
+		PatchLines:    u.PatchLines,
+		PatchText:     u.PatchText,
+	}
+	for _, uu := range u.Units {
+		meta.Units = append(meta.Units, tmUnit{
+			Path: uu.Path, Patched: uu.Patched, New: uu.New,
+			DataInitChanges: uu.DataInitChanges, NewData: uu.NewData,
+			Removed: uu.Removed, HasHelper: uu.Helper != nil,
+		})
+	}
+	mb, err := json.MarshalIndent(&meta, "", "  ")
+	if err != nil {
+		return err
+	}
+	add := func(name string, body []byte) error {
+		hdr := &tar.Header{
+			Name: name, Mode: 0o644, Size: int64(len(body)),
+			ModTime: time.Unix(0, 0), // reproducible archives
+		}
+		if err := tw.WriteHeader(hdr); err != nil {
+			return err
+		}
+		_, err := tw.Write(body)
+		return err
+	}
+	if err := add("metadata.json", mb); err != nil {
+		return err
+	}
+	for _, uu := range u.Units {
+		var buf bytes.Buffer
+		if err := uu.Primary.Write(&buf); err != nil {
+			return err
+		}
+		if err := add("primary/"+unitFileName(uu.Path), buf.Bytes()); err != nil {
+			return err
+		}
+		if uu.Helper != nil {
+			buf.Reset()
+			if err := uu.Helper.Write(&buf); err != nil {
+				return err
+			}
+			if err := add("helper/"+unitFileName(uu.Path), buf.Bytes()); err != nil {
+				return err
+			}
+		}
+	}
+	return tw.Close()
+}
+
+// ReadTar deserializes an update tarball and validates it.
+func ReadTar(r io.Reader) (*Update, error) {
+	tr := tar.NewReader(r)
+	var meta *tarMeta
+	primaries := map[string]*obj.File{}
+	helpers := map[string]*obj.File{}
+	for {
+		hdr, err := tr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("core: reading update tar: %w", err)
+		}
+		switch {
+		case hdr.Name == "metadata.json":
+			meta = &tarMeta{}
+			dec := json.NewDecoder(tr)
+			if err := dec.Decode(meta); err != nil {
+				return nil, fmt.Errorf("core: update metadata: %w", err)
+			}
+		case strings.HasPrefix(hdr.Name, "primary/"):
+			f, err := obj.Read(tr)
+			if err != nil {
+				return nil, fmt.Errorf("core: update member %s: %w", hdr.Name, err)
+			}
+			primaries[strings.TrimPrefix(hdr.Name, "primary/")] = f
+		case strings.HasPrefix(hdr.Name, "helper/"):
+			f, err := obj.Read(tr)
+			if err != nil {
+				return nil, fmt.Errorf("core: update member %s: %w", hdr.Name, err)
+			}
+			helpers[strings.TrimPrefix(hdr.Name, "helper/")] = f
+		default:
+			return nil, fmt.Errorf("core: unexpected update member %q", hdr.Name)
+		}
+	}
+	if meta == nil {
+		return nil, fmt.Errorf("core: update tar has no metadata.json")
+	}
+	u := &Update{
+		Name:          meta.Name,
+		KernelVersion: meta.KernelVersion,
+		Compiler:      meta.Compiler,
+		PatchLines:    meta.PatchLines,
+		PatchText:     meta.PatchText,
+	}
+	sort.SliceStable(meta.Units, func(i, j int) bool { return meta.Units[i].Path < meta.Units[j].Path })
+	for _, mu := range meta.Units {
+		fn := unitFileName(mu.Path)
+		prim, ok := primaries[fn]
+		if !ok {
+			return nil, fmt.Errorf("core: update missing primary object for %s", mu.Path)
+		}
+		uu := &UpdateUnit{
+			Path: mu.Path, Patched: mu.Patched, New: mu.New,
+			DataInitChanges: mu.DataInitChanges, NewData: mu.NewData,
+			Removed: mu.Removed, Primary: prim,
+		}
+		if mu.HasHelper {
+			helper, ok := helpers[fn]
+			if !ok {
+				return nil, fmt.Errorf("core: update missing helper object for %s", mu.Path)
+			}
+			uu.Helper = helper
+		}
+		u.Units = append(u.Units, uu)
+	}
+	if err := u.Validate(); err != nil {
+		return nil, err
+	}
+	return u, nil
+}

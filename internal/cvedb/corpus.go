@@ -1,0 +1,118 @@
+package cvedb
+
+import "fmt"
+
+// genSpec describes one generated corpus entry.
+type genSpec struct {
+	family   string
+	dir      string
+	target   int  // patch LoC (Figure 3 calibration)
+	flag     bool // family-specific: ambiguous (sign) or explicit inline
+	secret   int64
+	descTail string
+}
+
+// generatedSpecs lists the 51 formulaic entries. Together with the 13
+// hand-written specials the patch-length histogram reproduces Figure 3:
+// 35 patches of <=5 lines, 53 of <=15, and a tail reaching past 80.
+var generatedSpecs = []genSpec{
+	// Signedness confusions (9, privilege escalation; the first 4 touch
+	// functions referencing an ambiguous static "debug").
+	{family: "sign", dir: "drivers", target: 1, flag: true, descTail: "tape ioctl"},
+	{family: "sign", dir: "drivers", target: 1, flag: true, descTail: "fb blit"},
+	{family: "sign", dir: "ipc", target: 2, flag: true, descTail: "msg queue"},
+	{family: "sign", dir: "ipc", target: 2, flag: true, descTail: "sem array"},
+	{family: "sign", dir: "drivers", target: 3, descTail: "cdrom slot"},
+	{family: "sign", dir: "ipc", target: 4, descTail: "shm segment"},
+	{family: "sign", dir: "drivers", target: 5, descTail: "serial port"},
+	{family: "sign", dir: "ipc", target: 6, descTail: "mq attr"},
+	{family: "sign", dir: "drivers", target: 7, descTail: "md ioctl"},
+
+	// Inlined-validator information leaks (10; the first 2 say `inline`).
+	{family: "inlineLeak", dir: "fs", target: 1, flag: true, descTail: "dentry cache"},
+	{family: "inlineLeak", dir: "fs", target: 2, flag: true, descTail: "readdir offset"},
+	{family: "inlineLeak", dir: "fs", target: 2, descTail: "xattr name"},
+	{family: "inlineLeak", dir: "fs", target: 3, descTail: "inode table"},
+	{family: "inlineLeak", dir: "fs", target: 3, descTail: "quota record"},
+	{family: "inlineLeak", dir: "fs", target: 4, descTail: "mount options"},
+	{family: "inlineLeak", dir: "fs", target: 5, descTail: "fiemap extent"},
+	{family: "inlineLeak", dir: "fs", target: 8, descTail: "journal head"},
+	{family: "inlineLeak", dir: "fs", target: 11, descTail: "bio vec"},
+	{family: "inlineLeak", dir: "fs", target: 16, descTail: "nfs handle"},
+
+	// Inlined-validator escalations (10; the first 2 say `inline`).
+	{family: "inlinePriv", dir: "kernel", target: 1, flag: true, descTail: "cred check"},
+	{family: "inlinePriv", dir: "kernel", target: 2, flag: true, descTail: "ptrace attach"},
+	{family: "inlinePriv", dir: "kernel", target: 3, descTail: "nice clamp"},
+	{family: "inlinePriv", dir: "mm", target: 3, descTail: "mmap prot"},
+	{family: "inlinePriv", dir: "kernel", target: 4, descTail: "signal perm"},
+	{family: "inlinePriv", dir: "mm", target: 4, descTail: "mlock limit"},
+	{family: "inlinePriv", dir: "kernel", target: 5, descTail: "keyctl perm"},
+	{family: "inlinePriv", dir: "mm", target: 9, descTail: "brk range"},
+	{family: "inlinePriv", dir: "kernel", target: 12, descTail: "capset mask"},
+	{family: "inlinePriv", dir: "mm", target: 24, descTail: "remap pfn"},
+
+	// Missing bounds checks (8, information disclosure).
+	{family: "bounds", dir: "net", target: 3, descTail: "route metrics"},
+	{family: "bounds", dir: "net", target: 4, descTail: "socket option"},
+	{family: "bounds", dir: "drivers", target: 5, descTail: "v4l tuner"},
+	{family: "bounds", dir: "net", target: 6, descTail: "netlink attr"},
+	{family: "bounds", dir: "drivers", target: 7, descTail: "isdn channel"},
+	{family: "bounds", dir: "net", target: 13, descTail: "ip options"},
+	{family: "bounds", dir: "net", target: 27, descTail: "sctp chunk"},
+	{family: "bounds", dir: "drivers", target: 58, descTail: "dvb frontend"},
+
+	// Missing permission checks (8, privilege escalation).
+	{family: "perm", dir: "net", target: 3, descTail: "bridge ioctl"},
+	{family: "perm", dir: "sound", target: 4, descTail: "mixer ioctl"},
+	{family: "perm", dir: "net", target: 5, descTail: "tun create"},
+	{family: "perm", dir: "sound", target: 8, descTail: "rawmidi ioctl"},
+	{family: "perm", dir: "net", target: 9, descTail: "packet bind"},
+	{family: "perm", dir: "sound", target: 14, descTail: "pcm hw params"},
+	{family: "perm", dir: "net", target: 18, descTail: "qdisc change"},
+	{family: "perm", dir: "net", target: 37, descTail: "xfrm policy"},
+
+	// Integer overflows in size calculations (6, privilege escalation).
+	{family: "overflow", dir: "mm", target: 6, descTail: "shm size"},
+	{family: "overflow", dir: "mm", target: 6, descTail: "ipc buffer"},
+	{family: "overflow", dir: "mm", target: 10, descTail: "pipe buffer"},
+	{family: "overflow", dir: "mm", target: 15, descTail: "msgrcv size"},
+	{family: "overflow", dir: "mm", target: 20, descTail: "readv vector"},
+	{family: "overflow", dir: "mm", target: 42, descTail: "sendfile count"},
+}
+
+// buildCorpus assembles all 64 entries and assigns kernel versions
+// round-robin (like the paper, each patch is evaluated against one
+// concrete release).
+func buildCorpus() []*CVE {
+	out := specialCVEs()
+
+	years := []int{2005, 2006, 2007, 2008}
+	for i, spec := range generatedSpecs {
+		id := fmt.Sprintf("CVE-%d-%04d", years[i%4], 4800+i)
+		desc := spec.descTail
+		var c *CVE
+		switch spec.family {
+		case "sign":
+			c = signCVE(id, spec.dir, desc+" signedness confusion", spec.target, spec.flag)
+		case "inlineLeak":
+			c = inlineCVE(id, spec.dir, desc+" validator leak", spec.target, true, spec.flag)
+		case "inlinePriv":
+			c = inlineCVE(id, spec.dir, desc+" validator escalation", spec.target, false, spec.flag)
+		case "bounds":
+			c = boundsCVE(id, spec.dir, desc+" missing bounds check", 95000+int64(i), spec.target)
+		case "perm":
+			c = permCVE(id, spec.dir, desc+" missing capability check", spec.target)
+		case "overflow":
+			c = overflowCVE(id, spec.dir, desc+" size calculation overflow", spec.target)
+		default:
+			panic("cvedb: unknown family " + spec.family)
+		}
+		out = append(out, c)
+	}
+
+	for i, c := range out {
+		c.Version = Versions[i%len(Versions)]
+	}
+	return out
+}

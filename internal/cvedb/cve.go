@@ -1,0 +1,219 @@
+package cvedb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"gosplice/internal/diffutil"
+	"gosplice/internal/srctree"
+)
+
+// Class is a vulnerability consequence class.
+type Class int
+
+const (
+	// PrivEsc: privilege escalation (about two-thirds of the corpus).
+	PrivEsc Class = iota
+	// InfoLeak: information disclosure (about one-third).
+	InfoLeak
+)
+
+func (c Class) String() string {
+	if c == PrivEsc {
+		return "privilege escalation"
+	}
+	return "information disclosure"
+}
+
+// Probe describes the behavioural check for one vulnerability: calling
+// Entry with Args returns VulnResult on an unpatched kernel and
+// FixedResult after the fix is live.
+type Probe struct {
+	Entry       string
+	Args        []int64
+	VulnResult  int64
+	FixedResult int64
+	// UID runs the probe task with this credential (default 0).
+	UID int
+}
+
+// Exploit describes a user-space exploit program (present for the four
+// vulnerabilities the paper verified with public exploit code).
+type Exploit struct {
+	// Entry is the user program's entry function (reached via syscalls).
+	Entry string
+	// UID is the unprivileged credential the exploit starts with.
+	UID int
+	// WantVuln is the exploit's exit value on a vulnerable kernel.
+	WantVuln int64
+	// WantFixed is its exit value once the update is applied.
+	WantFixed int64
+	// EscalatesTo, if non-negative, is the UID the task holds after a
+	// successful exploit (checked pre-update, and checked NOT to happen
+	// post-update).
+	EscalatesTo int
+}
+
+// CVE is one corpus entry.
+type CVE struct {
+	// ID is the CVE identifier (real identifiers where the paper names
+	// them; era-plausible synthetic ones otherwise).
+	ID string
+	// Desc is a one-line description.
+	Desc string
+	// Class is the consequence class.
+	Class Class
+	// Version is the kernel release the vulnerability is evaluated on.
+	Version string
+
+	// Files holds the vulnerable source files this CVE contributes to the
+	// base tree; Fixed holds their fixed contents — for the Table 1
+	// patches this includes the programmer's custom ksplice hooks. The
+	// hot-update patch is the diff between Files and Fixed.
+	Files map[string]string
+	Fixed map[string]string
+	// FixedPlain, when non-nil, is the fix as originally published —
+	// without the hot-update custom code. Figure 3 measures this patch;
+	// nil means the plain and hot patches coincide.
+	FixedPlain map[string]string
+	// InitFn names an initialization function kinit must call at boot.
+	InitFn string
+
+	// Probe verifies the behaviour flip.
+	Probe Probe
+	// Exploit is non-nil for the exploit-verified four.
+	Exploit *Exploit
+
+	// DataSemantics marks the Table 1 patches: the fix changes the
+	// semantics of persistent data structures, so applying it as a hot
+	// update needs programmer-written custom code (shipped inside the
+	// patch as ksplice_* hooks).
+	DataSemantics bool
+	// Table1Reason is "changes data init" or "adds field to struct".
+	Table1Reason string
+	// CustomCode is the new code the programmer wrote (hook bodies); its
+	// logical-line count is NewCodeLines().
+	CustomCode string
+
+	// InlineVictim: the patch modifies a function that is inlined
+	// somewhere in the running kernel.
+	InlineVictim bool
+	// ExplicitInline: the modified function is declared `inline`.
+	ExplicitInline bool
+	// AmbiguousSym: the patch modifies a function that references a
+	// symbol whose name appears more than once in the kernel.
+	AmbiguousSym bool
+
+	// TargetLoC is the calibrated patch length (changed lines).
+	TargetLoC int
+}
+
+// NewCodeLines counts the logical (semicolon-terminated) lines of the
+// custom code, the metric of Table 1.
+func (c *CVE) NewCodeLines() int {
+	return strings.Count(c.CustomCode, ";")
+}
+
+// Patch renders the fix as a unified diff against the vulnerable tree.
+func (c *CVE) Patch() string {
+	merged := map[string]string{}
+	for p, s := range c.Files {
+		merged[p] = s
+	}
+	for p, s := range c.Fixed {
+		merged[p] = s
+	}
+	return diffutil.DiffTrees(c.Files, merged)
+}
+
+// PlainPatch renders the fix as originally published (no hot-update
+// custom code) — the patch Figure 3 measures.
+func (c *CVE) PlainPatch() string {
+	fixed := c.FixedPlain
+	if fixed == nil {
+		fixed = c.Fixed
+	}
+	merged := map[string]string{}
+	for p, s := range c.Files {
+		merged[p] = s
+	}
+	for p, s := range fixed {
+		merged[p] = s
+	}
+	return diffutil.DiffTrees(c.Files, merged)
+}
+
+// PatchLoC is the changed-line count of the plain patch (the Figure 3
+// metric).
+func (c *CVE) PatchLoC() int {
+	p, err := diffutil.ParsePatch(c.PlainPatch())
+	if err != nil {
+		panic(fmt.Sprintf("cvedb: %s: %v", c.ID, err))
+	}
+	return p.ChangedLines()
+}
+
+// Versions lists the kernel releases the corpus is evaluated on. Like the
+// paper's mix of Debian and kernel.org releases, several bases are used;
+// each CVE names the one it is tested against.
+var Versions = []string{
+	"sim-2.6.9-deb",
+	"sim-2.6.16-deb",
+	"sim-2.6.20-deb",
+	"sim-2.6.24-vanilla",
+}
+
+// All returns the 64-entry corpus, ordered by ID.
+func All() []*CVE {
+	corpus := buildCorpus()
+	sort.Slice(corpus, func(i, j int) bool { return corpus[i].ID < corpus[j].ID })
+	if len(corpus) != 64 {
+		panic(fmt.Sprintf("cvedb: corpus has %d entries, want 64", len(corpus)))
+	}
+	return corpus
+}
+
+// ByID returns one corpus entry.
+func ByID(id string) (*CVE, bool) {
+	for _, c := range All() {
+		if c.ID == id {
+			return c, true
+		}
+	}
+	return nil, false
+}
+
+// ForVersion filters the corpus by kernel release.
+func ForVersion(version string) []*CVE {
+	var out []*CVE
+	for _, c := range All() {
+		if c.Version == version {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Tree builds the vulnerable kernel source tree for a release: the shared
+// runtime plus every corpus file. All releases share subsystem content
+// (the corpus is a single population; the paper likewise tested each
+// patch on whichever release it applied to).
+func Tree(version string) *srctree.Tree {
+	files := baseFiles()
+	for _, c := range All() {
+		for p, s := range c.Files {
+			if _, dup := files[p]; dup {
+				panic("cvedb: duplicate corpus file " + p)
+			}
+			files[p] = s
+		}
+	}
+	return srctree.New(version, files)
+}
+
+// FixedTree builds the tree with one CVE's fix applied (for tests that
+// need the post state directly).
+func FixedTree(version string, c *CVE) (*srctree.Tree, error) {
+	return Tree(version).Patch(c.Patch())
+}

@@ -1,0 +1,39 @@
+// Package cvedb provides the synthetic vulnerability corpus the
+// evaluation runs against: a multi-subsystem MiniC kernel source tree
+// containing 64 security vulnerabilities, each with its fix as a unified
+// diff, modelled on the paper's population of significant x86-32 Linux
+// kernel vulnerabilities from May 2005 to May 2008.
+//
+// The real corpus is not reproducible offline (it needs 2005-2008 Debian
+// kernel binaries, the era's gcc/binutils, and the CVE patches), so this
+// package substitutes a calibrated synthetic population whose *structure*
+// matches what the paper reports:
+//
+//   - 64 vulnerabilities; 56 fixable with no new code, 8 requiring
+//     custom code because they change data-structure semantics (Table 1,
+//     same CVE identifiers, same reasons, same new-code line counts).
+//   - The patch-length histogram of Figure 3 (35 patches of at most 5
+//     changed lines, 53 of at most 15, a long tail past 80).
+//   - About two-thirds privilege escalation, one-third information
+//     disclosure (43 / 21).
+//   - 20 patches modify a function that the compiler inlines somewhere
+//     even though only 4 of the 64 say `inline` in the source.
+//   - 5 patches modify a function that references a symbol whose name is
+//     ambiguous kernel-wide (the "debug"/"notesize" situation).
+//   - 4 vulnerabilities carry working exploit programs (the paper
+//     verified CVE-2006-2451, CVE-2006-3626, CVE-2007-4573 and
+//     CVE-2008-0600); one of those, CVE-2007-4573, lives in a pure
+//     assembly file.
+//
+// Every vulnerability also carries a behavioural probe: a kernel function
+// whose result differs between the vulnerable and fixed kernels, so the
+// evaluation can verify each hot update actually changed behaviour — a
+// stronger check than the paper's, which only had exploit code for four.
+//
+// Vulnerability families (the flaw archetypes of the era's CVE list):
+// missing bounds checks on array reads (information disclosure), missing
+// permission checks before privileged operations (escalation), signedness
+// confusions admitting negative indices, integer overflows in size
+// calculations, and too-permissive validation helpers that the compiler
+// inlines into their callers.
+package cvedb

@@ -1,0 +1,325 @@
+package cvedb
+
+import (
+	"fmt"
+	"strings"
+)
+
+// mangle turns a CVE identifier into the C identifier prefix used by its
+// kernel code: "CVE-2006-1056" -> "c2006_1056".
+func mangle(id string) string {
+	s := strings.TrimPrefix(id, "CVE-")
+	return "c" + strings.ReplaceAll(s, "-", "_")
+}
+
+// statsBlock generates the padding function: `pad` accumulator lines that
+// the fixed version rewrites in-place for `changed` of them. This is how
+// the corpus calibrates each patch to its Figure 3 length without
+// touching the vulnerability logic: real patches likewise carry hunks
+// beyond the security-critical line.
+func statsBlock(n string, pad, changed int) (vuln, fixed string) {
+	if pad == 0 {
+		return "", ""
+	}
+	var v, f strings.Builder
+	head := fmt.Sprintf("\nint %s_stats(int x) {\n\tint acc = x;\n", n)
+	v.WriteString(head)
+	f.WriteString(head)
+	for i := 0; i < pad; i++ {
+		fmt.Fprintf(&v, "\tacc += %d;\n", 100+i)
+		if i < changed {
+			fmt.Fprintf(&f, "\tacc += %d;\n", 9000+i)
+		} else {
+			fmt.Fprintf(&f, "\tacc += %d;\n", 100+i)
+		}
+	}
+	v.WriteString("\treturn acc;\n}\n")
+	f.WriteString("\treturn acc;\n}\n")
+	return v.String(), f.String()
+}
+
+// withStats appends the padding function pair to a vulnerable/fixed file
+// pair.
+func withStats(n, vuln, fixed string, pad int) (string, string) {
+	sv, sf := statsBlock(n, pad, pad)
+	return vuln + sv, fixed + sf
+}
+
+// boundsCVE: information disclosure through a missing array bounds check.
+// The secret global sits immediately after the table in the kernel's
+// .data, so reading one element past the end leaks it. Fix adds 3 lines.
+func boundsCVE(id, dir, desc string, secret int64, target int) *CVE {
+	n := mangle(id)
+	path := fmt.Sprintf("%s/%s.mc", dir, n)
+	// io_pending is deliberately named identically across every driver of
+	// this family, feeding the kernel-wide ambiguous-name census the way
+	// Linux's many per-file "debug"/"state" statics do.
+	decl := fmt.Sprintf(`// %s
+static int %s_data[8] = {11, 12, 13, 14, 15, 16, 17, 18};
+static int %s_secret = %d;
+static int io_pending;
+
+int %s_flush(void) {
+	int v = io_pending;
+	io_pending = 0;
+	return v;
+}
+
+`, id, n, n, secret, n)
+	vulnRead := fmt.Sprintf(`int %s_read(int idx) {
+	return %s_data[idx];
+}
+
+int %s_probe(void) {
+	return %s_read(8);
+}
+`, n, n, n, n)
+	fixedRead := fmt.Sprintf(`int %s_read(int idx) {
+	if (idx < 0 || idx >= 8) {
+		return -1;
+	}
+	return %s_data[idx];
+}
+
+int %s_probe(void) {
+	return %s_read(8);
+}
+`, n, n, n, n)
+	vuln, fixed := withStats(n, decl+vulnRead, decl+fixedRead, target-3)
+	return &CVE{
+		ID: id, Desc: desc, Class: InfoLeak, TargetLoC: target,
+		Files: map[string]string{path: vuln},
+		Fixed: map[string]string{path: fixed},
+		Probe: Probe{Entry: n + "_probe", VulnResult: secret, FixedResult: -1},
+	}
+}
+
+// permCVE: privilege escalation through a missing capability check on an
+// ioctl-style entry point. Fix adds 3 lines.
+func permCVE(id, dir, desc string, target int) *CVE {
+	n := mangle(id)
+	path := fmt.Sprintf("%s/%s.mc", dir, n)
+	common := fmt.Sprintf(`// %s
+#include "klib.h"
+#include "include/perm.h"
+static int %s_mode = 0;
+
+`, id, n)
+	vulnBody := fmt.Sprintf(`int %s_ioctl(int cmd, int arg) {
+	if (cmd == 7) {
+		set_uid(arg);
+		return 0;
+	}
+	if (cmd == 1) {
+		%s_mode = arg;
+		return 0;
+	}
+	return -1;
+}
+`, n, n)
+	fixedBody := fmt.Sprintf(`int %s_ioctl(int cmd, int arg) {
+	if (cmd == 7 && !capable(current_uid())) {
+		return -1;
+	}
+	if (cmd == 7) {
+		set_uid(arg);
+		return 0;
+	}
+	if (cmd == 1) {
+		%s_mode = arg;
+		return 0;
+	}
+	return -1;
+}
+`, n, n)
+	probe := fmt.Sprintf(`
+int %s_probe(void) {
+	int r = %s_ioctl(7, 0);
+	if (r != 0) {
+		return -1;
+	}
+	return current_uid();
+}
+`, n, n)
+	vuln, fixed := withStats(n, common+vulnBody+probe, common+fixedBody+probe, target-3)
+	return &CVE{
+		ID: id, Desc: desc, Class: PrivEsc, TargetLoC: target,
+		Files: map[string]string{path: vuln},
+		Fixed: map[string]string{path: fixed},
+		Probe: Probe{Entry: n + "_probe", UID: 1000, VulnResult: 0, FixedResult: -1},
+	}
+}
+
+// signCVE: privilege escalation through a signedness confusion — the
+// bound check admits negative offsets, letting a store clobber the flag
+// word placed just below the buffer. One changed line. The ambiguous
+// variant makes the patched function reference a file-static named
+// "debug" that another file also defines (the section 4.1 situation).
+func signCVE(id, dir, desc string, target int, ambiguous bool) *CVE {
+	n := mangle(id)
+	path := fmt.Sprintf("%s/%s.mc", dir, n)
+	debugDecl, debugUse, sibling := "", "", map[string]string(nil)
+	extra := int64(0)
+	if ambiguous {
+		debugDecl = "static int debug = 3;\n"
+		debugUse = " + debug"
+		extra = 3
+		sibPath := fmt.Sprintf("%s/%s_hw.mc", dir, n)
+		sibling = map[string]string{sibPath: fmt.Sprintf(
+			"// %s sibling driver\nstatic int debug = 8;\nint %s_hw_status(void) { return debug + 40; }\n", id, n)}
+	}
+	mk := func(check string) string {
+		return fmt.Sprintf(`// %s
+%sstatic int %s_flag;
+static int %s_buf[32];
+
+int %s_store(int off, int val) {
+	if (%s) {
+		return -1;
+	}
+	%s_buf[off] = val%s;
+	return 0;
+}
+
+int %s_probe(void) {
+	%s_flag = 0;
+	%s_store(-1, 77);
+	return %s_flag;
+}
+`, id, debugDecl, n, n, n, check, n, debugUse, n, n, n, n)
+	}
+	vuln, fixed := withStats(n, mk("off > 31"), mk("off < 0 || off > 31"), target-1)
+	files := map[string]string{path: vuln}
+	fixedFiles := map[string]string{path: fixed}
+	for p, s := range sibling {
+		files[p] = s
+	}
+	return &CVE{
+		ID: id, Desc: desc, Class: PrivEsc, TargetLoC: target, AmbiguousSym: ambiguous,
+		Files: files,
+		Fixed: fixedFiles,
+		Probe: Probe{Entry: n + "_probe", VulnResult: 77 + extra, FixedResult: 0},
+	}
+}
+
+// overflowCVE: privilege escalation through a 32-bit multiply overflow in
+// a size calculation. Fix adds 3 lines.
+func overflowCVE(id, dir, desc string, target int) *CVE {
+	n := mangle(id)
+	path := fmt.Sprintf("%s/%s.mc", dir, n)
+	mk := func(guard string) string {
+		return fmt.Sprintf(`// %s
+static int %s_gate;
+
+int %s_resize(int count) {
+%s	int bytes = count * 4;
+	if (bytes > 128) {
+		return -1;
+	}
+	if (count) {
+		%s_gate = 1;
+	}
+	return bytes;
+}
+
+int %s_probe(void) {
+	%s_gate = 0;
+	int r = %s_resize(0x40000000);
+	if (%s_gate) {
+		return 1;
+	}
+	return r;
+}
+`, id, n, n, guard, n, n, n, n, n)
+	}
+	guard := "\tif (count < 0 || count > 32) {\n\t\treturn -1;\n\t}\n"
+	vuln, fixed := withStats(n, mk(""), mk(guard), target-3)
+	return &CVE{
+		ID: id, Desc: desc, Class: PrivEsc, TargetLoC: target,
+		Files: map[string]string{path: vuln},
+		Fixed: map[string]string{path: fixed},
+		Probe: Probe{Entry: n + "_probe", VulnResult: 1, FixedResult: -1},
+	}
+}
+
+// inlineCVE: the vulnerable logic is a one-line validation helper that
+// the compiler inlines into its callers regardless of the `inline`
+// keyword. Patching it therefore requires replacing the callers — the
+// section 4.2 safety case. leak selects the information-disclosure
+// variant (negative index read) versus the escalation variant (unchecked
+// uid). One changed line.
+func inlineCVE(id, dir, desc string, target int, leak, explicit bool) *CVE {
+	n := mangle(id)
+	path := fmt.Sprintf("%s/%s.mc", dir, n)
+	kw := ""
+	if explicit {
+		kw = "inline "
+	}
+	var mk func(helper string) string
+	var probe Probe
+	if leak {
+		secret := int64(93000 + len(id))
+		mk = func(helper string) string {
+			return fmt.Sprintf(`// %s
+static int %s_secret = %d;
+static int %s_data[16] = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16};
+
+static %sint %s_valid(int idx) { return %s; }
+
+int %s_get(int idx) {
+	if (!%s_valid(idx)) {
+		return -1;
+	}
+	return %s_data[idx];
+}
+
+int %s_probe(void) {
+	return %s_get(-1);
+}
+`, id, n, secret, n, kw, n, helper, n, n, n, n, n)
+		}
+		probe = Probe{Entry: n + "_probe", VulnResult: secret, FixedResult: -1}
+	} else {
+		mk = func(helper string) string {
+			return fmt.Sprintf(`// %s
+#include "klib.h"
+
+static %sint %s_okuid(int u) { return %s; }
+
+int %s_setcred(int u) {
+	if (!%s_okuid(u)) {
+		return -1;
+	}
+	set_uid(u);
+	return 0;
+}
+
+int %s_probe(void) {
+	int r = %s_setcred(0);
+	if (r != 0) {
+		return -1;
+	}
+	return current_uid();
+}
+`, id, kw, n, helper, n, n, n, n)
+		}
+		probe = Probe{Entry: n + "_probe", UID: 1000, VulnResult: 0, FixedResult: -1}
+	}
+	var vuln, fixed string
+	if leak {
+		vuln, fixed = withStats(n, mk("idx < 16"), mk("idx >= 0 && idx < 16"), target-1)
+	} else {
+		vuln, fixed = withStats(n, mk("u >= 0"), mk("u >= 1000"), target-1)
+	}
+	class := PrivEsc
+	if leak {
+		class = InfoLeak
+	}
+	return &CVE{
+		ID: id, Desc: desc, Class: class, TargetLoC: target,
+		InlineVictim: true, ExplicitInline: explicit,
+		Files: map[string]string{path: vuln},
+		Fixed: map[string]string{path: fixed},
+		Probe: probe,
+	}
+}

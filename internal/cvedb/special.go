@@ -1,0 +1,544 @@
+package cvedb
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Syscall numbers wired into the corpus kernel's sys_call_table for the
+// exploit-verified vulnerabilities.
+const (
+	sysPrctl      = 10
+	sysCoredump   = 11
+	sysProcset    = 12
+	sysVmsplice   = 13
+	sysCompatRead = 14
+)
+
+// fillerAudit emits n filler normalization statements ("audit" lines)
+// used to give hook bodies the exact logical-line counts Table 1 reports.
+func fillerAudit(n string, count int) string {
+	var sb strings.Builder
+	for j := 0; j < count; j++ {
+		fmt.Fprintf(&sb, "\t%s_audit = %s_audit + %d;\n", n, n, j+1)
+	}
+	return sb.String()
+}
+
+// dataInitCVE builds a "changes data init" Table 1 entry: an init
+// function (or declaration) establishes insecure values at boot; the
+// published fix changes the initialization; the hot-update fix adds
+// programmer-written hooks that repair the live instances.
+//
+// decl selects the declaration-initializer variant (the paper notes a few
+// patches change the C variable declaration; most modify an init
+// function). hookSemis is the Table 1 "new code" line count.
+func dataInitCVE(id, dir, desc string, class Class, target, hookSemis int, decl bool) *CVE {
+	n := mangle(id)
+	path := fmt.Sprintf("%s/%s.mc", dir, n)
+
+	if decl {
+		// Declaration variant: a limit constant that is too permissive.
+		mk := func(maxInit string) string {
+			return fmt.Sprintf(`// %s
+int %s_max = %s;
+static int %s_store[16];
+static int %s_flag;
+
+int %s_write(int off, int v) {
+	if (off < 0 || off >= %s_max) {
+		return -1;
+	}
+	%s_store[off] = v;
+	return 0;
+}
+
+int %s_probe(void) {
+	%s_flag = 0;
+	%s_write(16, 55);
+	return %s_flag;
+}
+`, id, n, maxInit, n, n, n, n, n, n, n, n, n)
+		}
+		vuln, plainFixed := withStats(n, mk("64"), mk("16"), target-1)
+		custom := fmt.Sprintf("\nvoid %s_fixup(void) {\n\t%s_max = 16;\n}\n", n, n)
+		hot := plainFixed + custom + fmt.Sprintf("ksplice_apply(%s_fixup);\n", n)
+		c := &CVE{
+			ID: id, Desc: desc, Class: class, TargetLoC: target,
+			DataSemantics: true, Table1Reason: "changes data init",
+			CustomCode: custom,
+			Files:      map[string]string{path: vuln},
+			Fixed:      map[string]string{path: hot},
+			FixedPlain: map[string]string{path: plainFixed},
+			Probe:      Probe{Entry: n + "_probe", VulnResult: 55, FixedResult: 0},
+		}
+		if got := c.NewCodeLines(); got != hookSemis {
+			panic(fmt.Sprintf("cvedb: %s custom code has %d lines, want %d", id, got, hookSemis))
+		}
+		return c
+	}
+
+	// Init-function variant: boot-time initialization leaves stale
+	// (leaking) state enabled.
+	mk := func(v0, v1, open string) string {
+		return fmt.Sprintf(`// %s
+#include "klib.h"
+static int %s_state[2];
+int %s_open = 1;
+static int %s_audit = 0;
+
+void %s_init(void) {
+	%s_state[0] = %s;
+	%s_state[1] = %s;
+	%s_open = %s;
+}
+
+int %s_read(int i) {
+	if (!%s_open) {
+		return 0;
+	}
+	return %s_state[i & 1];
+}
+
+int %s_probe(void) {
+	return %s_read(0);
+}
+`, id, n, n, n, n, n, v0, n, v1, n, open, n, n, n, n, n)
+	}
+	secret := fmt.Sprintf("%d", 91000+target)
+	vuln, plainFixed := withStats(n, mk(secret, "91002", "1"), mk("0", "0", "0"), target-3)
+
+	// The hook: zero the live stale state, close the gate, then the
+	// normalization/audit statements that bring the new code to its
+	// Table 1 size (3 walk lines + gate close + filler = hookSemis).
+	filler := fillerAudit(n, hookSemis-4)
+	custom := fmt.Sprintf(`
+void %s_fixup(void) {
+	int i = 0;
+	while (i < 2) {
+		%s_state[i] = 0;
+		i++;
+	}
+	%s_open = 0;
+%s}
+`, n, n, n, filler)
+	hot := plainFixed + custom + fmt.Sprintf("ksplice_apply(%s_fixup);\n", n)
+
+	c := &CVE{
+		ID: id, Desc: desc, Class: class, TargetLoC: target, InitFn: n + "_init",
+		DataSemantics: true, Table1Reason: "changes data init",
+		CustomCode: custom,
+		Files:      map[string]string{path: vuln},
+		Fixed:      map[string]string{path: hot},
+		FixedPlain: map[string]string{path: plainFixed},
+		Probe:      Probe{Entry: n + "_probe", VulnResult: 91000 + int64(target), FixedResult: 0},
+	}
+	if got := c.NewCodeLines(); got != hookSemis {
+		panic(fmt.Sprintf("cvedb: %s custom code has %d lines, want %d", id, got, hookSemis))
+	}
+	return c
+}
+
+// cve2005_2709 is the "adds field to struct" entry: the published fix
+// adds a `restricted` field to a linked sysctl-like entry structure; the
+// hot-update version keeps the layout and stores the new field in shadow
+// data structures (the DynAMOS method the paper adopts), with a hook that
+// walks the live list attaching shadows.
+func cve2005_2709() *CVE {
+	const id = "CVE-2005-2709"
+	n := "sc29"
+	path := "ipc/c2005_2709.mc"
+
+	common := fmt.Sprintf(`// %s: sysctl entry permissions
+#include "klib.h"
+
+struct sce29 { int id; int val; struct sce29 *next; };
+static struct sce29 *%s_head = 0;
+static int %s_audit = 0;
+
+void c2005_2709_init(void) {
+	int i = 1;
+	while (i <= 3) {
+		struct sce29 *e = (struct sce29 *)kmalloc(sizeof(struct sce29));
+		if (e) {
+			e->id = i;
+			e->val = i * 1000 + 98;
+			e->next = %s_head;
+			%s_head = e;
+		}
+		i++;
+	}
+}
+`, id, n, n, n, n)
+
+	vulnRead := fmt.Sprintf(`
+int c2005_2709_read(int id) {
+	struct sce29 *e = %s_head;
+	while (e) {
+		if (e->id == id) {
+			return e->val;
+		}
+		e = e->next;
+	}
+	return -1;
+}
+
+int c2005_2709_probe(void) {
+	return c2005_2709_read(3);
+}
+`, n)
+
+	// Published fix: add the field (shown for Figure 3; it could never be
+	// hot-applied because existing instances lack the field).
+	plainCommon := strings.Replace(common,
+		"struct sce29 { int id; int val; struct sce29 *next; };",
+		"struct sce29 { int id; int val; int restricted; struct sce29 *next; };", 1)
+	plainCommon = strings.Replace(plainCommon,
+		"\t\t\te->val = i * 1000 + 98;\n",
+		"\t\t\te->val = i * 1000 + 98;\n\t\t\te->restricted = i == 3;\n", 1)
+	plainRead := fmt.Sprintf(`
+int c2005_2709_read(int id) {
+	struct sce29 *e = %s_head;
+	while (e) {
+		if (e->id == id) {
+			if (e->restricted && current_uid() != 0) {
+				return -2;
+			}
+			return e->val;
+		}
+		e = e->next;
+	}
+	return -1;
+}
+
+int c2005_2709_probe(void) {
+	return c2005_2709_read(3);
+}
+`, n)
+
+	// Hot fix: unchanged layout; the new field lives in a shadow keyed by
+	// the entry address.
+	hotRead := fmt.Sprintf(`
+static int %s_restricted(struct sce29 *e) {
+	int *sh = (int *)shadow_get((void *)e, 29);
+	if (!sh) {
+		return 0;
+	}
+	return sh[0];
+}
+
+int c2005_2709_read(int id) {
+	struct sce29 *e = %s_head;
+	while (e) {
+		if (e->id == id) {
+			if (%s_restricted(e) && current_uid() != 0) {
+				return -2;
+			}
+			return e->val;
+		}
+		e = e->next;
+	}
+	return -1;
+}
+
+int c2005_2709_probe(void) {
+	return c2005_2709_read(3);
+}
+`, n, n, n)
+
+	// The hook walks the live list attaching shadows (plus the audit
+	// lines that bring the new code to Table 1's 48).
+	hook := fmt.Sprintf(`
+void c2005_2709_fixup(void) {
+	struct sce29 *e = %s_head;
+	while (e) {
+		int *sh = (int *)shadow_attach((void *)e, 29, 4);
+		if (sh) {
+			if (e->id == 3) {
+				sh[0] = 1;
+			} else {
+				sh[0] = 0;
+			}
+		}
+		e = e->next;
+	}
+%s}
+`, n, fillerAudit(n, 48-5-3))
+	custom := hotRead[strings.Index(hotRead, "static"):strings.Index(hotRead, "\nint c2005_2709_read")] + hook
+
+	vuln := common + vulnRead
+	plainFixed := plainCommon + plainRead
+	// Pad the plain patch past 80 changed lines (the Figure 3 tail).
+	sv, sf := statsBlock(n, 78, 78)
+	vulnPadded := vuln + sv
+	plainPadded := plainFixed + sf
+	hot := common + hotRead + sf + hook + "ksplice_apply(c2005_2709_fixup);\n"
+
+	c := &CVE{
+		ID: id, Desc: "sysctl entry readable regardless of permissions", Class: PrivEsc,
+		TargetLoC: 81, InitFn: "c2005_2709_init",
+		DataSemantics: true, Table1Reason: "adds field to struct",
+		CustomCode: custom,
+		Files:      map[string]string{path: vulnPadded},
+		Fixed:      map[string]string{path: hot},
+		FixedPlain: map[string]string{path: plainPadded},
+		Probe:      Probe{Entry: "c2005_2709_probe", UID: 1000, VulnResult: 3098, FixedResult: -2},
+	}
+	if got := c.NewCodeLines(); got != 48 {
+		panic(fmt.Sprintf("cvedb: %s custom code has %d lines, want 48", id, got))
+	}
+	return c
+}
+
+// cve2006_2451: the prctl core-dump vulnerability, one of the four the
+// paper verified with working exploit code.
+func cve2006_2451() *CVE {
+	const id = "CVE-2006-2451"
+	n := mangle(id)
+	path := "kernel/" + n + ".mc"
+	mk := func(guard string) string {
+		return fmt.Sprintf(`// %s: prctl PR_SET_DUMPABLE accepts value 2
+#include "klib.h"
+static int %s_dumpable = 0;
+
+int sys_prctl(int opt, int arg) {
+	if (opt == 4) {
+%s		%s_dumpable = arg;
+		return 0;
+	}
+	return -1;
+}
+
+int sys_coredump(void) {
+	if (%s_dumpable == 2) {
+		%s_dumpable = 0;
+		set_uid(0);
+		return 0;
+	}
+	return -1;
+}
+
+int %s_probe(void) {
+	%s_dumpable = 0;
+	int r = sys_prctl(4, 2);
+	if (r == 0) {
+		sys_coredump();
+	}
+	return current_uid();
+}
+`, id, n, guard, n, n, n, n, n)
+	}
+	guard := "\t\tif (arg < 0 || arg > 1) {\n\t\t\treturn -1;\n\t\t}\n"
+	vuln, fixed := withStats(n, mk(""), mk(guard), 2)
+	return &CVE{
+		ID: id, Desc: "prctl core dump handling allows privilege escalation", Class: PrivEsc,
+		TargetLoC: 5,
+		Files:     map[string]string{path: vuln},
+		Fixed:     map[string]string{path: fixed},
+		Probe:     Probe{Entry: n + "_probe", UID: 1000, VulnResult: 0, FixedResult: 1000},
+		Exploit: &Exploit{
+			Entry: "exploit_2006_2451", UID: 1000,
+			WantVuln: 0, WantFixed: 1000, EscalatesTo: 0,
+		},
+	}
+}
+
+// cve2006_3626: /proc setuid escalation, exploit-verified.
+func cve2006_3626() *CVE {
+	const id = "CVE-2006-3626"
+	n := mangle(id)
+	path := "fs/" + n + ".mc"
+	mk := func(body string) string {
+		return fmt.Sprintf(`// %s: /proc pid entries can be made setuid-root
+#include "klib.h"
+
+int sys_procset(int flags) {
+	if (flags == 6) {
+%s	}
+	return -1;
+}
+
+int %s_probe(void) {
+	sys_procset(6);
+	return current_uid();
+}
+`, id, body, n)
+	}
+	vulnBody := "\t\tset_uid(0);\n\t\treturn 0;\n"
+	fixedBody := "\t\treturn -1;\n"
+	vuln, fixed := withStats(n, mk(vulnBody), mk(fixedBody), 1)
+	return &CVE{
+		ID: id, Desc: "proc pid setuid handling allows privilege escalation", Class: PrivEsc,
+		TargetLoC: 3,
+		Files:     map[string]string{path: vuln},
+		Fixed:     map[string]string{path: fixed},
+		Probe:     Probe{Entry: n + "_probe", UID: 1000, VulnResult: 0, FixedResult: 1000},
+		Exploit: &Exploit{
+			Entry: "exploit_2006_3626", UID: 1000,
+			WantVuln: 0, WantFixed: 1000, EscalatesTo: 0,
+		},
+	}
+}
+
+// cve2008_0600: the vmsplice escalation, exploit-verified.
+func cve2008_0600() *CVE {
+	const id = "CVE-2008-0600"
+	n := mangle(id)
+	path := "fs/" + n + ".mc"
+	mk := func(check string) string {
+		return fmt.Sprintf(`// %s: vmsplice misses an access check on its length
+#include "klib.h"
+static int %s_pending;
+
+int sys_vmsplice(int ptr, int len) {
+	if (%s) {
+		return -1;
+	}
+	if (len != 0) {
+		%s_pending = len;
+	}
+	if (%s_pending < 0) {
+		set_uid(0);
+		%s_pending = 0;
+		return 0;
+	}
+	return -1;
+}
+
+int %s_probe(void) {
+	%s_pending = 0;
+	sys_vmsplice(0, -1);
+	return current_uid();
+}
+`, id, n, check, n, n, n, n, n)
+	}
+	vuln, fixed := withStats(n, mk("len > 4096"), mk("len < 0 || len > 4096"), 2)
+	return &CVE{
+		ID: id, Desc: "vmsplice missing access check allows privilege escalation", Class: PrivEsc,
+		TargetLoC: 3,
+		Files:     map[string]string{path: vuln},
+		Fixed:     map[string]string{path: fixed},
+		Probe:     Probe{Entry: n + "_probe", UID: 1000, VulnResult: 0, FixedResult: 1000},
+		Exploit: &Exploit{
+			Entry: "exploit_2008_0600", UID: 1000,
+			WantVuln: 0, WantFixed: 1000, EscalatesTo: 0,
+		},
+	}
+}
+
+// cve2007_4573: the ia32entry.S analogue — a pure assembly file fails to
+// zero-extend a 32-bit syscall argument, so a crafted high-bit value
+// becomes a negative index after the sign extension. Exploit-verified;
+// Ksplice handles the assembly patch with the same machinery as C.
+func cve2007_4573() *CVE {
+	const id = "CVE-2007-4573"
+	n := mangle(id)
+	asmPath := "arch/entry.mcs"
+	cPath := "arch/" + n + ".mc"
+	mkAsm := func(ext, rev string) string {
+		return fmt.Sprintf(`// entry.mcs: 32-bit compatibility entry path (%s)
+.global compat_mask
+.func compat_mask
+	push fp
+	mov fp, sp
+	addi64 sp, 0
+	ld64 r0, [fp+16]
+	%s r0
+	mov sp, fp
+	pop fp
+	ret
+.endfunc
+`, rev, ext)
+	}
+	cSrc := fmt.Sprintf(`// %s: compat syscall argument handling
+long compat_mask(long v);
+static int %s_secret = 96001;
+static int %s_table[4] = {5, 6, 7, 8};
+
+int sys_compat_read(long idx) {
+	long i = compat_mask(idx);
+	if (i >= 4) {
+		return -1;
+	}
+	return %s_table[i];
+}
+
+int %s_probe(void) {
+	return sys_compat_read(0xFFFFFFFF);
+}
+`, id, n, n, n, n)
+	return &CVE{
+		ID: id, Desc: "compat entry path fails to zero-extend registers", Class: PrivEsc,
+		TargetLoC: 1,
+		Files:     map[string]string{asmPath: mkAsm("sext32", "rev 1"), cPath: cSrc},
+		Fixed:     map[string]string{asmPath: mkAsm("zext32", "rev 1")},
+		Probe:     Probe{Entry: n + "_probe", VulnResult: 96001, FixedResult: -1},
+		Exploit: &Exploit{
+			Entry: "exploit_2007_4573", UID: 1000,
+			WantVuln: 96001, WantFixed: -1, EscalatesTo: -1,
+		},
+	}
+}
+
+// cve2005_4639: the dst_ca driver scenario of section 6.3 — the patched
+// function references a static "debug" whose name also exists in the
+// sibling dst driver.
+func cve2005_4639() *CVE {
+	const id = "CVE-2005-4639"
+	mk := func(check string) string {
+		return fmt.Sprintf(`// %s: dst_ca slot info missing bounds check
+#include "klib.h"
+static int debug = 2;
+static int ca_secret = 97001;
+static int ca_slots[4] = {1, 2, 3, 4};
+
+int ca_get_slot_info(int slot) {
+%s	if (debug) {
+		printk("dst_ca: slot query\n");
+	}
+	return ca_slots[slot];
+}
+
+int c2005_4639_probe(void) {
+	return ca_get_slot_info(-1);
+}
+`, id, check)
+	}
+	check := "\tif (slot < 0 || slot >= 4) {\n\t\treturn -1;\n\t}\n"
+	dst := `// dst core driver
+static int debug = 1;
+int dst_status(void) { return debug + 100; }
+`
+	return &CVE{
+		ID: id, Desc: "dst_ca slot info out-of-bounds read", Class: PrivEsc,
+		TargetLoC: 3, AmbiguousSym: true,
+		Files: map[string]string{
+			"drivers/dst_ca.mc": mk(""),
+			"drivers/dst.mc":    dst,
+		},
+		Fixed: map[string]string{"drivers/dst_ca.mc": mk(check)},
+		Probe: Probe{Entry: "c2005_4639_probe", VulnResult: 97001, FixedResult: -1},
+	}
+}
+
+// specialCVEs returns the 13 hand-written corpus entries.
+func specialCVEs() []*CVE {
+	return []*CVE{
+		// Table 1, in its order.
+		dataInitCVE("CVE-2008-0007", "mm", "core dump handling of insecure defaults", PrivEsc, 34, 34, false),
+		dataInitCVE("CVE-2007-4571", "sound", "ALSA timer info leaks stale state", InfoLeak, 8, 10, false),
+		dataInitCVE("CVE-2007-3851", "video", "vga16fb insecure default mode", PrivEsc, 3, 1, true),
+		dataInitCVE("CVE-2006-5753", "fs", "listxattr insecure default limit", InfoLeak, 2, 1, true),
+		dataInitCVE("CVE-2006-2071", "kernel", "mprotect insecure initial permissions", PrivEsc, 12, 14, false),
+		dataInitCVE("CVE-2006-1056", "arch", "FPU state leaks across tasks", InfoLeak, 5, 4, false),
+		dataInitCVE("CVE-2005-3179", "drivers", "drm insecure initial register state", PrivEsc, 22, 20, false),
+		cve2005_2709(),
+		// Exploit-verified.
+		cve2006_2451(),
+		cve2006_3626(),
+		cve2008_0600(),
+		cve2007_4573(),
+		// Ambiguous-symbol showcase.
+		cve2005_4639(),
+	}
+}

@@ -1,0 +1,139 @@
+package cvedb
+
+import (
+	"fmt"
+	"strings"
+
+	"gosplice/internal/kernel"
+)
+
+// baseFiles assembles the shared (non-vulnerable) portion of the kernel
+// tree: the guest runtime library, shared headers, the main kernel unit
+// with kinit and the syscall table, and the user-space programs (exploits
+// and the stress workload).
+func baseFiles() map[string]string {
+	files := kernel.Lib()
+	files["include/perm.h"] = permH
+	files["kernel/main.mc"] = mainSource()
+	files["user/exploits.mc"] = exploitsSource
+	files["user/stress.mc"] = stressSource
+	return files
+}
+
+const permH = `// include/perm.h: capability checks.
+// capable() is deliberately a one-line static inline: like its Linux
+// namesake it gets inlined into every caller, keyword or not.
+static inline int capable(int uid) { return uid == 0; }
+`
+
+// mainSource generates kernel/main.mc: kinit (calling every subsystem
+// init the corpus declares) and the syscall table wiring the
+// exploit-verified entry points.
+func mainSource() string {
+	var sb strings.Builder
+	sb.WriteString("// kernel/main.mc: boot and syscall dispatch.\n")
+	sb.WriteString("#include \"klib.h\"\n\n")
+
+	var inits []string
+	for _, c := range buildCorpus() {
+		if c.InitFn != "" {
+			inits = append(inits, c.InitFn)
+		}
+	}
+	for _, fn := range inits {
+		fmt.Fprintf(&sb, "void %s(void);\n", fn)
+	}
+	sb.WriteString(`int sys_prctl(int opt, int arg);
+int sys_coredump(void);
+int sys_procset(int flags);
+int sys_vmsplice(int ptr, int len);
+int sys_compat_read(long idx);
+
+int boot_generation = 0;
+
+void kinit(void) {
+	boot_generation++;
+`)
+	for _, fn := range inits {
+		fmt.Fprintf(&sb, "\t%s();\n", fn)
+	}
+	sb.WriteString(`	printk("kernel booted\n");
+}
+
+`)
+	// Syscall table: slots 10..14 carry the exploit surface; the rest are
+	// empty (ENOSYS).
+	sb.WriteString("void *sys_call_table[32] = {\n\t0, 0, 0, 0, 0, 0, 0, 0, 0, 0,\n")
+	sb.WriteString("\tsys_prctl, sys_coredump, sys_procset, sys_vmsplice, sys_compat_read\n};\n")
+	sb.WriteString("int nr_syscalls = 32;\n")
+	return sb.String()
+}
+
+const exploitsSource = `// user/exploits.mc: user programs for the four
+// vulnerabilities with working exploit code (paper section 6.3).
+#include "klib.h"
+
+// CVE-2006-2451: set the dumpable flag to 2, trigger the core dump path,
+// inherit root.
+int exploit_2006_2451(void) {
+	syscall2(10, 4, 2);
+	syscall0(11);
+	return current_uid();
+}
+
+// CVE-2006-3626: flip the /proc setuid handling.
+int exploit_2006_3626(void) {
+	syscall1(12, 6);
+	return current_uid();
+}
+
+// CVE-2008-0600: negative vmsplice length.
+int exploit_2008_0600(void) {
+	syscall2(13, 0, -1);
+	return current_uid();
+}
+
+// CVE-2007-4573: high bits survive the compat entry path; the
+// sign-extended index walks backwards off the table.
+int exploit_2007_4573(void) {
+	long v = syscall1(14, 0xFFFFFFFF);
+	report(v);
+	return (int)v;
+}
+`
+
+const stressSource = `// user/stress.mc: the correctness-checking workload
+// run while and after updates are applied (the stress(1) stand-in of
+// paper section 6.2). It exercises the allocator, memory, arithmetic
+// invariants and the syscall path, and returns the number of observed
+// inconsistencies (zero on a healthy kernel).
+#include "klib.h"
+
+int stress_main(int rounds) {
+	int bad = 0;
+	int i;
+	for (i = 0; i < rounds; i++) {
+		int *p = (int *)kmalloc(64);
+		if (!p) {
+			bad++;
+			continue;
+		}
+		int j;
+		for (j = 0; j < 16; j++) {
+			p[j] = i + j;
+		}
+		for (j = 0; j < 16; j++) {
+			if (p[j] != i + j) {
+				bad++;
+			}
+		}
+		kfree(p);
+		long r = syscall0(31); // empty slot: must be ENOSYS
+		if (r != -38) {
+			bad++;
+		}
+		kyield();
+	}
+	return bad;
+}
+`

@@ -1,0 +1,303 @@
+// Package diffutil implements unified diffs over in-memory source trees:
+// generation (a Myers shortest-edit-script diff), parsing, and
+// application. This is the "standard patch format" front door of
+// ksplice-create: security patches enter the system as unified diffs,
+// exactly as they ship on kernel mailing lists.
+package diffutil
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// splitLines splits keeping semantics simple: the result never contains
+// the trailing empty string an ending newline would produce.
+func splitLines(s string) []string {
+	if s == "" {
+		return nil
+	}
+	lines := strings.Split(s, "\n")
+	if lines[len(lines)-1] == "" {
+		lines = lines[:len(lines)-1]
+	}
+	return lines
+}
+
+// editKind marks a line's role in an edit script.
+type editKind byte
+
+const (
+	editKeep editKind = iota
+	editDel
+	editAdd
+)
+
+type edit struct {
+	kind editKind
+	text string
+}
+
+// myers computes a shortest edit script between a and b.
+func myers(a, b []string) []edit {
+	n, m := len(a), len(b)
+	max := n + m
+	if max == 0 {
+		return nil
+	}
+	// v[k] = furthest x on diagonal k; offset for negative indices.
+	v := make([]int, 2*max+2)
+	offset := max
+	type snap struct{ v []int }
+	var trace []snap
+
+	var d int
+loop:
+	for d = 0; d <= max; d++ {
+		cp := make([]int, len(v))
+		copy(cp, v)
+		trace = append(trace, snap{cp})
+		for k := -d; k <= d; k += 2 {
+			var x int
+			if k == -d || (k != d && v[offset+k-1] < v[offset+k+1]) {
+				x = v[offset+k+1]
+			} else {
+				x = v[offset+k-1] + 1
+			}
+			y := x - k
+			for x < n && y < m && a[x] == b[y] {
+				x++
+				y++
+			}
+			v[offset+k] = x
+			if x >= n && y >= m {
+				break loop
+			}
+		}
+	}
+
+	// Backtrack.
+	var edits []edit
+	x, y := n, m
+	for d := d; d > 0 && (x > 0 || y > 0); d-- {
+		vPrev := trace[d].v
+		k := x - y
+		var prevK int
+		if k == -d || (k != d && vPrev[offset+k-1] < vPrev[offset+k+1]) {
+			prevK = k + 1
+		} else {
+			prevK = k - 1
+		}
+		prevX := vPrev[offset+prevK]
+		prevY := prevX - prevK
+		for x > prevX && y > prevY {
+			x--
+			y--
+			edits = append(edits, edit{editKeep, a[x]})
+		}
+		if x == prevX {
+			y--
+			edits = append(edits, edit{editAdd, b[y]})
+		} else {
+			x--
+			edits = append(edits, edit{editDel, a[x]})
+		}
+	}
+	for x > 0 && y > 0 {
+		x--
+		y--
+		edits = append(edits, edit{editKeep, a[x]})
+	}
+	for y > 0 {
+		y--
+		edits = append(edits, edit{editAdd, b[y]})
+	}
+	for x > 0 {
+		x--
+		edits = append(edits, edit{editDel, a[x]})
+	}
+	// Reverse.
+	for i, j := 0, len(edits)-1; i < j; i, j = i+1, j-1 {
+		edits[i], edits[j] = edits[j], edits[i]
+	}
+	return edits
+}
+
+// Line is one patch line: context, deletion, or addition.
+type Line struct {
+	Kind byte // ' ', '-', '+'
+	Text string
+}
+
+// Hunk is one @@ block.
+type Hunk struct {
+	OldStart, OldCount int // 1-based line numbers in the old file
+	NewStart, NewCount int
+	Lines              []Line
+}
+
+// FilePatch is the patch for a single file. Old/New hold the file path;
+// creation uses Old == "/dev/null", deletion New == "/dev/null".
+type FilePatch struct {
+	Old, New string
+	Hunks    []*Hunk
+}
+
+// Path returns the tree-relative path the patch addresses.
+func (fp *FilePatch) Path() string {
+	if fp.New != "/dev/null" {
+		return strip(fp.New)
+	}
+	return strip(fp.Old)
+}
+
+// Creates reports whether the patch creates the file.
+func (fp *FilePatch) Creates() bool { return fp.Old == "/dev/null" }
+
+// Deletes reports whether the patch deletes the file.
+func (fp *FilePatch) Deletes() bool { return fp.New == "/dev/null" }
+
+// strip removes a/ or b/ prefixes as patch -p1 would.
+func strip(path string) string {
+	if strings.HasPrefix(path, "a/") || strings.HasPrefix(path, "b/") {
+		return path[2:]
+	}
+	return path
+}
+
+// Patch is a multi-file unified diff.
+type Patch struct {
+	Files []*FilePatch
+}
+
+const contextLines = 3
+
+// DiffFiles produces a unified diff between old and new content of one
+// file; an empty string means no change.
+func DiffFiles(path, oldContent, newContent string) string {
+	if oldContent == newContent {
+		return ""
+	}
+	a, b := splitLines(oldContent), splitLines(newContent)
+	oldName, newName := "a/"+path, "b/"+path
+	if oldContent == "" {
+		oldName = "/dev/null"
+	}
+	if newContent == "" {
+		newName = "/dev/null"
+	}
+	edits := myers(a, b)
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "--- %s\n+++ %s\n", oldName, newName)
+
+	// Group edits into hunks with context.
+	type pos struct{ oldLine, newLine int }
+	p := pos{1, 1}
+	i := 0
+	for i < len(edits) {
+		// Skip unchanged runs.
+		for i < len(edits) && edits[i].kind == editKeep {
+			p.oldLine++
+			p.newLine++
+			i++
+		}
+		if i >= len(edits) {
+			break
+		}
+		// Hunk starts contextLines before the change.
+		start := i
+		ctxBefore := 0
+		for start > 0 && ctxBefore < contextLines && edits[start-1].kind == editKeep {
+			start--
+			ctxBefore++
+		}
+		hunkOldStart := p.oldLine - ctxBefore
+		hunkNewStart := p.newLine - ctxBefore
+
+		// Extend through changes, closing after contextLines*2 of
+		// unchanged lines (merging nearby changes).
+		end := i
+		scan := i
+		keepRun := 0
+		for scan < len(edits) {
+			if edits[scan].kind == editKeep {
+				keepRun++
+				if keepRun > contextLines*2 {
+					break
+				}
+			} else {
+				keepRun = 0
+				end = scan
+			}
+			scan++
+		}
+		hunkEnd := end + 1
+		ctxAfter := 0
+		for hunkEnd < len(edits) && ctxAfter < contextLines && edits[hunkEnd].kind == editKeep {
+			hunkEnd++
+			ctxAfter++
+		}
+
+		var lines []Line
+		oldCount, newCount := 0, 0
+		for j := start; j < hunkEnd; j++ {
+			switch edits[j].kind {
+			case editKeep:
+				lines = append(lines, Line{' ', edits[j].text})
+				oldCount++
+				newCount++
+			case editDel:
+				lines = append(lines, Line{'-', edits[j].text})
+				oldCount++
+			case editAdd:
+				lines = append(lines, Line{'+', edits[j].text})
+				newCount++
+			}
+		}
+		fmt.Fprintf(&sb, "@@ -%d,%d +%d,%d @@\n", hunkOldStart, oldCount, hunkNewStart, newCount)
+		for _, l := range lines {
+			sb.WriteByte(l.Kind)
+			sb.WriteString(l.Text)
+			sb.WriteByte('\n')
+		}
+
+		// Advance p over consumed edits.
+		for j := i; j < hunkEnd; j++ {
+			switch edits[j].kind {
+			case editKeep:
+				p.oldLine++
+				p.newLine++
+			case editDel:
+				p.oldLine++
+			case editAdd:
+				p.newLine++
+			}
+		}
+		i = hunkEnd
+	}
+	return sb.String()
+}
+
+// DiffTrees produces a unified diff between two file trees, in sorted path
+// order.
+func DiffTrees(oldTree, newTree map[string]string) string {
+	paths := map[string]bool{}
+	for p := range oldTree {
+		paths[p] = true
+	}
+	for p := range newTree {
+		paths[p] = true
+	}
+	var sorted []string
+	for p := range paths {
+		sorted = append(sorted, p)
+	}
+	sort.Strings(sorted)
+
+	var sb strings.Builder
+	for _, p := range sorted {
+		sb.WriteString(DiffFiles(p, oldTree[p], newTree[p]))
+	}
+	return sb.String()
+}

@@ -1,0 +1,175 @@
+package diffutil
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestDiffAndApplyRoundTrip(t *testing.T) {
+	oldTree := map[string]string{
+		"fs/read.mc": "int a;\nint b;\nint c;\nint read(void) {\n\treturn a;\n}\n",
+		"mm/brk.mc":  "int brk(void) {\n\treturn 0;\n}\n",
+		"doomed.mc":  "int gone;\n",
+	}
+	newTree := map[string]string{
+		"fs/read.mc": "int a;\nint b2;\nint c;\nint read(void) {\n\tif (a < 0) return 0;\n\treturn a;\n}\n",
+		"mm/brk.mc":  "int brk(void) {\n\treturn 0;\n}\n",
+		"created.mc": "int fresh = 1;\n",
+	}
+	text := DiffTrees(oldTree, newTree)
+	if !strings.Contains(text, "fs/read.mc") || !strings.Contains(text, "created.mc") || !strings.Contains(text, "doomed.mc") {
+		t.Fatalf("diff missing files:\n%s", text)
+	}
+	p, err := ParsePatch(text)
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, text)
+	}
+	got, err := p.Apply(oldTree)
+	if err != nil {
+		t.Fatalf("apply: %v\n%s", err, text)
+	}
+	if len(got) != len(newTree) {
+		t.Fatalf("tree size %d, want %d: %v", len(got), len(newTree), got)
+	}
+	for path, want := range newTree {
+		if got[path] != want {
+			t.Errorf("%s:\n got %q\nwant %q", path, got[path], want)
+		}
+	}
+	// The unchanged file must not appear in the diff.
+	if strings.Contains(text, "mm/brk.mc") {
+		t.Error("diff includes unchanged file")
+	}
+}
+
+func TestApplyWithDrift(t *testing.T) {
+	// Two hunks: the first inserts lines, so the second hunk's positions
+	// drift.
+	base := make([]string, 0, 60)
+	for i := 0; i < 30; i++ {
+		base = append(base, "line")
+	}
+	oldContent := "A\n" + strings.Join(base, "\n") + "\nB\n" + strings.Join(base, "\n") + "\nC\n"
+	newContent := "A\nX\n" + strings.Join(base, "\n") + "\nB\n" + strings.Join(base, "\n") + "\nC2\n"
+	text := DiffFiles("f.mc", oldContent, newContent)
+	p, err := ParsePatch(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.Apply(map[string]string{"f.mc": oldContent})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["f.mc"] != newContent {
+		t.Errorf("drift apply mismatch:\n%q", got["f.mc"])
+	}
+}
+
+func TestApplyErrors(t *testing.T) {
+	text := DiffFiles("f.mc", "a\nb\nc\n", "a\nB\nc\n")
+	p, err := ParsePatch(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Apply(map[string]string{"f.mc": "completely\ndifferent\n"}); err == nil {
+		t.Error("apply against wrong base succeeded")
+	}
+	if _, err := p.Apply(map[string]string{}); err == nil {
+		t.Error("apply against missing file succeeded")
+	}
+}
+
+func TestParsePatchHeaders(t *testing.T) {
+	// Mail-style noise before the patch body must be skipped.
+	text := "From: someone\nSubject: [PATCH] fix\n\ncommit log here\n" +
+		DiffFiles("x.mc", "one\ntwo\n", "one\nTWO\n")
+	p, err := ParsePatch(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Files) != 1 || p.Files[0].Path() != "x.mc" {
+		t.Errorf("files: %+v", p.Files)
+	}
+	added, removed := p.Stats()
+	if added != 1 || removed != 1 {
+		t.Errorf("stats = %d/%d", added, removed)
+	}
+	if p.ChangedLines() != 1 {
+		t.Errorf("changed = %d", p.ChangedLines())
+	}
+}
+
+func TestParsePatchErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"--- a/x.mc\n",
+		"--- a/x.mc\n+++ b/x.mc\n",
+		"--- a/x.mc\n+++ b/x.mc\n@@ bogus @@\n",
+		"--- a/x.mc\n+++ b/x.mc\n@@ -1,2 +1,2 @@\n a\n",
+	}
+	for _, c := range cases {
+		if _, err := ParsePatch(c); err == nil {
+			t.Errorf("no error for %q", c)
+		}
+	}
+}
+
+// Property: for arbitrary line soups, diff+parse+apply reproduces the new
+// content exactly.
+func TestDiffRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	gen := func() string {
+		n := rng.Intn(40)
+		var sb strings.Builder
+		words := []string{"alpha", "beta", "gamma", "delta", "x", "y", "", "if (a)", "}", "{"}
+		for i := 0; i < n; i++ {
+			sb.WriteString(words[rng.Intn(len(words))])
+			sb.WriteByte('\n')
+		}
+		return sb.String()
+	}
+	f := func(seed int64) bool {
+		rng.Seed(seed)
+		oldC, newC := gen(), gen()
+		text := DiffFiles("p.mc", oldC, newC)
+		if text == "" {
+			return oldC == newC
+		}
+		p, err := ParsePatch(text)
+		if err != nil {
+			t.Logf("parse: %v\n%s", err, text)
+			return false
+		}
+		got, err := p.Apply(map[string]string{"p.mc": oldC})
+		if err != nil {
+			t.Logf("apply: %v\n%s", err, text)
+			return false
+		}
+		want := newC
+		if want == "" {
+			// Deleting all content removes the file.
+			_, exists := got["p.mc"]
+			return !exists
+		}
+		return got["p.mc"] == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMyersMinimality(t *testing.T) {
+	// A single changed line among identical neighbours must produce
+	// exactly one -/+ pair.
+	text := DiffFiles("m.mc", "a\nb\nc\nd\ne\n", "a\nb\nX\nd\ne\n")
+	p, err := ParsePatch(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	added, removed := p.Stats()
+	if added != 1 || removed != 1 {
+		t.Errorf("non-minimal diff: +%d -%d\n%s", added, removed, text)
+	}
+}

@@ -1,0 +1,185 @@
+package isa
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Insn is one decoded SIM32 instruction.
+type Insn struct {
+	Op  Op
+	Len int // encoded length in bytes
+
+	Rd Reg // destination register (layRegs/layReg/layRegImm/layRegDisp/layRegCC)
+	Rs Reg // source register (layRegs/layRegDisp)
+	CC CC  // condition code (layRegCC/layCCRel*)
+
+	Imm  int64 // immediate (layRegImm/layRegImm64/layImm16)
+	Disp int32 // memory displacement (layRegDisp)
+	Rel  int32 // PC-relative displacement (branch layouts), from next insn
+}
+
+// RelInfo describes the PC-relative operand of in, if any: its byte offset
+// within the instruction and its size in bytes (1 or 4). ok is false for
+// instructions with no PC-relative operand. This is the "list of
+// instructions that take an offset relative to the program counter"
+// knowledge that run-pre matching requires (paper section 4.3).
+func (in Insn) RelInfo() (off, size int, ok bool) {
+	switch opInfos[in.Op].layout {
+	case layRel32:
+		return 1, 4, true
+	case layRel8:
+		return 1, 1, true
+	case layCCRel32:
+		return 2, 4, true
+	case layCCRel8:
+		return 2, 1, true
+	}
+	return 0, 0, false
+}
+
+// Target returns the branch target of a PC-relative instruction decoded at
+// address addr. It panics if in has no PC-relative operand.
+func (in Insn) Target(addr uint32) uint32 {
+	if _, _, ok := in.RelInfo(); !ok {
+		panic("isa: Target on non-PC-relative instruction " + in.Op.Name())
+	}
+	return addr + uint32(in.Len) + uint32(in.Rel)
+}
+
+// Decode decodes the instruction starting at code[off]. It returns an
+// error if the opcode is undefined or the instruction is truncated.
+func Decode(code []byte, off int) (Insn, error) {
+	if off < 0 || off >= len(code) {
+		return Insn{}, fmt.Errorf("isa: decode offset %#x out of range", off)
+	}
+	op := Op(code[off])
+	info, ok := opInfos[op]
+	if !ok {
+		return Insn{}, fmt.Errorf("isa: undefined opcode %#02x at offset %#x", byte(op), off)
+	}
+	n := layoutLen[info.layout]
+	if off+n > len(code) {
+		return Insn{}, fmt.Errorf("isa: truncated %s at offset %#x (need %d bytes, have %d)",
+			info.name, off, n, len(code)-off)
+	}
+	in := Insn{Op: op, Len: n}
+	b := code[off : off+n]
+	switch info.layout {
+	case layNone, layPad1, layPad2, layPad3:
+	case layRegs:
+		in.Rd = Reg(b[1] & 0x0f)
+		in.Rs = Reg(b[1] >> 4)
+	case layReg:
+		in.Rd = Reg(b[1] & 0x0f)
+	case layRegImm:
+		in.Rd = Reg(b[1] & 0x0f)
+		in.Imm = int64(int32(binary.LittleEndian.Uint32(b[2:])))
+	case layRegImm64:
+		in.Rd = Reg(b[1] & 0x0f)
+		in.Imm = int64(binary.LittleEndian.Uint64(b[2:]))
+	case layRegDisp:
+		in.Rd = Reg(b[1] & 0x0f)
+		in.Rs = Reg(b[1] >> 4)
+		in.Disp = int32(binary.LittleEndian.Uint32(b[2:]))
+	case layRegCC:
+		in.Rd = Reg(b[1] & 0x0f)
+		in.CC = CC(b[2])
+	case layRel32:
+		in.Rel = int32(binary.LittleEndian.Uint32(b[1:]))
+	case layRel8:
+		in.Rel = int32(int8(b[1]))
+	case layCCRel32:
+		in.CC = CC(b[1])
+		in.Rel = int32(binary.LittleEndian.Uint32(b[2:]))
+	case layCCRel8:
+		in.CC = CC(b[1])
+		in.Rel = int32(int8(b[2]))
+	case layImm16:
+		in.Imm = int64(binary.LittleEndian.Uint16(b[1:]))
+	}
+	if (in.Op == OpJCC || in.Op == OpJCCS || in.Op == OpSETCC) && in.CC >= NumCC {
+		return Insn{}, fmt.Errorf("isa: invalid condition code %d at offset %#x", in.CC, off)
+	}
+	return in, nil
+}
+
+// NopLen reports the length of the no-op instruction at code[off], or 0 if
+// the byte there does not begin a complete no-op. Assemblers insert NOP..
+// NOP4 sequences for alignment; run-pre matching must recognize and skip
+// them (paper section 4.3).
+func NopLen(code []byte, off int) int {
+	if off < 0 || off >= len(code) {
+		return 0
+	}
+	var n int
+	switch Op(code[off]) {
+	case OpNOP:
+		n = 1
+	case OpNOP2:
+		n = 2
+	case OpNOP3:
+		n = 3
+	case OpNOP4:
+		n = 4
+	default:
+		return 0
+	}
+	if off+n > len(code) {
+		return 0
+	}
+	return n
+}
+
+// SkipNops returns the offset of the first non-no-op byte at or after off.
+func SkipNops(code []byte, off int) int {
+	for {
+		n := NopLen(code, off)
+		if n == 0 {
+			return off
+		}
+		off += n
+	}
+}
+
+// String renders the instruction as assembly text.
+func (in Insn) String() string {
+	info := opInfos[in.Op]
+	switch info.layout {
+	case layNone, layPad1, layPad2, layPad3:
+		return info.name
+	case layRegs:
+		return fmt.Sprintf("%s %s, %s", info.name, in.Rd, in.Rs)
+	case layReg:
+		return fmt.Sprintf("%s %s", info.name, in.Rd)
+	case layRegImm, layRegImm64:
+		return fmt.Sprintf("%s %s, %d", info.name, in.Rd, in.Imm)
+	case layRegDisp:
+		if Op(in.Op) >= OpST8 && Op(in.Op) <= OpST64 {
+			return fmt.Sprintf("%s [%s%+d], %s", info.name, in.Rd, in.Disp, in.Rs)
+		}
+		return fmt.Sprintf("%s %s, [%s%+d]", info.name, in.Rd, in.Rs, in.Disp)
+	case layRegCC:
+		return fmt.Sprintf("%s %s, %s", info.name, in.Rd, in.CC)
+	case layRel32, layRel8:
+		return fmt.Sprintf("%s %+d", info.name, in.Rel)
+	case layCCRel32, layCCRel8:
+		return fmt.Sprintf("%s %s, %+d", info.name, in.CC, in.Rel)
+	case layImm16:
+		return fmt.Sprintf("%s %d", info.name, in.Imm)
+	}
+	return info.name
+}
+
+// Disasm disassembles the instruction at code[off], returning its textual
+// form and length. Addresses in the rendering are relative to base+off.
+func Disasm(code []byte, off int, base uint32) (text string, length int, err error) {
+	in, err := Decode(code, off)
+	if err != nil {
+		return "", 0, err
+	}
+	if _, _, ok := in.RelInfo(); ok {
+		return fmt.Sprintf("%s -> %#x", in.Op.Name(), in.Target(base+uint32(off))), in.Len, nil
+	}
+	return in.String(), in.Len, nil
+}

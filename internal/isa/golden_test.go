@@ -1,0 +1,110 @@
+package isa
+
+import "testing"
+
+// The SOF object format stores raw SIM32 bytes, so opcode assignments and
+// instruction lengths are an on-disk compatibility surface: update
+// tarballs written by one build must match kernels built by another.
+// This golden table freezes them.
+func TestEncodingStability(t *testing.T) {
+	golden := map[Op]struct {
+		value byte
+		width int
+	}{
+		OpNOP:    {0x00, 1},
+		OpNOP2:   {0x01, 2},
+		OpNOP3:   {0x02, 3},
+		OpNOP4:   {0x03, 4},
+		OpMOVI:   {0x10, 6},
+		OpMOVI64: {0x11, 10},
+		OpMOV:    {0x12, 2},
+		OpLEA:    {0x13, 6},
+		OpLD8U:   {0x20, 6},
+		OpLD8S:   {0x21, 6},
+		OpLD16U:  {0x22, 6},
+		OpLD16S:  {0x23, 6},
+		OpLD32U:  {0x24, 6},
+		OpLD32S:  {0x25, 6},
+		OpLD64:   {0x26, 6},
+		OpST8:    {0x28, 6},
+		OpST16:   {0x29, 6},
+		OpST32:   {0x2A, 6},
+		OpST64:   {0x2B, 6},
+		OpADD32:  {0x30, 2},
+		OpSUB32:  {0x31, 2},
+		OpMUL32:  {0x32, 2},
+		OpDIV32S: {0x33, 2},
+		OpDIV32U: {0x34, 2},
+		OpMOD32S: {0x35, 2},
+		OpMOD32U: {0x36, 2},
+		OpAND32:  {0x37, 2},
+		OpOR32:   {0x38, 2},
+		OpXOR32:  {0x39, 2},
+		OpSHL32:  {0x3A, 2},
+		OpSHR32:  {0x3B, 2},
+		OpSAR32:  {0x3C, 2},
+		OpNEG32:  {0x3D, 2},
+		OpNOT32:  {0x3E, 2},
+		OpZEXT32: {0x3F, 2},
+		OpADD64:  {0x40, 2},
+		OpSUB64:  {0x41, 2},
+		OpMUL64:  {0x42, 2},
+		OpDIV64S: {0x43, 2},
+		OpDIV64U: {0x44, 2},
+		OpMOD64S: {0x45, 2},
+		OpMOD64U: {0x46, 2},
+		OpAND64:  {0x47, 2},
+		OpOR64:   {0x48, 2},
+		OpXOR64:  {0x49, 2},
+		OpSHL64:  {0x4A, 2},
+		OpSHR64:  {0x4B, 2},
+		OpSAR64:  {0x4C, 2},
+		OpNEG64:  {0x4D, 2},
+		OpNOT64:  {0x4E, 2},
+		OpADDI64: {0x50, 6},
+		OpCMPI32: {0x52, 6},
+		OpCMPI64: {0x53, 6},
+		OpSEXT8:  {0x54, 2},
+		OpSEXT16: {0x55, 2},
+		OpSEXT32: {0x56, 2},
+		OpZEXT8:  {0x57, 2},
+		OpZEXT16: {0x5C, 2},
+		OpCMP32:  {0x58, 2},
+		OpCMP64:  {0x59, 2},
+		OpSETCC:  {0x5A, 3},
+		OpJMP:    {0x60, 5},
+		OpJMPS:   {0x61, 2},
+		OpJCC:    {0x62, 6},
+		OpJCCS:   {0x63, 3},
+		OpCALL:   {0x64, 5},
+		OpCALLR:  {0x65, 2},
+		OpRET:    {0x66, 1},
+		OpJMPR:   {0x67, 2},
+		OpPUSH:   {0x70, 2},
+		OpPOP:    {0x71, 2},
+		OpTRAP:   {0x78, 3},
+		OpHLT:    {0x79, 1},
+		OpBRK:    {0x7A, 1},
+	}
+	for op, g := range golden {
+		if byte(op) != g.value {
+			t.Errorf("%s: opcode %#02x, golden %#02x", op.Name(), byte(op), g.value)
+		}
+		if op.Len() != g.width {
+			t.Errorf("%s: length %d, golden %d", op.Name(), op.Len(), g.width)
+		}
+	}
+	// Every defined opcode is in the golden table (no silent additions
+	// without a compatibility decision).
+	for v := 0; v < 256; v++ {
+		op := Op(v)
+		if op.Valid() {
+			if _, ok := golden[op]; !ok {
+				t.Errorf("opcode %#02x (%s) missing from golden table", v, op.Name())
+			}
+		}
+	}
+	if TrampolineLen != 5 {
+		t.Errorf("TrampolineLen = %d; changing it breaks saved-bytes undo compatibility", TrampolineLen)
+	}
+}

@@ -1,0 +1,247 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestOpLenMatchesEncoders(t *testing.T) {
+	cases := []struct {
+		name string
+		code []byte
+	}{
+		{"nop", Nop(nil, 1)},
+		{"movi", MOVI(nil, R1, -7)},
+		{"movi64", MOVI64(nil, R2, 1<<40)},
+		{"mov", MOV(nil, R0, R3)},
+		{"lea", LEA(nil, R1, FP, -16)},
+		{"ld32s", Load(nil, OpLD32S, R0, FP, 8)},
+		{"st64", Store(nil, OpST64, FP, -8, R1)},
+		{"add32", ALU(nil, OpADD32, R0, R1)},
+		{"neg64", ALU1(nil, OpNEG64, R2)},
+		{"addi64", ADDI64(nil, SP, -32)},
+		{"cmpi32", CMPI(nil, OpCMPI32, R0, 10)},
+		{"cmp64", CMP(nil, OpCMP64, R0, R1)},
+		{"setcc", SETCC(nil, R0, CCLE)},
+		{"jmp", JMP(nil, 100)},
+		{"jmps", JMPS(nil, -5)},
+		{"jcc", JCC(nil, CCNE, 64)},
+		{"jccs", JCCS(nil, CCEQ, 3)},
+		{"call", CALL(nil, 1234)},
+		{"callr", CALLR(nil, R4)},
+		{"ret", RET(nil)},
+		{"push", PUSH(nil, R5)},
+		{"pop", POP(nil, R5)},
+		{"trap", TRAP(nil, 7)},
+		{"hlt", HLT(nil)},
+	}
+	for _, c := range cases {
+		in, err := Decode(c.code, 0)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", c.name, err)
+		}
+		if in.Len != len(c.code) {
+			t.Errorf("%s: decoded len %d, encoded %d bytes", c.name, in.Len, len(c.code))
+		}
+		if got := in.Op.Len(); got != len(c.code) {
+			t.Errorf("%s: Op.Len()=%d, encoded %d bytes", c.name, got, len(c.code))
+		}
+	}
+}
+
+func TestDecodeOperands(t *testing.T) {
+	code := MOVI(nil, R3, -42)
+	in, err := Decode(code, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Op != OpMOVI || in.Rd != R3 || in.Imm != -42 {
+		t.Errorf("movi decoded as %+v", in)
+	}
+
+	code = Store(nil, OpST32, FP, -12, R2)
+	in, err = Decode(code, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Rd != FP || in.Rs != R2 || in.Disp != -12 {
+		t.Errorf("st32 decoded as %+v", in)
+	}
+
+	code = JCC(nil, CCUGE, -1000)
+	in, err = Decode(code, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.CC != CCUGE || in.Rel != -1000 {
+		t.Errorf("jcc decoded as %+v", in)
+	}
+	if off, size, ok := in.RelInfo(); !ok || off != 2 || size != 4 {
+		t.Errorf("jcc RelInfo = (%d,%d,%v)", off, size, ok)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode([]byte{0xff}, 0); err == nil {
+		t.Error("undefined opcode decoded without error")
+	}
+	if _, err := Decode(JMP(nil, 1)[:3], 0); err == nil {
+		t.Error("truncated jmp decoded without error")
+	}
+	if _, err := Decode(nil, 0); err == nil {
+		t.Error("empty code decoded without error")
+	}
+	if _, err := Decode([]byte{byte(OpJCC), 99, 0, 0, 0, 0}, 0); err == nil {
+		t.Error("invalid condition code decoded without error")
+	}
+}
+
+func TestNopLenAndSkip(t *testing.T) {
+	code := Nop(nil, 7) // nop4 + nop3
+	if n := NopLen(code, 0); n != 4 {
+		t.Errorf("NopLen at 0 = %d, want 4", n)
+	}
+	if n := NopLen(code, 4); n != 3 {
+		t.Errorf("NopLen at 4 = %d, want 3", n)
+	}
+	code = append(code, RET(nil)...)
+	if off := SkipNops(code, 0); off != 7 {
+		t.Errorf("SkipNops = %d, want 7", off)
+	}
+	if n := NopLen(RET(nil), 0); n != 0 {
+		t.Errorf("NopLen on ret = %d, want 0", n)
+	}
+	// A truncated multi-byte no-op is not a no-op.
+	if n := NopLen([]byte{byte(OpNOP4), 0x66}, 0); n != 0 {
+		t.Errorf("NopLen on truncated nop4 = %d, want 0", n)
+	}
+}
+
+func TestNopPaddingLengths(t *testing.T) {
+	for n := 0; n <= 32; n++ {
+		code := Nop(nil, n)
+		if len(code) != n {
+			t.Fatalf("Nop(%d) emitted %d bytes", n, len(code))
+		}
+		// Every emitted byte sequence must decode as no-ops covering
+		// exactly n bytes.
+		off := SkipNops(code, 0)
+		if off != n {
+			t.Fatalf("Nop(%d): SkipNops covered %d bytes", n, off)
+		}
+	}
+}
+
+func TestBranchTargetAndTrampoline(t *testing.T) {
+	// A jump at address 0x1000 to 0x1020: rel = 0x1020 - 0x1005.
+	code := JMP(nil, 0x1b)
+	in, err := Decode(code, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := in.Target(0x1000); got != 0x1020 {
+		t.Errorf("Target = %#x, want 0x1020", got)
+	}
+
+	tr := Trampoline(0x1000, 0x2000)
+	if len(tr) != TrampolineLen {
+		t.Fatalf("trampoline length %d", len(tr))
+	}
+	in, err = Decode(tr, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := in.Target(0x1000); got != 0x2000 {
+		t.Errorf("trampoline target = %#x, want 0x2000", got)
+	}
+	// Backward trampoline.
+	tr = Trampoline(0x2000, 0x1000)
+	in, _ = Decode(tr, 0)
+	if got := in.Target(0x2000); got != 0x1000 {
+		t.Errorf("backward trampoline target = %#x, want 0x1000", got)
+	}
+}
+
+func TestCCNegate(t *testing.T) {
+	for c := CC(0); c < NumCC; c++ {
+		n := c.Negate()
+		if n == c {
+			t.Errorf("%s negates to itself", c)
+		}
+		if n.Negate() != c {
+			t.Errorf("%s double-negate = %s", c, n.Negate())
+		}
+	}
+}
+
+func TestBranchClasses(t *testing.T) {
+	if OpJMP.Branch() != BranchJmp || OpJMPS.Branch() != BranchJmp {
+		t.Error("jmp/jmps not in BranchJmp class")
+	}
+	if OpJCC.Branch() != BranchJcc || OpJCCS.Branch() != BranchJcc {
+		t.Error("jcc/jccs not in BranchJcc class")
+	}
+	if OpCALL.Branch() != BranchCall {
+		t.Error("call not in BranchCall class")
+	}
+	if OpRET.Branch() != BranchNone || OpMOV.Branch() != BranchNone {
+		t.Error("non-branch op has branch class")
+	}
+}
+
+// Decoding arbitrary bytes must never panic and, on success, must report a
+// length covered by the input.
+func TestDecodeNeverPanicsProperty(t *testing.T) {
+	f := func(code []byte, off uint8) bool {
+		in, err := Decode(code, int(off))
+		if err != nil {
+			return true
+		}
+		return in.Len > 0 && int(off)+in.Len <= len(code)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// PatchRel32 followed by decode must observe the patched displacement.
+func TestPatchRelProperty(t *testing.T) {
+	f := func(rel int32) bool {
+		code := JMP(nil, 0)
+		PatchRel32(code, 1, rel)
+		in, err := Decode(code, 0)
+		return err == nil && in.Rel == rel
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDisasm(t *testing.T) {
+	code := CALL(nil, 0x10)
+	text, n, err := Disasm(code, 0, 0x400000)
+	if err != nil || n != 5 {
+		t.Fatalf("Disasm: %q %d %v", text, n, err)
+	}
+	if text != "call -> 0x400015" {
+		t.Errorf("Disasm = %q", text)
+	}
+	if _, _, err := Disasm([]byte{0xee}, 0, 0); err == nil {
+		t.Error("Disasm of junk succeeded")
+	}
+}
+
+func TestRegAndCCStrings(t *testing.T) {
+	if SP.String() != "sp" || FP.String() != "fp" || R2.String() != "r2" {
+		t.Error("register names wrong")
+	}
+	if CCULT.String() != "ult" {
+		t.Errorf("CCULT = %q", CCULT.String())
+	}
+	if OpADD32.Name() != "add32" {
+		t.Errorf("OpADD32 name = %q", OpADD32.Name())
+	}
+	if Op(0xfe).Name() == "" || Op(0xfe).Valid() {
+		t.Error("undefined opcode handling wrong")
+	}
+}

@@ -1,0 +1,82 @@
+package kernel
+
+import (
+	"fmt"
+	"sort"
+)
+
+// heap is a first-fit allocator over a fixed region of machine memory.
+// Block metadata is host-side; guest code sees only addresses, reached
+// through the kmalloc/kfree traps.
+type heap struct {
+	base, end uint32
+	// free spans, address-sorted, coalesced.
+	free []span
+	// live allocations.
+	live map[uint32]uint32
+}
+
+type span struct{ addr, size uint32 }
+
+func newHeap(base, end uint32) *heap {
+	return &heap{
+		base: base, end: end,
+		free: []span{{base, end - base}},
+		live: map[uint32]uint32{},
+	}
+}
+
+const heapAlign = 8
+
+// alloc returns the address of a fresh size-byte block, or 0 when the
+// heap is exhausted (kmalloc returning NULL).
+func (h *heap) alloc(size uint32) uint32 {
+	if size == 0 {
+		size = heapAlign
+	}
+	size = (size + heapAlign - 1) &^ (heapAlign - 1)
+	for i, s := range h.free {
+		if s.size >= size {
+			addr := s.addr
+			if s.size == size {
+				h.free = append(h.free[:i], h.free[i+1:]...)
+			} else {
+				h.free[i] = span{s.addr + size, s.size - size}
+			}
+			h.live[addr] = size
+			return addr
+		}
+	}
+	return 0
+}
+
+// freeBlock releases a block returned by alloc.
+func (h *heap) freeBlock(addr uint32) error {
+	size, ok := h.live[addr]
+	if !ok {
+		return fmt.Errorf("kernel: kfree of unallocated address %#x", addr)
+	}
+	delete(h.live, addr)
+	h.free = append(h.free, span{addr, size})
+	sort.Slice(h.free, func(i, j int) bool { return h.free[i].addr < h.free[j].addr })
+	// Coalesce.
+	var out []span
+	for _, s := range h.free {
+		if n := len(out); n > 0 && out[n-1].addr+out[n-1].size == s.addr {
+			out[n-1].size += s.size
+		} else {
+			out = append(out, s)
+		}
+	}
+	h.free = out
+	return nil
+}
+
+// inUse reports the number of live blocks and bytes.
+func (h *heap) inUse() (blocks int, bytes uint32) {
+	for _, size := range h.live {
+		blocks++
+		bytes += size
+	}
+	return
+}

@@ -1,0 +1,184 @@
+package kernel
+
+// Lib returns the guest-side kernel support library: MiniC wrappers over
+// the host trap ABI plus freestanding memory/string helpers. Kernel trees
+// include "klib.h" and link "klib.mc"; the wrappers' inline asm loads
+// arguments from the stack frame (arguments live at [fp+16+8i]) and
+// issues the trap.
+//
+// These functions contain asm statements, so the inliner never inlines
+// them — their callers always emit real CALL relocations, which keeps the
+// trap ABI a linking concern rather than a compiler concern.
+func Lib() map[string]string {
+	return map[string]string{"klib.h": klibH, "klib.mc": klibC}
+}
+
+const klibH = `// klib.h: guest kernel support library interface.
+#ifndef KLIB_H
+#define KLIB_H 1
+void *kmalloc(int size);
+void kfree(void *p);
+void printk(char *s);
+void kputchar(int c);
+int getpid(void);
+int current_uid(void);
+void set_uid(int uid);
+void kyield(void);
+void report(long v);
+void *shadow_get(void *obj, int key);
+void *shadow_attach(void *obj, int key, int size);
+void shadow_detach(void *obj, int key);
+void exit_thread(int code);
+long syscall0(int nr);
+long syscall1(int nr, long a);
+long syscall2(int nr, long a, long b);
+long syscall3(int nr, long a, long b, long c);
+void *memset(void *p, int c, int n);
+void *memcpy(void *dst, void *src, int n);
+int strcmp(char *a, char *b);
+int strlen(char *s);
+#endif
+`
+
+const klibC = `// klib.mc: guest kernel support library implementation.
+#include "klib.h"
+
+void *kmalloc(int size) {
+	asm("ld32s r0, [fp+16]");
+	asm("trap 3");
+}
+
+void kfree(void *p) {
+	asm("ld32u r0, [fp+16]");
+	asm("trap 4");
+}
+
+void printk(char *s) {
+	asm("ld32u r0, [fp+16]");
+	asm("trap 2");
+}
+
+void kputchar(int c) {
+	asm("ld32s r0, [fp+16]");
+	asm("trap 1");
+}
+
+int getpid(void) {
+	asm("trap 7");
+}
+
+int current_uid(void) {
+	asm("trap 8");
+}
+
+void set_uid(int uid) {
+	asm("ld32s r0, [fp+16]");
+	asm("trap 9");
+}
+
+void kyield(void) {
+	asm("trap 5");
+}
+
+void report(long v) {
+	asm("ld64 r0, [fp+16]");
+	asm("trap 16");
+}
+
+void *shadow_get(void *obj, int key) {
+	asm("ld32u r0, [fp+16]");
+	asm("ld32s r1, [fp+24]");
+	asm("trap 12");
+}
+
+void *shadow_attach(void *obj, int key, int size) {
+	asm("ld32u r0, [fp+16]");
+	asm("ld32s r1, [fp+24]");
+	asm("ld32s r2, [fp+32]");
+	asm("trap 13");
+}
+
+void shadow_detach(void *obj, int key) {
+	asm("ld32u r0, [fp+16]");
+	asm("ld32s r1, [fp+24]");
+	asm("trap 14");
+}
+
+void exit_thread(int code) {
+	asm("ld32s r0, [fp+16]");
+	asm("trap 6");
+}
+
+long syscall0(int nr) {
+	asm("ld32s r0, [fp+16]");
+	asm("trap 0");
+}
+
+long syscall1(int nr, long a) {
+	asm("addi64 sp, -8");
+	asm("ld64 r0, [fp+24]");
+	asm("st64 [sp+0], r0");
+	asm("ld32s r0, [fp+16]");
+	asm("trap 0");
+	asm("addi64 sp, 8");
+}
+
+long syscall2(int nr, long a, long b) {
+	asm("addi64 sp, -16");
+	asm("ld64 r0, [fp+24]");
+	asm("st64 [sp+0], r0");
+	asm("ld64 r0, [fp+32]");
+	asm("st64 [sp+8], r0");
+	asm("ld32s r0, [fp+16]");
+	asm("trap 0");
+	asm("addi64 sp, 16");
+}
+
+long syscall3(int nr, long a, long b, long c) {
+	asm("addi64 sp, -24");
+	asm("ld64 r0, [fp+24]");
+	asm("st64 [sp+0], r0");
+	asm("ld64 r0, [fp+32]");
+	asm("st64 [sp+8], r0");
+	asm("ld64 r0, [fp+40]");
+	asm("st64 [sp+16], r0");
+	asm("ld32s r0, [fp+16]");
+	asm("trap 0");
+	asm("addi64 sp, 24");
+}
+
+void *memset(void *p, int c, int n) {
+	char *q = (char *)p;
+	int i;
+	for (i = 0; i < n; i++) {
+		q[i] = (char)c;
+	}
+	return p;
+}
+
+void *memcpy(void *dst, void *src, int n) {
+	char *d = (char *)dst;
+	char *s = (char *)src;
+	int i;
+	for (i = 0; i < n; i++) {
+		d[i] = s[i];
+	}
+	return dst;
+}
+
+int strcmp(char *a, char *b) {
+	int i = 0;
+	while (a[i] && a[i] == b[i]) {
+		i++;
+	}
+	return a[i] - b[i];
+}
+
+int strlen(char *s) {
+	int n = 0;
+	while (s[n]) {
+		n++;
+	}
+	return n;
+}
+`

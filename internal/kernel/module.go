@@ -1,0 +1,113 @@
+package kernel
+
+import (
+	"fmt"
+
+	"gosplice/internal/obj"
+)
+
+// Resolver supplies addresses for symbols a module imports. The Ksplice
+// core passes a resolver backed by run-pre matching results; plain module
+// loads fall back to unambiguous kallsyms lookups.
+type Resolver func(name string) (uint32, error)
+
+// LoadModule links the given object files at a fresh address in the
+// module area, resolving imports first through resolve (if non-nil), then
+// through unambiguous kallsyms lookups, copies the image into kernel
+// memory and registers its symbols.
+func (k *Kernel) LoadModule(name string, files []*obj.File, resolve Resolver) (*Module, error) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.loadModuleLocked(name, files, resolve)
+}
+
+func (k *Kernel) loadModuleLocked(name string, files []*obj.File, resolve Resolver) (*Module, error) {
+	if _, dup := k.modules[name]; dup {
+		return nil, fmt.Errorf("kernel: module %q already loaded", name)
+	}
+	base := (k.moduleCursor + 0xF) &^ 0xF
+	chain := func(sym string) (uint32, error) {
+		if resolve != nil {
+			if addr, err := resolve(sym); err == nil {
+				return addr, nil
+			}
+		}
+		return k.Syms.ResolveUnique(sym)
+	}
+	im, err := obj.Link(files, obj.LinkOptions{Base: base, Resolve: chain})
+	if err != nil {
+		return nil, fmt.Errorf("kernel: loading module %q: %w", name, err)
+	}
+	if im.End() >= HeapBase {
+		return nil, fmt.Errorf("kernel: module %q does not fit below the heap", name)
+	}
+	copy(k.M.Mem[base:], im.Bytes)
+	k.moduleCursor = im.End()
+
+	mod := &Module{
+		Name: name, Image: im, Files: files,
+		Base: base, Size: uint32(len(im.Bytes)),
+	}
+	k.modules[name] = mod
+	k.Syms.AddModule(name, im)
+	return mod, nil
+}
+
+// UnloadModule removes a module's symbols and zeroes its memory. The
+// paper unloads helper modules after an update to save memory (section
+// 5.1); the address space hole is not reused.
+func (k *Kernel) UnloadModule(name string) error {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	mod, ok := k.modules[name]
+	if !ok {
+		return fmt.Errorf("kernel: module %q not loaded", name)
+	}
+	delete(k.modules, name)
+	k.Syms.RemoveModule(name)
+	for i := uint32(0); i < mod.Size; i++ {
+		k.M.Mem[mod.Base+i] = 0
+	}
+	// Reclaim trailing address space: the allocation cursor falls back to
+	// the highest extent still in use. In the common case — Ksplice undo
+	// removing the most recently loaded primary — repeated apply/undo
+	// cycles reuse the same addresses instead of creeping toward the
+	// heap.
+	top := (k.Image.End() + 0xFFF) &^ 0xFFF
+	for _, other := range k.modules {
+		if other.Image.End() > top {
+			top = other.Image.End()
+		}
+	}
+	if top < k.moduleCursor {
+		k.moduleCursor = top
+	}
+	return nil
+}
+
+// Modules lists loaded module names in load order.
+func (k *Kernel) Modules() []*Module {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	out := make([]*Module, 0, len(k.modules))
+	// Deterministic order by base address.
+	for _, m := range k.modules {
+		out = append(out, m)
+	}
+	for i := 0; i < len(out); i++ {
+		for j := i + 1; j < len(out); j++ {
+			if out[j].Base < out[i].Base {
+				out[i], out[j] = out[j], out[i]
+			}
+		}
+	}
+	return out
+}
+
+// Module returns a loaded module by name.
+func (k *Kernel) Module(name string) (*Module, bool) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	m, ok := k.modules[name]
+	return m, ok
+}

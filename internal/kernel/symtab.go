@@ -1,0 +1,157 @@
+package kernel
+
+import (
+	"fmt"
+	"sort"
+
+	"gosplice/internal/obj"
+)
+
+// Sym is one kallsyms entry. Like the real kallsyms, entries carry only
+// name, address and extent — when two compilation units each define a
+// local symbol with the same name, both entries appear and nothing in the
+// table disambiguates them. (Owner records provenance for debugging and
+// the evaluation's census; resolution code must not use it, mirroring the
+// information actually available to a hot update system.)
+type Sym struct {
+	Name  string
+	Addr  uint32
+	Size  uint32
+	Func  bool
+	Local bool
+	// Owner is the defining compilation unit or module name.
+	Owner string
+	// Module is "" for the base kernel.
+	Module string
+}
+
+// SymTab is the kernel's runtime symbol table (kallsyms plus loaded
+// modules).
+type SymTab struct {
+	syms   []Sym
+	byName map[string][]int
+}
+
+// NewSymTab builds a symbol table from a linked kernel image.
+func NewSymTab(im *obj.Image) *SymTab {
+	st := &SymTab{byName: map[string][]int{}}
+	for _, s := range im.Symbols {
+		st.add(Sym{
+			Name: s.Name, Addr: s.Addr, Size: s.Size,
+			Func: s.Func, Local: s.Local, Owner: s.File,
+		})
+	}
+	return st
+}
+
+func (st *SymTab) add(s Sym) {
+	st.byName[s.Name] = append(st.byName[s.Name], len(st.syms))
+	st.syms = append(st.syms, s)
+}
+
+// AddModule registers a loaded module's symbols.
+func (st *SymTab) AddModule(module string, im *obj.Image) {
+	for _, s := range im.Symbols {
+		st.add(Sym{
+			Name: s.Name, Addr: s.Addr, Size: s.Size,
+			Func: s.Func, Local: s.Local, Owner: s.File, Module: module,
+		})
+	}
+}
+
+// RemoveModule drops all symbols belonging to module.
+func (st *SymTab) RemoveModule(module string) {
+	var kept []Sym
+	for _, s := range st.syms {
+		if s.Module != module {
+			kept = append(kept, s)
+		}
+	}
+	st.syms = kept
+	st.byName = map[string][]int{}
+	for i, s := range st.syms {
+		st.byName[s.Name] = append(st.byName[s.Name], i)
+	}
+}
+
+// Lookup returns every symbol with the given name.
+func (st *SymTab) Lookup(name string) []Sym {
+	idxs := st.byName[name]
+	out := make([]Sym, 0, len(idxs))
+	for _, i := range idxs {
+		out = append(out, st.syms[i])
+	}
+	return out
+}
+
+// ResolveUnique resolves a name to its address only if unambiguous. This
+// is the naive symbol-table resolution of paper section 4.1: it fails
+// outright for names like "debug" that appear more than once, which is
+// why run-pre matching exists.
+func (st *SymTab) ResolveUnique(name string) (uint32, error) {
+	syms := st.Lookup(name)
+	switch len(syms) {
+	case 0:
+		return 0, fmt.Errorf("kernel: symbol %q not found", name)
+	case 1:
+		return syms[0].Addr, nil
+	default:
+		return 0, fmt.Errorf("kernel: symbol %q is ambiguous (%d definitions)", name, len(syms))
+	}
+}
+
+// FuncAt returns the function symbol covering addr, preferring the
+// innermost (largest-address) match.
+func (st *SymTab) FuncAt(addr uint32) (Sym, bool) {
+	best := -1
+	for i, s := range st.syms {
+		if s.Func && addr >= s.Addr && addr < s.Addr+s.Size {
+			if best < 0 || s.Addr > st.syms[best].Addr {
+				best = i
+			}
+		}
+	}
+	if best < 0 {
+		return Sym{}, false
+	}
+	return st.syms[best], true
+}
+
+// All returns a copy of every symbol, address-sorted.
+func (st *SymTab) All() []Sym {
+	out := append([]Sym(nil), st.syms...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
+}
+
+// AmbiguityStats reports the symbol-name ambiguity census the paper gives
+// for Linux 2.6.27 (section 6.3): how many symbols share their name with
+// another symbol, and how many compilation units contain at least one
+// such symbol.
+type AmbiguityStats struct {
+	TotalSymbols     int
+	AmbiguousSymbols int
+	TotalUnits       int
+	UnitsWithAmbig   int
+}
+
+// Ambiguity computes the census over the base kernel's symbols.
+func (st *SymTab) Ambiguity() AmbiguityStats {
+	var stats AmbiguityStats
+	unitHas := map[string]bool{}
+	units := map[string]bool{}
+	for _, s := range st.syms {
+		if s.Module != "" {
+			continue
+		}
+		stats.TotalSymbols++
+		units[s.Owner] = true
+		if len(st.byName[s.Name]) > 1 {
+			stats.AmbiguousSymbols++
+			unitHas[s.Owner] = true
+		}
+	}
+	stats.TotalUnits = len(units)
+	stats.UnitsWithAmbig = len(unitHas)
+	return stats
+}

@@ -1,0 +1,165 @@
+package minic
+
+import (
+	"strings"
+	"testing"
+)
+
+func parseFiles(t *testing.T, files map[string]string, root string) (*Unit, error) {
+	t.Helper()
+	return Parse(root, func(p string) (string, bool) { s, ok := files[p]; return s, ok })
+}
+
+func TestIfdefBasics(t *testing.T) {
+	u, err := parseFiles(t, map[string]string{"m.mc": `#define CONFIG_FOO 1
+#ifdef CONFIG_FOO
+int with_foo = 1;
+#else
+int without_foo = 1;
+#endif
+#ifndef CONFIG_BAR
+int no_bar = 1;
+#endif
+`}, "m.mc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, g := range u.Globals {
+		names[g.Name] = true
+	}
+	if !names["with_foo"] || names["without_foo"] || !names["no_bar"] {
+		t.Errorf("globals: %v", names)
+	}
+}
+
+func TestIfdefNesting(t *testing.T) {
+	u, err := parseFiles(t, map[string]string{"m.mc": `#define A 1
+#ifdef A
+#ifdef B
+int a_and_b;
+#else
+int a_not_b;
+#endif
+#else
+#ifdef B
+int b_not_a;
+#endif
+int neither_reachable;
+#endif
+`}, "m.mc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(u.Globals) != 1 || u.Globals[0].Name != "a_not_b" {
+		t.Errorf("globals: %+v", u.Globals)
+	}
+}
+
+func TestInactiveBranchNeedNotBeValidMiniC(t *testing.T) {
+	// The disabled configuration may reference other compilers' syntax;
+	// it must be skipped untokenized, like cpp does.
+	u, err := parseFiles(t, map[string]string{"m.mc": `#ifdef CONFIG_MMU_X
+this is not valid MiniC at all $$$ @@@
+#endif
+int fine = 1;
+`}, "m.mc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(u.Globals) != 1 || u.Globals[0].Name != "fine" {
+		t.Errorf("globals: %+v", u.Globals)
+	}
+}
+
+func TestIncludeGuards(t *testing.T) {
+	// The canonical idiom: a header included twice contributes once.
+	files := map[string]string{
+		"t.h": `#ifndef T_H
+#define T_H 1
+struct once { int v; };
+int touch(struct once *o);
+#endif
+`,
+		"a.h":  "#include \"t.h\"\n",
+		"m.mc": "#include \"t.h\"\n#include \"a.h\"\nint user(struct once *o) { return o->v; }\n",
+	}
+	u, err := parseFiles(t, files, "m.mc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Check(u); err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	if len(u.Structs) != 1 {
+		t.Errorf("struct defined %d times", len(u.Structs))
+	}
+}
+
+func TestIfdefInsideInactiveInclude(t *testing.T) {
+	// Directives other than conditionals are inert in inactive branches —
+	// including #include and #define.
+	files := map[string]string{
+		"never.h": "int from_never;\n",
+		"m.mc": `#ifdef OFF
+#include "never.h"
+#define X 1
+#endif
+#ifdef X
+int x_defined;
+#endif
+int always = 2;
+`,
+	}
+	u, err := parseFiles(t, files, "m.mc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(u.Globals) != 1 || u.Globals[0].Name != "always" {
+		t.Errorf("globals: %+v", u.Globals)
+	}
+}
+
+func TestConditionalErrors(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{"#ifdef A\nint x;\n", "unterminated"},
+		{"#endif\n", "#endif without"},
+		{"#else\n", "#else without"},
+		{"#ifdef A\n#else\n#else\n#endif\n", "duplicate #else"},
+		{"#ifdef 123\n#endif\n", "malformed"},
+	}
+	for _, c := range cases {
+		_, err := parseFiles(t, map[string]string{"m.mc": c.src}, "m.mc")
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%q: err = %v, want %q", c.src, err, c.want)
+		}
+	}
+}
+
+func TestConfigSelectsImplementation(t *testing.T) {
+	// The kernel-config pattern: one source file, two configurations.
+	mk := func(config string) string {
+		return config + `
+#ifdef CONFIG_FAST
+int algo(int v) { return v << 1; }
+#else
+int algo(int v) { return v + v + 1; }
+#endif
+`
+	}
+	for _, tc := range []struct {
+		config string
+		want   string
+	}{
+		{"#define CONFIG_FAST 1", "v << 1"},
+		{"", "v + v + 1"},
+	} {
+		u, err := parseFiles(t, map[string]string{"m.mc": mk(tc.config)}, "m.mc")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(u.Funcs) != 1 {
+			t.Fatalf("config %q: %d algo definitions", tc.config, len(u.Funcs))
+		}
+	}
+}

@@ -1,0 +1,41 @@
+// Package minic implements the front end of the MiniC language: lexing
+// (with a minimal textual preprocessor), parsing, and type checking.
+//
+// MiniC is the C subset in which the simulated kernel and its security
+// patches are written. It was chosen to cover every language-level
+// phenomenon the paper's evaluation turns on:
+//
+//   - Implicit arithmetic conversions (char/short promote to int; long is
+//     64-bit), so changing a type in a function prototype in a header
+//     changes the generated code of every caller (paper section 3.1).
+//   - static file-scope variables and static locals, so distinct
+//     compilation units can define identically named local symbols (the
+//     "debug"/"notesize" ambiguity of sections 4.1 and 6.3).
+//   - An `inline` keyword that is recorded but is only a hint: the
+//     compiler inlines any sufficiently small function (section 4.2).
+//   - Inline `asm` statements and whole assembly source files, so patches
+//     to pure assembly (the CVE-2007-4573 analogue) flow through the same
+//     machinery as C patches.
+//   - `#include`, object-like `#define`/`#undef`, and conditional
+//     inclusion (`#ifdef`/`#ifndef`/`#else`/`#endif`, the kernel-config
+//     idiom), so one header edit recompiles many units and headers can
+//     carry include guards.
+//
+// Grammar summary (informal):
+//
+//	file      = { struct-def | var-decl | func | directive-decl }
+//	type      = ["unsigned"] ("void"|"char"|"short"|"int"|"long")
+//	          | "struct" IDENT ; pointers with *, arrays with [N]
+//	func      = ["static"] ["inline"] type IDENT "(" params ")" (block | ";")
+//	stmt      = block | if | while | for | return | break | continue
+//	          | "asm" "(" STRING ")" ";" | decl ";" | expr ";"
+//	expr      = C expressions: ?:, ||, &&, |, ^, &, ==/!=, relational,
+//	          shifts, additive, multiplicative, casts, unary &/*/!/~/-,
+//	          ++/--, sizeof, calls (direct and through pointers), [],
+//	          ., ->, literals. Assignment: = += -=.
+//
+// Top-level declarations of the form ksplice_apply(f); (and the
+// pre/post/reverse variants) register hot-update hook functions; they are
+// parsed here and lowered to .ksplice.* note sections by the code
+// generator.
+package minic

@@ -1,0 +1,187 @@
+package minic
+
+import (
+	"strings"
+	"testing"
+)
+
+func lexWith(t *testing.T, files map[string]string, root string) []Token {
+	t.Helper()
+	toks, err := LexAll(root, func(p string) (string, bool) {
+		s, ok := files[p]
+		return s, ok
+	})
+	if err != nil {
+		t.Fatalf("lex: %v", err)
+	}
+	return toks
+}
+
+func kindsOf(toks []Token) []Kind {
+	out := make([]Kind, len(toks))
+	for i, tk := range toks {
+		out[i] = tk.Kind
+	}
+	return out
+}
+
+func TestDefineMultiTokenExpansion(t *testing.T) {
+	files := map[string]string{"m.mc": `#define SHIFTED (1 << 4)
+int v = SHIFTED;
+`}
+	toks := lexWith(t, files, "m.mc")
+	// int v = ( 1 << 4 ) ; EOF
+	want := []Kind{KwInt, IDENT, AssignEq, LParen, NUMBER, Shl, NUMBER, RParen, Semi, EOF}
+	got := kindsOf(toks)
+	if len(got) != len(want) {
+		t.Fatalf("tokens: %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	// Expanded tokens carry the use-site position.
+	for _, tk := range toks {
+		if tk.Kind == NUMBER && tk.Pos.Line != 2 {
+			t.Errorf("expanded token at line %d, want use-site line 2", tk.Pos.Line)
+		}
+	}
+}
+
+func TestUndefStopsExpansion(t *testing.T) {
+	files := map[string]string{"m.mc": `#define X 7
+int a = X;
+#undef X
+int X = 3;
+`}
+	u, err := Parse("m.mc", func(p string) (string, bool) { s, ok := files[p]; return s, ok })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(u.Globals) != 2 || u.Globals[1].Name != "X" {
+		t.Fatalf("globals: %+v", u.Globals)
+	}
+	if v, _ := FoldConst(u.Globals[0].Init); v != 7 {
+		t.Errorf("a = %d", v)
+	}
+}
+
+func TestDefineCrossesIncludeBoundary(t *testing.T) {
+	files := map[string]string{
+		"cfg.h":   "#define MAXLEN 16\n",
+		"main.mc": "#include \"cfg.h\"\nint buf[MAXLEN];\n",
+	}
+	u, err := Parse("main.mc", func(p string) (string, bool) { s, ok := files[p]; return s, ok })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Check(u); err != nil {
+		t.Fatal(err)
+	}
+	if u.Globals[0].Type.ArrayLen != 16 {
+		t.Errorf("buf length = %d", u.Globals[0].Type.ArrayLen)
+	}
+}
+
+func TestNestedIncludes(t *testing.T) {
+	files := map[string]string{
+		"a.h":     "#include \"b.h\"\nint fa(void);\n",
+		"b.h":     "int fb(void);\n",
+		"main.mc": "#include \"a.h\"\nint user(void) { return 0; }\n",
+	}
+	u, err := Parse("main.mc", func(p string) (string, bool) { s, ok := files[p]; return s, ok })
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, f := range u.Funcs {
+		names[f.Name] = true
+	}
+	if !names["fa"] || !names["fb"] || !names["user"] {
+		t.Errorf("functions: %v", names)
+	}
+}
+
+func TestHashMidLineIsNotADirective(t *testing.T) {
+	// A '#' that is not at line start must be a lex error (MiniC has no
+	// stringize operator), not a directive.
+	files := map[string]string{"m.mc": "int a = 1; #define X 2\n"}
+	if _, err := LexAll("m.mc", func(p string) (string, bool) { s, ok := files[p]; return s, ok }); err == nil {
+		t.Error("mid-line # accepted")
+	}
+}
+
+func TestDirectiveErrors(t *testing.T) {
+	cases := []string{
+		"#include <stdio.h>\n", // only quoted includes are supported
+		"#include \"missing\"\n",
+		"#define 123 4\n",
+		"#pragma once\n",
+	}
+	for _, src := range cases {
+		files := map[string]string{"m.mc": src}
+		if _, err := LexAll("m.mc", func(p string) (string, bool) { s, ok := files[p]; return s, ok }); err == nil {
+			t.Errorf("accepted %q", src)
+		}
+	}
+}
+
+func TestPositionsSurviveIncludes(t *testing.T) {
+	files := map[string]string{
+		"h.h":  "int ok(void);\n",
+		"m.mc": "#include \"h.h\"\nint bad( { return 0; }\n",
+	}
+	_, err := Parse("m.mc", func(p string) (string, bool) { s, ok := files[p]; return s, ok })
+	if err == nil {
+		t.Fatal("no error")
+	}
+	if !strings.Contains(err.Error(), "m.mc:2") {
+		t.Errorf("error lacks post-include position: %v", err)
+	}
+}
+
+func TestCommentsEverywhere(t *testing.T) {
+	src := `// leading
+int /* inline */ f(void) {
+	/* multi
+	   line */
+	return 1; // trailing
+}
+`
+	u, err := ParseString("c.mc", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(u.Funcs) != 1 || u.Funcs[0].Name != "f" {
+		t.Errorf("funcs: %+v", u.Funcs)
+	}
+}
+
+func TestNumericSuffixesAndBases(t *testing.T) {
+	u, err := ParseString("n.mc", `
+long a = 0x10UL;
+long b = 070;
+long c = 1000000000000L;
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := map[string]int64{}
+	for _, g := range u.Globals {
+		v, err := FoldConst(g.Init)
+		if err != nil {
+			t.Fatalf("%s: %v", g.Name, err)
+		}
+		vals[g.Name] = v
+	}
+	if vals["a"] != 0x10 {
+		t.Errorf("a = %d", vals["a"])
+	}
+	if vals["b"] != 0o70 {
+		t.Errorf("b = %d (octal)", vals["b"])
+	}
+	if vals["c"] != 1000000000000 {
+		t.Errorf("c = %d", vals["c"])
+	}
+}

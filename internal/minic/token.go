@@ -1,0 +1,154 @@
+package minic
+
+import "fmt"
+
+// Kind identifies a lexical token class.
+type Kind int
+
+// Token kinds. Keywords and punctuation each get a distinct kind so the
+// parser can switch on them directly.
+const (
+	EOF Kind = iota
+	IDENT
+	NUMBER // integer literal; value in Token.Val
+	STRING // string literal; text in Token.Text (unquoted, unescaped)
+	CHARLIT
+
+	// Keywords.
+	KwVoid
+	KwChar
+	KwShort
+	KwInt
+	KwLong
+	KwUnsigned
+	KwSigned
+	KwStruct
+	KwStatic
+	KwExtern
+	KwInline
+	KwIf
+	KwElse
+	KwWhile
+	KwFor
+	KwReturn
+	KwBreak
+	KwContinue
+	KwSizeof
+	KwAsm
+
+	// Punctuation and operators.
+	LParen
+	RParen
+	LBrace
+	RBrace
+	LBracket
+	RBracket
+	Semi
+	Comma
+	Dot
+	Arrow
+	Question
+	Colon
+
+	AssignEq
+	PlusAssign
+	MinusAssign
+	StarAssign
+	SlashAssign
+
+	Plus
+	Minus
+	Star
+	Slash
+	Percent
+	Amp
+	Pipe
+	Caret
+	Shl
+	Shr
+	Tilde
+	Not
+	AndAnd
+	OrOr
+	Eq
+	Ne
+	Lt
+	Le
+	Gt
+	Ge
+	Inc
+	Dec
+)
+
+var kindNames = map[Kind]string{
+	EOF: "end of file", IDENT: "identifier", NUMBER: "number",
+	STRING: "string", CHARLIT: "char literal",
+	KwVoid: "void", KwChar: "char", KwShort: "short", KwInt: "int",
+	KwLong: "long", KwUnsigned: "unsigned", KwSigned: "signed",
+	KwStruct: "struct", KwStatic: "static", KwExtern: "extern",
+	KwInline: "inline", KwIf: "if", KwElse: "else", KwWhile: "while",
+	KwFor: "for", KwReturn: "return", KwBreak: "break",
+	KwContinue: "continue", KwSizeof: "sizeof", KwAsm: "asm",
+	LParen: "(", RParen: ")", LBrace: "{", RBrace: "}",
+	LBracket: "[", RBracket: "]", Semi: ";", Comma: ",", Dot: ".",
+	Arrow: "->", Question: "?", Colon: ":",
+	AssignEq: "=", PlusAssign: "+=", MinusAssign: "-=",
+	StarAssign: "*=", SlashAssign: "/=",
+	Plus: "+", Minus: "-", Star: "*", Slash: "/", Percent: "%",
+	Amp: "&", Pipe: "|", Caret: "^", Shl: "<<", Shr: ">>",
+	Tilde: "~", Not: "!", AndAnd: "&&", OrOr: "||",
+	Eq: "==", Ne: "!=", Lt: "<", Le: "<=", Gt: ">", Ge: ">=",
+	Inc: "++", Dec: "--",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("kind?%d", int(k))
+}
+
+var keywords = map[string]Kind{
+	"void": KwVoid, "char": KwChar, "short": KwShort, "int": KwInt,
+	"long": KwLong, "unsigned": KwUnsigned, "signed": KwSigned,
+	"struct": KwStruct, "static": KwStatic, "extern": KwExtern,
+	"inline": KwInline, "if": KwIf, "else": KwElse, "while": KwWhile,
+	"for": KwFor, "return": KwReturn, "break": KwBreak,
+	"continue": KwContinue, "sizeof": KwSizeof, "asm": KwAsm,
+}
+
+// Pos locates a token in the source tree.
+type Pos struct {
+	File string
+	Line int
+}
+
+func (p Pos) String() string {
+	if p.File == "" {
+		return fmt.Sprintf("line %d", p.Line)
+	}
+	return fmt.Sprintf("%s:%d", p.File, p.Line)
+}
+
+// Token is one lexical token.
+type Token struct {
+	Kind Kind
+	Text string // identifier spelling or string-literal contents
+	Val  int64  // NUMBER and CHARLIT value
+	Pos  Pos
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case IDENT:
+		return t.Text
+	case NUMBER:
+		return fmt.Sprintf("%d", t.Val)
+	case STRING:
+		return fmt.Sprintf("%q", t.Text)
+	case CHARLIT:
+		return fmt.Sprintf("%q", rune(t.Val))
+	default:
+		return t.Kind.String()
+	}
+}

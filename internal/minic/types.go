@@ -1,0 +1,207 @@
+package minic
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TypeKind classifies MiniC types.
+type TypeKind int
+
+const (
+	TVoid TypeKind = iota
+	TInt           // all integer types; Size and Unsigned discriminate
+	TPtr
+	TArray
+	TStruct
+	TFunc // function designator type (only behind pointers or as call targets)
+)
+
+// Type describes a MiniC type. Integer types are characterized by byte
+// size and signedness: char=1, short=2, int=4, long=8. Pointers are 4
+// bytes (the simulated kernel is a 32-bit address space with 64-bit
+// registers, mirroring the ILP32 target of the paper's evaluation).
+type Type struct {
+	Kind     TypeKind
+	Size     int  // TInt: 1,2,4,8
+	Unsigned bool // TInt
+
+	Elem     *Type // TPtr, TArray
+	ArrayLen int   // TArray
+
+	StructName string     // TStruct
+	Def        *StructDef // TStruct: resolved by the checker
+
+	Ret    *Type   // TFunc
+	Params []*Type // TFunc
+}
+
+// Prebuilt singleton types.
+var (
+	TypeVoid   = &Type{Kind: TVoid}
+	TypeChar   = &Type{Kind: TInt, Size: 1}
+	TypeUChar  = &Type{Kind: TInt, Size: 1, Unsigned: true}
+	TypeShort  = &Type{Kind: TInt, Size: 2}
+	TypeUShort = &Type{Kind: TInt, Size: 2, Unsigned: true}
+	TypeInt    = &Type{Kind: TInt, Size: 4}
+	TypeUInt   = &Type{Kind: TInt, Size: 4, Unsigned: true}
+	TypeLong   = &Type{Kind: TInt, Size: 8}
+	TypeULong  = &Type{Kind: TInt, Size: 8, Unsigned: true}
+)
+
+// PointerSize is sizeof(T*) for every T.
+const PointerSize = 4
+
+// PtrTo returns the pointer type to elem.
+func PtrTo(elem *Type) *Type { return &Type{Kind: TPtr, Elem: elem} }
+
+// ArrayOf returns the array type of n elems.
+func ArrayOf(elem *Type, n int) *Type {
+	return &Type{Kind: TArray, Elem: elem, ArrayLen: n}
+}
+
+// IsInt reports whether t is an integer type.
+func (t *Type) IsInt() bool { return t != nil && t.Kind == TInt }
+
+// IsPtr reports whether t is a pointer type.
+func (t *Type) IsPtr() bool { return t != nil && t.Kind == TPtr }
+
+// IsScalar reports whether t is an integer or pointer.
+func (t *Type) IsScalar() bool { return t.IsInt() || t.IsPtr() }
+
+// Sizeof returns t's size in bytes. Struct types must be resolved first.
+func (t *Type) Sizeof() int {
+	switch t.Kind {
+	case TVoid:
+		return 1 // as a pointee unit for void* arithmetic
+	case TInt:
+		return t.Size
+	case TPtr:
+		return PointerSize
+	case TArray:
+		return t.Elem.Sizeof() * t.ArrayLen
+	case TStruct:
+		if t.Def == nil {
+			panic("minic: Sizeof on unresolved struct " + t.StructName)
+		}
+		return t.Def.Size
+	case TFunc:
+		return PointerSize
+	}
+	return 0
+}
+
+// Alignof returns t's natural alignment.
+func (t *Type) Alignof() int {
+	switch t.Kind {
+	case TInt:
+		return t.Size
+	case TPtr, TFunc:
+		return PointerSize
+	case TArray:
+		return t.Elem.Alignof()
+	case TStruct:
+		if t.Def == nil {
+			panic("minic: Alignof on unresolved struct " + t.StructName)
+		}
+		return t.Def.Align
+	}
+	return 1
+}
+
+// Equal reports structural type equality.
+func (t *Type) Equal(o *Type) bool {
+	if t == o {
+		return true
+	}
+	if t == nil || o == nil || t.Kind != o.Kind {
+		return false
+	}
+	switch t.Kind {
+	case TVoid:
+		return true
+	case TInt:
+		return t.Size == o.Size && t.Unsigned == o.Unsigned
+	case TPtr:
+		return t.Elem.Equal(o.Elem)
+	case TArray:
+		return t.ArrayLen == o.ArrayLen && t.Elem.Equal(o.Elem)
+	case TStruct:
+		return t.StructName == o.StructName
+	case TFunc:
+		if !t.Ret.Equal(o.Ret) || len(t.Params) != len(o.Params) {
+			return false
+		}
+		for i := range t.Params {
+			if !t.Params[i].Equal(o.Params[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+func (t *Type) String() string {
+	if t == nil {
+		return "<nil>"
+	}
+	switch t.Kind {
+	case TVoid:
+		return "void"
+	case TInt:
+		name := map[int]string{1: "char", 2: "short", 4: "int", 8: "long"}[t.Size]
+		if t.Unsigned {
+			return "unsigned " + name
+		}
+		return name
+	case TPtr:
+		return t.Elem.String() + "*"
+	case TArray:
+		return fmt.Sprintf("%s[%d]", t.Elem, t.ArrayLen)
+	case TStruct:
+		return "struct " + t.StructName
+	case TFunc:
+		parts := make([]string, len(t.Params))
+		for i, p := range t.Params {
+			parts[i] = p.String()
+		}
+		return fmt.Sprintf("%s(%s)", t.Ret, strings.Join(parts, ", "))
+	}
+	return "?"
+}
+
+// Promote applies the integer promotions: char and short widen to int.
+func Promote(t *Type) *Type {
+	if t.IsInt() && t.Size < 4 {
+		return TypeInt
+	}
+	return t
+}
+
+// Arith returns the common type of the usual arithmetic conversions for
+// two integer operands.
+func Arith(a, b *Type) *Type {
+	a, b = Promote(a), Promote(b)
+	size := a.Size
+	if b.Size > size {
+		size = b.Size
+	}
+	unsigned := false
+	if a.Size == size && a.Unsigned {
+		unsigned = true
+	}
+	if b.Size == size && b.Unsigned {
+		unsigned = true
+	}
+	switch {
+	case size == 8 && unsigned:
+		return TypeULong
+	case size == 8:
+		return TypeLong
+	case unsigned:
+		return TypeUInt
+	default:
+		return TypeInt
+	}
+}

@@ -1,0 +1,143 @@
+package minic
+
+import "testing"
+
+func TestTypeSizesAndAlignment(t *testing.T) {
+	cases := []struct {
+		typ   *Type
+		size  int
+		align int
+	}{
+		{TypeChar, 1, 1},
+		{TypeUChar, 1, 1},
+		{TypeShort, 2, 2},
+		{TypeInt, 4, 4},
+		{TypeUInt, 4, 4},
+		{TypeLong, 8, 8},
+		{TypeULong, 8, 8},
+		{PtrTo(TypeLong), 4, 4}, // ILP32 pointers
+		{ArrayOf(TypeInt, 5), 20, 4},
+		{ArrayOf(ArrayOf(TypeChar, 3), 4), 12, 1},
+	}
+	for _, c := range cases {
+		if got := c.typ.Sizeof(); got != c.size {
+			t.Errorf("sizeof(%s) = %d, want %d", c.typ, got, c.size)
+		}
+		if got := c.typ.Alignof(); got != c.align {
+			t.Errorf("alignof(%s) = %d, want %d", c.typ, got, c.align)
+		}
+	}
+}
+
+func TestTypeStrings(t *testing.T) {
+	cases := map[string]*Type{
+		"int":            TypeInt,
+		"unsigned long":  TypeULong,
+		"char*":          PtrTo(TypeChar),
+		"int[4]":         ArrayOf(TypeInt, 4),
+		"struct task":    {Kind: TStruct, StructName: "task"},
+		"void":           TypeVoid,
+		"int(long, int)": {Kind: TFunc, Ret: TypeInt, Params: []*Type{TypeLong, TypeInt}},
+	}
+	for want, typ := range cases {
+		if got := typ.String(); got != want {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestTypeEqual(t *testing.T) {
+	if !PtrTo(TypeInt).Equal(PtrTo(TypeInt)) {
+		t.Error("identical pointer types unequal")
+	}
+	if PtrTo(TypeInt).Equal(PtrTo(TypeUInt)) {
+		t.Error("int* == unsigned int*")
+	}
+	if ArrayOf(TypeInt, 3).Equal(ArrayOf(TypeInt, 4)) {
+		t.Error("int[3] == int[4]")
+	}
+	a := &Type{Kind: TStruct, StructName: "s"}
+	b := &Type{Kind: TStruct, StructName: "s"}
+	if !a.Equal(b) {
+		t.Error("same-named structs unequal")
+	}
+	f1 := &Type{Kind: TFunc, Ret: TypeInt, Params: []*Type{TypeInt}}
+	f2 := &Type{Kind: TFunc, Ret: TypeInt, Params: []*Type{TypeLong}}
+	if f1.Equal(f2) {
+		t.Error("different function types equal")
+	}
+	if f1.Equal(nil) || (*Type)(nil).Equal(f1) {
+		t.Error("nil comparisons")
+	}
+}
+
+func TestPromoteTable(t *testing.T) {
+	cases := []struct{ in, want *Type }{
+		{TypeChar, TypeInt},
+		{TypeUChar, TypeInt},
+		{TypeShort, TypeInt},
+		{TypeUShort, TypeInt},
+		{TypeInt, TypeInt},
+		{TypeUInt, TypeUInt},
+		{TypeLong, TypeLong},
+		{TypeULong, TypeULong},
+	}
+	for _, c := range cases {
+		if got := Promote(c.in); !got.Equal(c.want) {
+			t.Errorf("Promote(%s) = %s, want %s", c.in, got, c.want)
+		}
+	}
+}
+
+func TestScalarPredicates(t *testing.T) {
+	if !TypeInt.IsInt() || !TypeInt.IsScalar() {
+		t.Error("int predicates")
+	}
+	if TypeVoid.IsScalar() {
+		t.Error("void is scalar")
+	}
+	if !PtrTo(TypeVoid).IsPtr() || !PtrTo(TypeVoid).IsScalar() {
+		t.Error("pointer predicates")
+	}
+	st := &Type{Kind: TStruct, StructName: "s"}
+	if st.IsScalar() || st.IsInt() || st.IsPtr() {
+		t.Error("struct predicates")
+	}
+}
+
+func TestHookKindSections(t *testing.T) {
+	want := map[HookKind]string{
+		HookApply:       ".ksplice.apply",
+		HookPreApply:    ".ksplice.pre_apply",
+		HookPostApply:   ".ksplice.post_apply",
+		HookReverse:     ".ksplice.reverse",
+		HookPreReverse:  ".ksplice.pre_reverse",
+		HookPostReverse: ".ksplice.post_reverse",
+	}
+	for k, s := range want {
+		if got := k.SectionName(); got != s {
+			t.Errorf("%d.SectionName() = %q, want %q", k, got, s)
+		}
+	}
+	// Every hook macro name maps to a distinct kind.
+	seen := map[HookKind]bool{}
+	for name, kind := range hookNames {
+		if seen[kind] {
+			t.Errorf("duplicate hook kind for %s", name)
+		}
+		seen[kind] = true
+	}
+	if len(seen) != 6 {
+		t.Errorf("hook kinds: %d", len(seen))
+	}
+}
+
+func TestPosString(t *testing.T) {
+	p := Pos{File: "fs/read.mc", Line: 12}
+	if p.String() != "fs/read.mc:12" {
+		t.Errorf("Pos = %q", p.String())
+	}
+	if (Pos{Line: 3}).String() != "line 3" {
+		t.Errorf("bare Pos = %q", (Pos{Line: 3}).String())
+	}
+}

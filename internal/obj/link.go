@@ -1,0 +1,226 @@
+package obj
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// PlacedSection records where one input section landed in a linked image.
+type PlacedSection struct {
+	File string // SourcePath of the contributing object file
+	Name string
+	Kind SectionKind
+	Addr uint32
+	Size uint32
+}
+
+// ImageSymbol is one entry of a linked image's symbol table. Local symbols
+// from different files may share a name; File disambiguates provenance
+// (the running kernel's kallsyms does not, which is exactly the ambiguity
+// run-pre matching resolves).
+type ImageSymbol struct {
+	Name  string
+	Addr  uint32
+	Size  uint32
+	Local bool
+	Func  bool
+	File  string
+}
+
+// Image is the result of a link: a flat byte image to be loaded at Base,
+// with placement and symbol metadata.
+type Image struct {
+	Base     uint32
+	Bytes    []byte // includes zeroed BSS at the tail
+	Sections []PlacedSection
+	Symbols  []ImageSymbol
+}
+
+// End returns the first address past the image.
+func (im *Image) End() uint32 { return im.Base + uint32(len(im.Bytes)) }
+
+// Lookup returns the addresses of all symbols with the given name. More
+// than one address means the name is ambiguous (duplicate local symbols).
+func (im *Image) Lookup(name string) []ImageSymbol {
+	var out []ImageSymbol
+	for _, s := range im.Symbols {
+		if s.Name == name {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// LookupOne returns the unique symbol with the given name, failing if the
+// name is missing or ambiguous.
+func (im *Image) LookupOne(name string) (ImageSymbol, error) {
+	syms := im.Lookup(name)
+	switch len(syms) {
+	case 0:
+		return ImageSymbol{}, fmt.Errorf("obj: symbol %q not found in image", name)
+	case 1:
+		return syms[0], nil
+	default:
+		return ImageSymbol{}, fmt.Errorf("obj: symbol %q is ambiguous (%d definitions)", name, len(syms))
+	}
+}
+
+// FuncAt returns the function symbol whose extent covers addr, or false.
+func (im *Image) FuncAt(addr uint32) (ImageSymbol, bool) {
+	for _, s := range im.Symbols {
+		if s.Func && addr >= s.Addr && addr < s.Addr+s.Size {
+			return s, true
+		}
+	}
+	return ImageSymbol{}, false
+}
+
+// LinkOptions configures a link.
+type LinkOptions struct {
+	// Base is the load address of the first byte of the image.
+	Base uint32
+	// Resolve, if non-nil, supplies addresses for symbols undefined in
+	// every input file. Module loading resolves against the running
+	// kernel's symbol table this way. Resolution by bare name fails for
+	// ambiguous names — which is the limitation of symbol-table-driven
+	// resolution that motivates run-pre matching.
+	Resolve func(name string) (uint32, error)
+}
+
+// segment order in the image.
+var kindOrder = [...]SectionKind{Text, ROData, Data, Note, BSS}
+
+func alignUp(v, a uint32) uint32 {
+	if a == 0 {
+		a = 1
+	}
+	return (v + a - 1) &^ (a - 1)
+}
+
+// Link lays the input files out into a single image and applies all
+// relocations. Input order is significant and deterministic: sections are
+// grouped by kind in kindOrder, and within a kind they appear in (file,
+// section) order.
+func Link(files []*File, opts LinkOptions) (*Image, error) {
+	for _, f := range files {
+		if err := f.Validate(); err != nil {
+			return nil, err
+		}
+	}
+
+	im := &Image{Base: opts.Base}
+
+	// First pass: placement.
+	type placeKey struct{ file, sec int }
+	addrOf := make(map[placeKey]uint32)
+	cursor := opts.Base
+	for _, kind := range kindOrder {
+		for fi, f := range files {
+			for si, sec := range f.Sections {
+				if sec.Kind != kind {
+					continue
+				}
+				cursor = alignUp(cursor, sec.Align)
+				addrOf[placeKey{fi, si}] = cursor
+				im.Sections = append(im.Sections, PlacedSection{
+					File: f.SourcePath, Name: sec.Name, Kind: sec.Kind,
+					Addr: cursor, Size: sec.Len(),
+				})
+				cursor += sec.Len()
+			}
+		}
+	}
+	size := cursor - opts.Base
+	im.Bytes = make([]byte, size)
+
+	// Copy section contents.
+	for fi, f := range files {
+		for si, sec := range f.Sections {
+			if sec.Kind == BSS {
+				continue
+			}
+			addr := addrOf[placeKey{fi, si}]
+			copy(im.Bytes[addr-opts.Base:], sec.Data)
+		}
+	}
+
+	// Build the symbol table; check global uniqueness.
+	globals := make(map[string]uint32)
+	globalFile := make(map[string]string)
+	for fi, f := range files {
+		for _, sym := range f.Symbols {
+			if !sym.Defined() {
+				continue
+			}
+			addr := addrOf[placeKey{fi, sym.Section}] + sym.Value
+			im.Symbols = append(im.Symbols, ImageSymbol{
+				Name: sym.Name, Addr: addr, Size: sym.Size,
+				Local: sym.Local, Func: sym.Func, File: f.SourcePath,
+			})
+			if !sym.Local {
+				if prev, dup := globals[sym.Name]; dup {
+					return nil, fmt.Errorf("obj: global symbol %q defined in both %s and %s (first at %#x)",
+						sym.Name, globalFile[sym.Name], f.SourcePath, prev)
+				}
+				globals[sym.Name] = addr
+				globalFile[sym.Name] = f.SourcePath
+			}
+		}
+	}
+	sort.SliceStable(im.Symbols, func(i, j int) bool { return im.Symbols[i].Addr < im.Symbols[j].Addr })
+
+	// Second pass: relocation.
+	for fi, f := range files {
+		// Symbol value resolution within this file: defined symbols bind
+		// locally; undefined bind to a global from any file, else to the
+		// external resolver.
+		resolve := func(idx int) (uint32, error) {
+			sym := f.Symbols[idx]
+			if sym.Defined() {
+				return addrOf[placeKey{fi, sym.Section}] + sym.Value, nil
+			}
+			if addr, ok := globals[sym.Name]; ok {
+				return addr, nil
+			}
+			if opts.Resolve != nil {
+				addr, err := opts.Resolve(sym.Name)
+				if err != nil {
+					return 0, fmt.Errorf("obj: %s: unresolved symbol %q: %w", f.SourcePath, sym.Name, err)
+				}
+				return addr, nil
+			}
+			return 0, fmt.Errorf("obj: %s: unresolved symbol %q", f.SourcePath, sym.Name)
+		}
+
+		for si, sec := range f.Sections {
+			secAddr := addrOf[placeKey{fi, si}]
+			for _, r := range sec.Relocs {
+				s, err := resolve(r.Sym)
+				if err != nil {
+					return nil, err
+				}
+				p := secAddr + r.Offset
+				field := im.Bytes[p-opts.Base:]
+				switch r.Type {
+				case RelAbs32:
+					binary.LittleEndian.PutUint32(field, s+uint32(r.Addend))
+				case RelAbs64:
+					binary.LittleEndian.PutUint64(field, uint64(int64(s)+int64(r.Addend)))
+				case RelPC32:
+					binary.LittleEndian.PutUint32(field, s+uint32(r.Addend)-p)
+				case RelPC8:
+					v := int64(s) + int64(r.Addend) - int64(p)
+					if v < -128 || v > 127 {
+						return nil, fmt.Errorf("obj: %s section %q: pc8 relocation to %q out of range (%d)",
+							f.SourcePath, sec.Name, f.Symbols[r.Sym].Name, v)
+					}
+					field[0] = byte(int8(v))
+				default:
+					return nil, fmt.Errorf("obj: %s: unknown relocation type %d", f.SourcePath, r.Type)
+				}
+			}
+		}
+	}
+	return im, nil
+}

@@ -1,0 +1,132 @@
+package simstate
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gosplice/internal/core"
+	"gosplice/internal/cvedb"
+)
+
+func TestNewValidatesVersion(t *testing.T) {
+	if _, err := New("linux-9.99"); err == nil {
+		t.Error("bogus version accepted")
+	}
+	st, err := New(cvedb.Versions[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Version != cvedb.Versions[0] || len(st.Updates) != 0 {
+		t.Errorf("state: %+v", st)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "machine.json")
+	st, err := New(cvedb.Versions[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Updates = []string{"u1.tar"}
+	if err := st.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version != st.Version || len(got.Updates) != 1 || got.Updates[0] != "u1.tar" {
+		t.Errorf("loaded: %+v", got)
+	}
+	if _, err := Load(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file loaded")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	os.WriteFile(bad, []byte("{nope"), 0o644)
+	if _, err := Load(bad); err == nil {
+		t.Error("corrupt state loaded")
+	}
+}
+
+// TestReplayLifecycle exercises the full tool workflow in-process: boot,
+// create an update, persist it, replay the machine with the update, and
+// stack a second create against the previously-patched tree.
+func TestReplayLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	c, ok := cvedb.ByID("CVE-2006-3626")
+	if !ok {
+		t.Fatal("missing corpus entry")
+	}
+	st, err := New(c.Version)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// ksplice-create.
+	tree, err := st.Tree()
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := core.CreateUpdate(tree, c.Patch(), core.CreateOptions{Name: "ksplice-t"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tarPath := filepath.Join(dir, "ksplice-t.tar")
+	f, err := os.Create(tarPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := u.WriteTar(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	// ksplice-apply: replay then apply, persist.
+	k, mgr, err := st.Replay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mgr.Apply(u, core.ApplyOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	st.Updates = append(st.Updates, "ksplice-t.tar")
+	statePath := filepath.Join(dir, "machine.json")
+	if err := st.Save(statePath); err != nil {
+		t.Fatal(err)
+	}
+
+	// A later invocation replays to the same state: the update is live.
+	st2, err := Load(statePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, mgr2, err := st2.Replay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mgr2.Applied()) != 1 {
+		t.Fatalf("replayed %d updates", len(mgr2.Applied()))
+	}
+	task, err := k2.CallAsUser(1000, c.Probe.Entry, c.Probe.Args...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if task.ExitCode != c.Probe.FixedResult {
+		t.Errorf("replayed probe = %d, want fixed %d", task.ExitCode, c.Probe.FixedResult)
+	}
+
+	// The previously-patched tree differs from the base tree (section
+	// 5.4): a stacked create must diff against it.
+	tree2, err := st2.Tree()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := range c.Fixed {
+		if tree2.Files[p] == tree.Files[p] {
+			t.Errorf("previously-patched tree does not include the fix in %s", p)
+		}
+	}
+	_ = k
+}

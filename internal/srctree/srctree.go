@@ -1,0 +1,153 @@
+// Package srctree models kernel source trees as in-memory file maps and
+// orchestrates deterministic builds: every .mc (MiniC) and .mcs (assembly)
+// file is one compilation unit, headers are reached through #include, and
+// the result is a list of SOF object files plus, if requested, a linked
+// kernel image.
+//
+// Builds are bit-for-bit deterministic for a given (tree, options) pair;
+// the pre-post differencing technique depends on nothing else.
+package srctree
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"gosplice/internal/codegen"
+	"gosplice/internal/diffutil"
+	"gosplice/internal/minic"
+	"gosplice/internal/obj"
+)
+
+// Tree is an in-memory source tree.
+type Tree struct {
+	// Files maps tree-relative paths to contents.
+	Files map[string]string
+	// Version labels the kernel release this tree builds (shown by tools
+	// and recorded in machine images).
+	Version string
+}
+
+// New creates a tree from a file map.
+func New(version string, files map[string]string) *Tree {
+	return &Tree{Files: files, Version: version}
+}
+
+// Clone deep-copies the tree.
+func (t *Tree) Clone() *Tree {
+	files := make(map[string]string, len(t.Files))
+	for k, v := range t.Files {
+		files[k] = v
+	}
+	return &Tree{Files: files, Version: t.Version}
+}
+
+// Provider adapts the tree for the MiniC lexer's #include resolution.
+func (t *Tree) Provider() minic.FileProvider {
+	return func(path string) (string, bool) {
+		s, ok := t.Files[path]
+		return s, ok
+	}
+}
+
+// Units returns the tree's compilation unit paths in sorted order:
+// every .mc and .mcs file. Headers (.h) are only reached via #include.
+func (t *Tree) Units() []string {
+	var out []string
+	for p := range t.Files {
+		if strings.HasSuffix(p, ".mc") || strings.HasSuffix(p, ".mcs") {
+			out = append(out, p)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Patch applies a unified diff to the tree, returning the patched tree.
+func (t *Tree) Patch(patchText string) (*Tree, error) {
+	p, err := diffutil.ParsePatch(patchText)
+	if err != nil {
+		return nil, err
+	}
+	files, err := p.Apply(t.Files)
+	if err != nil {
+		return nil, err
+	}
+	return &Tree{Files: files, Version: t.Version}, nil
+}
+
+// ParseUnit parses and checks one compilation unit (MiniC only).
+func (t *Tree) ParseUnit(path string) (*minic.Unit, error) {
+	u, err := minic.Parse(path, t.Provider())
+	if err != nil {
+		return nil, err
+	}
+	if err := minic.Check(u); err != nil {
+		return nil, err
+	}
+	return u, nil
+}
+
+// BuildResult is the object code produced by compiling a tree.
+type BuildResult struct {
+	Tree    *Tree
+	Options codegen.Options
+	// Objects holds one object file per unit, in Units() order.
+	Objects []*obj.File
+}
+
+// Object returns the object file for the given unit path, or nil.
+func (br *BuildResult) Object(path string) *obj.File {
+	for _, f := range br.Objects {
+		if f.SourcePath == path {
+			return f
+		}
+	}
+	return nil
+}
+
+// Build compiles every unit in the tree with the given options.
+func Build(t *Tree, opts codegen.Options) (*BuildResult, error) {
+	br := &BuildResult{Tree: t, Options: opts}
+	for _, path := range t.Units() {
+		f, err := buildUnit(t, path, opts)
+		if err != nil {
+			return nil, err
+		}
+		br.Objects = append(br.Objects, f)
+	}
+	return br, nil
+}
+
+func buildUnit(t *Tree, path string, opts codegen.Options) (*obj.File, error) {
+	if strings.HasSuffix(path, ".mcs") {
+		f, err := codegen.AssembleFile(path, t.Files[path], opts)
+		if err != nil {
+			return nil, fmt.Errorf("srctree: assemble %s: %w", path, err)
+		}
+		return f, nil
+	}
+	u, err := t.ParseUnit(path)
+	if err != nil {
+		return nil, fmt.Errorf("srctree: %w", err)
+	}
+	f, err := codegen.Compile(u, opts)
+	if err != nil {
+		return nil, fmt.Errorf("srctree: %w", err)
+	}
+	return f, nil
+}
+
+// BuildUnit compiles a single unit.
+func BuildUnit(t *Tree, path string, opts codegen.Options) (*obj.File, error) {
+	return buildUnit(t, path, opts)
+}
+
+// LinkKernel links a build into a bootable image at the given base.
+func LinkKernel(br *BuildResult, base uint32) (*obj.Image, error) {
+	im, err := obj.Link(br.Objects, obj.LinkOptions{Base: base})
+	if err != nil {
+		return nil, fmt.Errorf("srctree: link kernel %s: %w", br.Tree.Version, err)
+	}
+	return im, nil
+}

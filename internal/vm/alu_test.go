@@ -1,0 +1,272 @@
+package vm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gosplice/internal/isa"
+)
+
+// runALU2 executes a single two-register op with the given operands.
+func runALU2(t *testing.T, op isa.Op, a, b int64) (uint64, error) {
+	t.Helper()
+	code := isa.MOVI64(nil, isa.R0, a)
+	code = isa.MOVI64(code, isa.R1, b)
+	code = isa.ALU(code, op, isa.R0, isa.R1)
+	code = isa.HLT(code)
+	m, th := load(code, 0x100)
+	_, err := m.Run(th, 10)
+	return th.R[isa.R0], err
+}
+
+func runALU1(t *testing.T, op isa.Op, a int64) uint64 {
+	t.Helper()
+	code := isa.MOVI64(nil, isa.R0, a)
+	code = isa.ALU1(code, op, isa.R0)
+	code = isa.HLT(code)
+	m, th := load(code, 0x100)
+	if _, err := m.Run(th, 10); err != nil {
+		t.Fatal(err)
+	}
+	return th.R[isa.R0]
+}
+
+// sext32 mirrors the canonical form 32-bit ops produce.
+func sx32(v uint32) uint64 { return uint64(int64(int32(v))) }
+
+// TestEveryALUOpAgainstGo runs every two-register ALU opcode against its
+// Go reference semantics over a grid of interesting operands.
+func TestEveryALUOpAgainstGo(t *testing.T) {
+	operands := []int64{0, 1, -1, 2, -2, 7, 31, 32, 63, 64, 127,
+		0x7fffffff, -0x80000000, 0xffffffff, 1 << 40, -(1 << 40),
+		0x7fffffffffffffff, -0x8000000000000000}
+
+	type ref struct {
+		op isa.Op
+		f  func(a, b uint64) (uint64, bool) // ok=false means faulting case
+	}
+	refs := []ref{
+		{isa.OpADD32, func(a, b uint64) (uint64, bool) { return sx32(uint32(a) + uint32(b)), true }},
+		{isa.OpSUB32, func(a, b uint64) (uint64, bool) { return sx32(uint32(a) - uint32(b)), true }},
+		{isa.OpMUL32, func(a, b uint64) (uint64, bool) { return sx32(uint32(a) * uint32(b)), true }},
+		{isa.OpDIV32S, func(a, b uint64) (uint64, bool) {
+			x, y := int32(a), int32(b)
+			if y == 0 || (x == -1<<31 && y == -1) {
+				return 0, false
+			}
+			return sx32(uint32(x / y)), true
+		}},
+		{isa.OpDIV32U, func(a, b uint64) (uint64, bool) {
+			if uint32(b) == 0 {
+				return 0, false
+			}
+			return sx32(uint32(a) / uint32(b)), true
+		}},
+		{isa.OpMOD32S, func(a, b uint64) (uint64, bool) {
+			x, y := int32(a), int32(b)
+			if y == 0 || (x == -1<<31 && y == -1) {
+				return 0, false
+			}
+			return sx32(uint32(x % y)), true
+		}},
+		{isa.OpMOD32U, func(a, b uint64) (uint64, bool) {
+			if uint32(b) == 0 {
+				return 0, false
+			}
+			return sx32(uint32(a) % uint32(b)), true
+		}},
+		{isa.OpAND32, func(a, b uint64) (uint64, bool) { return sx32(uint32(a) & uint32(b)), true }},
+		{isa.OpOR32, func(a, b uint64) (uint64, bool) { return sx32(uint32(a) | uint32(b)), true }},
+		{isa.OpXOR32, func(a, b uint64) (uint64, bool) { return sx32(uint32(a) ^ uint32(b)), true }},
+		{isa.OpSHL32, func(a, b uint64) (uint64, bool) { return sx32(uint32(a) << (b & 31)), true }},
+		{isa.OpSHR32, func(a, b uint64) (uint64, bool) { return sx32(uint32(a) >> (b & 31)), true }},
+		{isa.OpSAR32, func(a, b uint64) (uint64, bool) { return uint64(int64(int32(a)) >> (b & 31)), true }},
+
+		{isa.OpADD64, func(a, b uint64) (uint64, bool) { return a + b, true }},
+		{isa.OpSUB64, func(a, b uint64) (uint64, bool) { return a - b, true }},
+		{isa.OpMUL64, func(a, b uint64) (uint64, bool) { return a * b, true }},
+		{isa.OpDIV64S, func(a, b uint64) (uint64, bool) {
+			if b == 0 || (int64(a) == -1<<63 && int64(b) == -1) {
+				return 0, false
+			}
+			return uint64(int64(a) / int64(b)), true
+		}},
+		{isa.OpDIV64U, func(a, b uint64) (uint64, bool) {
+			if b == 0 {
+				return 0, false
+			}
+			return a / b, true
+		}},
+		{isa.OpMOD64S, func(a, b uint64) (uint64, bool) {
+			if b == 0 || (int64(a) == -1<<63 && int64(b) == -1) {
+				return 0, false
+			}
+			return uint64(int64(a) % int64(b)), true
+		}},
+		{isa.OpMOD64U, func(a, b uint64) (uint64, bool) {
+			if b == 0 {
+				return 0, false
+			}
+			return a % b, true
+		}},
+		{isa.OpAND64, func(a, b uint64) (uint64, bool) { return a & b, true }},
+		{isa.OpOR64, func(a, b uint64) (uint64, bool) { return a | b, true }},
+		{isa.OpXOR64, func(a, b uint64) (uint64, bool) { return a ^ b, true }},
+		{isa.OpSHL64, func(a, b uint64) (uint64, bool) { return a << (b & 63), true }},
+		{isa.OpSHR64, func(a, b uint64) (uint64, bool) { return a >> (b & 63), true }},
+		{isa.OpSAR64, func(a, b uint64) (uint64, bool) { return uint64(int64(a) >> (b & 63)), true }},
+	}
+
+	for _, r := range refs {
+		for _, a := range operands {
+			for _, b := range operands {
+				want, ok := r.f(uint64(a), uint64(b))
+				got, err := runALU2(t, r.op, a, b)
+				if !ok {
+					if err == nil {
+						t.Errorf("%s(%#x,%#x): expected fault", r.op.Name(), a, b)
+					}
+					continue
+				}
+				if err != nil {
+					t.Errorf("%s(%#x,%#x): %v", r.op.Name(), a, b, err)
+					continue
+				}
+				if got != want {
+					t.Errorf("%s(%#x,%#x) = %#x, want %#x", r.op.Name(), a, b, got, want)
+				}
+			}
+		}
+	}
+}
+
+func negU64(v uint64) uint64 { return -v }
+
+func TestOneRegisterOps(t *testing.T) {
+	cases := []struct {
+		op   isa.Op
+		in   int64
+		want uint64
+	}{
+		{isa.OpNEG32, 5, sx32(^uint32(5) + 1)},
+		{isa.OpNEG32, -0x80000000, sx32(0x80000000)},
+		{isa.OpNOT32, 0, sx32(0xffffffff)},
+		{isa.OpZEXT32, -1, 0xffffffff},
+		{isa.OpNEG64, 5, negU64(5)},
+		{isa.OpNOT64, 0, ^uint64(0)},
+		{isa.OpSEXT8, 0x80, negU64(128)},
+		{isa.OpSEXT8, 0x7f, 0x7f},
+		{isa.OpSEXT16, 0x8000, negU64(32768)},
+		{isa.OpSEXT32, 0x80000000, sx32(0x80000000)},
+		{isa.OpZEXT8, -1, 0xff},
+		{isa.OpZEXT16, -1, 0xffff},
+	}
+	for _, c := range cases {
+		if got := runALU1(t, c.op, c.in); got != c.want {
+			t.Errorf("%s(%#x) = %#x, want %#x", c.op.Name(), c.in, got, c.want)
+		}
+	}
+}
+
+func TestIndirectJumpAndCall(t *testing.T) {
+	// A jump table: JMPR through a register; CALLR for the call flavor.
+	const fnAddr = 0x300
+	code := isa.MOVI(nil, isa.R2, fnAddr)
+	code = isa.CALLR(code, isa.R2)
+	code = isa.MOVI(code, isa.R3, fnAddr)
+	code = isa.JMPR(code, isa.R3)
+	// (unreached)
+	code = isa.MOVI(code, isa.R0, 999)
+
+	fn := isa.MOVI(nil, isa.R0, 42)
+	fn = isa.RET(fn)
+
+	m, th := load(code, 0x100)
+	copy(m.Mem[fnAddr:], fn)
+	// The JMPR lands at fn; its RET pops garbage unless we prime the
+	// stack: push a HLT address first.
+	const hltAddr = 0x400
+	m.Mem[hltAddr] = byte(isa.OpHLT)
+	th.SetSP(uint32(len(m.Mem)) - 8)
+	for i := 0; i < 8; i++ {
+		m.Mem[len(m.Mem)-8+i] = 0
+	}
+	m.Mem[len(m.Mem)-8] = byte(hltAddr & 0xff)
+	m.Mem[len(m.Mem)-7] = byte(hltAddr >> 8)
+
+	if _, err := m.Run(th, 100); err != nil {
+		t.Fatal(err)
+	}
+	if th.R[isa.R0] != 42 {
+		t.Errorf("r0 = %d", th.R[isa.R0])
+	}
+	if !th.Halted {
+		t.Error("did not reach the HLT through the primed return")
+	}
+}
+
+func TestMOVI64RoundTrip(t *testing.T) {
+	f := func(v int64) bool {
+		code := isa.MOVI64(nil, isa.R4, v)
+		code = isa.HLT(code)
+		m, th := load(code, 0x100)
+		if _, err := m.Run(th, 10); err != nil {
+			return false
+		}
+		return th.R[isa.R4] == uint64(v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLowGuardFaults(t *testing.T) {
+	code := isa.MOVI(nil, isa.R1, 0x10) // below the guard
+	code = isa.Load(code, isa.OpLD32S, isa.R0, isa.R1, 0)
+	m, th := load(code, 0x2000)
+	m.LowGuard = 0x1000
+	if _, err := m.Run(th, 10); err == nil {
+		t.Error("guard-page load succeeded")
+	}
+	// Execution below the guard also faults.
+	th2 := &Thread{IP: 0x10}
+	th2.SetSP(uint32(len(m.Mem)))
+	if err := m.Step(th2); err == nil {
+		t.Error("guard-page execution succeeded")
+	}
+}
+
+func TestCMP64AndSETCCWidths(t *testing.T) {
+	// 64-bit comparison distinguishes values equal in their low 32 bits.
+	code := isa.MOVI64(nil, isa.R1, 1<<40|5)
+	code = isa.MOVI64(code, isa.R2, 5)
+	code = isa.CMP(code, isa.OpCMP64, isa.R1, isa.R2)
+	code = isa.SETCC(code, isa.R0, isa.CCEQ)
+	code = isa.CMP(code, isa.OpCMP32, isa.R1, isa.R2)
+	code = isa.SETCC(code, isa.R3, isa.CCEQ)
+	code = isa.HLT(code)
+	m, th := load(code, 0x100)
+	if _, err := m.Run(th, 20); err != nil {
+		t.Fatal(err)
+	}
+	if th.R[isa.R0] != 0 {
+		t.Error("cmp64 treated distinct values as equal")
+	}
+	if th.R[isa.R3] != 1 {
+		t.Error("cmp32 failed to compare low words")
+	}
+}
+
+func TestCMPI64Semantics(t *testing.T) {
+	code := isa.MOVI64(nil, isa.R1, -5)
+	code = isa.CMPI(code, isa.OpCMPI64, isa.R1, -5)
+	code = isa.SETCC(code, isa.R0, isa.CCEQ)
+	code = isa.HLT(code)
+	m, th := load(code, 0x100)
+	if _, err := m.Run(th, 10); err != nil {
+		t.Fatal(err)
+	}
+	if th.R[isa.R0] != 1 {
+		t.Error("cmpi64 -5 != -5")
+	}
+}

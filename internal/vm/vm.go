@@ -1,0 +1,454 @@
+// Package vm executes SIM32 code over a flat byte-addressed memory. It
+// provides the CPU model for the simulated kernel: register state per
+// thread, instruction stepping, and a trap mechanism through which kernel
+// services (console, allocator, scheduler, syscall dispatch) are reached.
+//
+// The interpreter is deliberately strict: undefined opcodes, out-of-range
+// memory accesses, division by zero and unregistered traps all stop the
+// offending thread with a descriptive fault rather than proceeding
+// silently. Faults of this kind are how the evaluation detects that an
+// exploit or a bad splice actually corrupted execution.
+package vm
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"gosplice/internal/isa"
+)
+
+// Fault describes an execution error, recording the faulting instruction
+// pointer.
+type Fault struct {
+	IP     uint32
+	Reason string
+}
+
+func (f *Fault) Error() string {
+	return fmt.Sprintf("vm: fault at %#x: %s", f.IP, f.Reason)
+}
+
+// Thread is one hardware execution context: the register file and flags of
+// a single logical CPU as seen by one kernel thread.
+type Thread struct {
+	R  [isa.NumRegs]uint64
+	IP uint32
+
+	// Comparison flags, set by the CMP family.
+	FlagEQ  bool // operands equal
+	FlagLTS bool // a < b signed
+	FlagLTU bool // a < b unsigned
+
+	// Halted is set by HLT; a halted thread refuses to step.
+	Halted bool
+
+	// Steps counts executed instructions, for accounting and quiescence
+	// heuristics.
+	Steps uint64
+}
+
+// SP and FP accessors for readability at call sites.
+func (t *Thread) SP() uint32     { return uint32(t.R[isa.SP]) }
+func (t *Thread) FP() uint32     { return uint32(t.R[isa.FP]) }
+func (t *Thread) SetSP(v uint32) { t.R[isa.SP] = uint64(v) }
+func (t *Thread) SetFP(v uint32) { t.R[isa.FP] = uint64(v) }
+
+// TrapFunc handles a TRAP instruction. It runs after IP has advanced past
+// the trap, so a handler may redirect execution by assigning IP (this is
+// how syscall dispatch enters kernel MiniC code). Returning an error
+// faults the thread.
+type TrapFunc func(t *Thread) error
+
+// Machine is a flat physical memory plus the trap table shared by all
+// threads. Scheduling lives above this package; Machine itself performs no
+// synchronization.
+type Machine struct {
+	Mem []byte
+	// LowGuard makes addresses below it fault on access or execution,
+	// emulating an unmapped page at NULL so pointer bugs trap instead of
+	// silently reading memory.
+	LowGuard uint32
+	traps    map[uint16]TrapFunc
+}
+
+// New creates a machine with the given memory size.
+func New(memSize int) *Machine {
+	return &Machine{
+		Mem:   make([]byte, memSize),
+		traps: make(map[uint16]TrapFunc),
+	}
+}
+
+// Handle registers fn for TRAP number num, replacing any previous handler.
+func (m *Machine) Handle(num uint16, fn TrapFunc) {
+	m.traps[num] = fn
+}
+
+func (m *Machine) fault(ip uint32, format string, args ...any) error {
+	return &Fault{IP: ip, Reason: fmt.Sprintf(format, args...)}
+}
+
+func (m *Machine) check(ip, addr uint32, size int) error {
+	if addr < m.LowGuard {
+		return m.fault(ip, "memory access %#x+%d in guard page (null dereference)", addr, size)
+	}
+	if int64(addr)+int64(size) > int64(len(m.Mem)) {
+		return m.fault(ip, "memory access %#x+%d out of range", addr, size)
+	}
+	return nil
+}
+
+// Load reads size bytes (1, 2, 4 or 8) at addr as an unsigned value.
+func (m *Machine) Load(ip, addr uint32, size int) (uint64, error) {
+	if err := m.check(ip, addr, size); err != nil {
+		return 0, err
+	}
+	b := m.Mem[addr:]
+	switch size {
+	case 1:
+		return uint64(b[0]), nil
+	case 2:
+		return uint64(binary.LittleEndian.Uint16(b)), nil
+	case 4:
+		return uint64(binary.LittleEndian.Uint32(b)), nil
+	case 8:
+		return binary.LittleEndian.Uint64(b), nil
+	}
+	return 0, m.fault(ip, "bad load size %d", size)
+}
+
+// Store writes the low size bytes of v at addr.
+func (m *Machine) Store(ip, addr uint32, size int, v uint64) error {
+	if err := m.check(ip, addr, size); err != nil {
+		return err
+	}
+	b := m.Mem[addr:]
+	switch size {
+	case 1:
+		b[0] = byte(v)
+	case 2:
+		binary.LittleEndian.PutUint16(b, uint16(v))
+	case 4:
+		binary.LittleEndian.PutUint32(b, uint32(v))
+	case 8:
+		binary.LittleEndian.PutUint64(b, v)
+	default:
+		return m.fault(ip, "bad store size %d", size)
+	}
+	return nil
+}
+
+// CondSatisfied evaluates cc against t's flags.
+func CondSatisfied(t *Thread, cc isa.CC) bool {
+	switch cc {
+	case isa.CCEQ:
+		return t.FlagEQ
+	case isa.CCNE:
+		return !t.FlagEQ
+	case isa.CCLT:
+		return t.FlagLTS
+	case isa.CCLE:
+		return t.FlagLTS || t.FlagEQ
+	case isa.CCGT:
+		return !t.FlagLTS && !t.FlagEQ
+	case isa.CCGE:
+		return !t.FlagLTS
+	case isa.CCULT:
+		return t.FlagLTU
+	case isa.CCULE:
+		return t.FlagLTU || t.FlagEQ
+	case isa.CCUGT:
+		return !t.FlagLTU && !t.FlagEQ
+	case isa.CCUGE:
+		return !t.FlagLTU
+	}
+	return false
+}
+
+func sext32(v uint64) uint64 { return uint64(int64(int32(uint32(v)))) }
+
+func (t *Thread) cmp64(a, b uint64) {
+	t.FlagEQ = a == b
+	t.FlagLTS = int64(a) < int64(b)
+	t.FlagLTU = a < b
+}
+
+func (t *Thread) cmp32(a, b uint64) {
+	x, y := uint32(a), uint32(b)
+	t.FlagEQ = x == y
+	t.FlagLTS = int32(x) < int32(y)
+	t.FlagLTU = x < y
+}
+
+func (t *Thread) push(m *Machine, ip uint32, v uint64) error {
+	sp := t.SP() - 8
+	if err := m.Store(ip, sp, 8, v); err != nil {
+		return err
+	}
+	t.SetSP(sp)
+	return nil
+}
+
+func (t *Thread) pop(m *Machine, ip uint32) (uint64, error) {
+	v, err := m.Load(ip, t.SP(), 8)
+	if err != nil {
+		return 0, err
+	}
+	t.SetSP(t.SP() + 8)
+	return v, nil
+}
+
+// Step executes one instruction on t. A fault leaves t's IP at the
+// faulting instruction.
+func (m *Machine) Step(t *Thread) error {
+	if t.Halted {
+		return m.fault(t.IP, "thread halted")
+	}
+	ip := t.IP
+	if ip < m.LowGuard {
+		return m.fault(ip, "execution in guard page (jump through null pointer)")
+	}
+	in, err := isa.Decode(m.Mem, int(ip))
+	if err != nil {
+		return m.fault(ip, "decode: %v", err)
+	}
+	next := ip + uint32(in.Len)
+	t.Steps++
+
+	rd, rs := in.Rd, in.Rs
+	switch in.Op {
+	case isa.OpNOP, isa.OpNOP2, isa.OpNOP3, isa.OpNOP4, isa.OpBRK:
+
+	case isa.OpMOVI, isa.OpMOVI64:
+		t.R[rd] = uint64(in.Imm)
+	case isa.OpMOV:
+		t.R[rd] = t.R[rs]
+	case isa.OpLEA:
+		t.R[rd] = uint64(uint32(t.R[rs]) + uint32(in.Disp))
+
+	case isa.OpLD8U, isa.OpLD8S, isa.OpLD16U, isa.OpLD16S, isa.OpLD32U, isa.OpLD32S, isa.OpLD64:
+		addr := uint32(t.R[rs]) + uint32(in.Disp)
+		var v uint64
+		switch in.Op {
+		case isa.OpLD8U, isa.OpLD8S:
+			v, err = m.Load(ip, addr, 1)
+			if err == nil && in.Op == isa.OpLD8S {
+				v = uint64(int64(int8(v)))
+			}
+		case isa.OpLD16U, isa.OpLD16S:
+			v, err = m.Load(ip, addr, 2)
+			if err == nil && in.Op == isa.OpLD16S {
+				v = uint64(int64(int16(v)))
+			}
+		case isa.OpLD32U, isa.OpLD32S:
+			v, err = m.Load(ip, addr, 4)
+			if err == nil && in.Op == isa.OpLD32S {
+				v = sext32(v)
+			}
+		case isa.OpLD64:
+			v, err = m.Load(ip, addr, 8)
+		}
+		if err != nil {
+			return err
+		}
+		t.R[rd] = v
+
+	case isa.OpST8, isa.OpST16, isa.OpST32, isa.OpST64:
+		addr := uint32(t.R[rd]) + uint32(in.Disp)
+		size := map[isa.Op]int{isa.OpST8: 1, isa.OpST16: 2, isa.OpST32: 4, isa.OpST64: 8}[in.Op]
+		if err := m.Store(ip, addr, size, t.R[rs]); err != nil {
+			return err
+		}
+
+	case isa.OpADD32:
+		t.R[rd] = sext32(t.R[rd] + t.R[rs])
+	case isa.OpSUB32:
+		t.R[rd] = sext32(t.R[rd] - t.R[rs])
+	case isa.OpMUL32:
+		t.R[rd] = sext32(uint64(uint32(t.R[rd]) * uint32(t.R[rs])))
+	case isa.OpDIV32S, isa.OpDIV32U, isa.OpMOD32S, isa.OpMOD32U:
+		if uint32(t.R[rs]) == 0 {
+			return m.fault(ip, "division by zero")
+		}
+		a, b := uint32(t.R[rd]), uint32(t.R[rs])
+		switch in.Op {
+		case isa.OpDIV32S:
+			if int32(a) == -1<<31 && int32(b) == -1 {
+				return m.fault(ip, "division overflow")
+			}
+			t.R[rd] = uint64(int64(int32(a) / int32(b)))
+		case isa.OpDIV32U:
+			t.R[rd] = sext32(uint64(a / b))
+		case isa.OpMOD32S:
+			if int32(a) == -1<<31 && int32(b) == -1 {
+				return m.fault(ip, "division overflow")
+			}
+			t.R[rd] = uint64(int64(int32(a) % int32(b)))
+		case isa.OpMOD32U:
+			t.R[rd] = sext32(uint64(a % b))
+		}
+	case isa.OpAND32:
+		t.R[rd] = sext32(t.R[rd] & t.R[rs])
+	case isa.OpOR32:
+		t.R[rd] = sext32(t.R[rd] | t.R[rs])
+	case isa.OpXOR32:
+		t.R[rd] = sext32(t.R[rd] ^ t.R[rs])
+	case isa.OpSHL32:
+		t.R[rd] = sext32(uint64(uint32(t.R[rd]) << (t.R[rs] & 31)))
+	case isa.OpSHR32:
+		t.R[rd] = sext32(uint64(uint32(t.R[rd]) >> (t.R[rs] & 31)))
+	case isa.OpSAR32:
+		t.R[rd] = uint64(int64(int32(t.R[rd]) >> (t.R[rs] & 31)))
+	case isa.OpNEG32:
+		t.R[rd] = sext32(-t.R[rd])
+	case isa.OpNOT32:
+		t.R[rd] = sext32(^t.R[rd])
+	case isa.OpZEXT32:
+		t.R[rd] = uint64(uint32(t.R[rd]))
+
+	case isa.OpADD64:
+		t.R[rd] += t.R[rs]
+	case isa.OpSUB64:
+		t.R[rd] -= t.R[rs]
+	case isa.OpMUL64:
+		t.R[rd] *= t.R[rs]
+	case isa.OpDIV64S, isa.OpDIV64U, isa.OpMOD64S, isa.OpMOD64U:
+		if t.R[rs] == 0 {
+			return m.fault(ip, "division by zero")
+		}
+		a, b := t.R[rd], t.R[rs]
+		switch in.Op {
+		case isa.OpDIV64S:
+			if int64(a) == -1<<63 && int64(b) == -1 {
+				return m.fault(ip, "division overflow")
+			}
+			t.R[rd] = uint64(int64(a) / int64(b))
+		case isa.OpDIV64U:
+			t.R[rd] = a / b
+		case isa.OpMOD64S:
+			if int64(a) == -1<<63 && int64(b) == -1 {
+				return m.fault(ip, "division overflow")
+			}
+			t.R[rd] = uint64(int64(a) % int64(b))
+		case isa.OpMOD64U:
+			t.R[rd] = a % b
+		}
+	case isa.OpAND64:
+		t.R[rd] &= t.R[rs]
+	case isa.OpOR64:
+		t.R[rd] |= t.R[rs]
+	case isa.OpXOR64:
+		t.R[rd] ^= t.R[rs]
+	case isa.OpSHL64:
+		t.R[rd] <<= t.R[rs] & 63
+	case isa.OpSHR64:
+		t.R[rd] >>= t.R[rs] & 63
+	case isa.OpSAR64:
+		t.R[rd] = uint64(int64(t.R[rd]) >> (t.R[rs] & 63))
+	case isa.OpNEG64:
+		t.R[rd] = -t.R[rd]
+	case isa.OpNOT64:
+		t.R[rd] = ^t.R[rd]
+
+	case isa.OpADDI64:
+		t.R[rd] += uint64(in.Imm)
+	case isa.OpCMPI32:
+		t.cmp32(t.R[rd], uint64(in.Imm))
+	case isa.OpCMPI64:
+		t.cmp64(t.R[rd], uint64(in.Imm))
+
+	case isa.OpSEXT8:
+		t.R[rd] = uint64(int64(int8(t.R[rd])))
+	case isa.OpSEXT16:
+		t.R[rd] = uint64(int64(int16(t.R[rd])))
+	case isa.OpSEXT32:
+		t.R[rd] = sext32(t.R[rd])
+	case isa.OpZEXT8:
+		t.R[rd] = uint64(uint8(t.R[rd]))
+	case isa.OpZEXT16:
+		t.R[rd] = uint64(uint16(t.R[rd]))
+
+	case isa.OpCMP32:
+		t.cmp32(t.R[rd], t.R[rs])
+	case isa.OpCMP64:
+		t.cmp64(t.R[rd], t.R[rs])
+	case isa.OpSETCC:
+		if CondSatisfied(t, in.CC) {
+			t.R[rd] = 1
+		} else {
+			t.R[rd] = 0
+		}
+
+	case isa.OpJMP, isa.OpJMPS:
+		next = in.Target(ip)
+	case isa.OpJCC, isa.OpJCCS:
+		if CondSatisfied(t, in.CC) {
+			next = in.Target(ip)
+		}
+	case isa.OpCALL:
+		if err := t.push(m, ip, uint64(next)); err != nil {
+			return err
+		}
+		next = in.Target(ip)
+	case isa.OpCALLR:
+		if err := t.push(m, ip, uint64(next)); err != nil {
+			return err
+		}
+		next = uint32(t.R[rd])
+	case isa.OpRET:
+		ra, err := t.pop(m, ip)
+		if err != nil {
+			return err
+		}
+		next = uint32(ra)
+	case isa.OpJMPR:
+		next = uint32(t.R[rd])
+
+	case isa.OpPUSH:
+		if err := t.push(m, ip, t.R[rd]); err != nil {
+			return err
+		}
+	case isa.OpPOP:
+		v, err := t.pop(m, ip)
+		if err != nil {
+			return err
+		}
+		t.R[rd] = v
+
+	case isa.OpTRAP:
+		fn, ok := m.traps[uint16(in.Imm)]
+		if !ok {
+			return m.fault(ip, "unregistered trap %d", in.Imm)
+		}
+		t.IP = next
+		if err := fn(t); err != nil {
+			return m.fault(ip, "trap %d: %v", in.Imm, err)
+		}
+		return nil
+
+	case isa.OpHLT:
+		t.Halted = true
+		t.IP = next
+		return nil
+
+	default:
+		return m.fault(ip, "unimplemented opcode %s", in.Op.Name())
+	}
+
+	t.IP = next
+	return nil
+}
+
+// Run steps t up to maxSteps instructions, stopping early on halt or
+// fault. It returns the number of instructions executed.
+func (m *Machine) Run(t *Thread, maxSteps int) (int, error) {
+	for i := 0; i < maxSteps; i++ {
+		if t.Halted {
+			return i, nil
+		}
+		if err := m.Step(t); err != nil {
+			return i, err
+		}
+	}
+	return maxSteps, nil
+}

@@ -1,0 +1,353 @@
+package vm
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"gosplice/internal/isa"
+)
+
+// load copies code into a fresh machine at addr and returns a thread ready
+// to run it with a stack at the top of memory.
+func load(code []byte, addr uint32) (*Machine, *Thread) {
+	m := New(1 << 16)
+	copy(m.Mem[addr:], code)
+	t := &Thread{IP: addr}
+	t.SetSP(uint32(len(m.Mem)))
+	return m, t
+}
+
+func TestArith32SignExtension(t *testing.T) {
+	// r0 = 0x7fffffff; r1 = 1; add32 -> wraps to -2^31, sign-extended.
+	code := isa.MOVI(nil, isa.R0, 0x7fffffff)
+	code = isa.MOVI(code, isa.R1, 1)
+	code = isa.ALU(code, isa.OpADD32, isa.R0, isa.R1)
+	code = isa.HLT(code)
+	m, th := load(code, 0x100)
+	if _, err := m.Run(th, 100); err != nil {
+		t.Fatal(err)
+	}
+	if int64(th.R[isa.R0]) != -2147483648 {
+		t.Errorf("add32 overflow: r0 = %d", int64(th.R[isa.R0]))
+	}
+}
+
+func TestArith64(t *testing.T) {
+	code := isa.MOVI64(nil, isa.R0, 1<<40)
+	code = isa.MOVI64(code, isa.R1, 3<<40)
+	code = isa.ALU(code, isa.OpADD64, isa.R0, isa.R1)
+	code = isa.HLT(code)
+	m, th := load(code, 0x100)
+	if _, err := m.Run(th, 100); err != nil {
+		t.Fatal(err)
+	}
+	if th.R[isa.R0] != 4<<40 {
+		t.Errorf("add64: r0 = %#x", th.R[isa.R0])
+	}
+}
+
+func TestSignedVsUnsignedDivision(t *testing.T) {
+	// -7 / 2 signed = -3; same bits unsigned = huge.
+	code := isa.MOVI(nil, isa.R0, -7)
+	code = isa.MOVI(code, isa.R1, 2)
+	code = isa.ALU(code, isa.OpDIV32S, isa.R0, isa.R1)
+	code = isa.HLT(code)
+	m, th := load(code, 0x100)
+	if _, err := m.Run(th, 100); err != nil {
+		t.Fatal(err)
+	}
+	if int64(th.R[isa.R0]) != -3 {
+		t.Errorf("div32s: %d", int64(th.R[isa.R0]))
+	}
+
+	code = isa.MOVI(nil, isa.R0, -7)
+	code = isa.MOVI(code, isa.R1, 2)
+	code = isa.ALU(code, isa.OpDIV32U, isa.R0, isa.R1)
+	code = isa.HLT(code)
+	m, th = load(code, 0x100)
+	if _, err := m.Run(th, 100); err != nil {
+		t.Fatal(err)
+	}
+	if uint32(th.R[isa.R0]) != (0xFFFFFFF9)/2 {
+		t.Errorf("div32u: %#x", th.R[isa.R0])
+	}
+}
+
+func TestDivideByZeroFaults(t *testing.T) {
+	code := isa.MOVI(nil, isa.R0, 1)
+	code = isa.MOVI(code, isa.R1, 0)
+	code = isa.ALU(code, isa.OpDIV32S, isa.R0, isa.R1)
+	m, th := load(code, 0x100)
+	_, err := m.Run(th, 100)
+	if err == nil || !strings.Contains(err.Error(), "division by zero") {
+		t.Errorf("err = %v", err)
+	}
+	var f *Fault
+	if !asFault(err, &f) || f.IP != 0x100+12 {
+		t.Errorf("fault IP = %v", err)
+	}
+}
+
+func asFault(err error, out **Fault) bool {
+	f, ok := err.(*Fault)
+	if ok {
+		*out = f
+	}
+	return ok
+}
+
+func TestLoadStoreWidths(t *testing.T) {
+	// Store -1 as 8/16/32/64 at different addresses, reload signed and
+	// unsigned, verify extension behaviour.
+	code := isa.MOVI(nil, isa.R0, -1)
+	code = isa.MOVI(code, isa.R1, 0x8000) // base address
+	code = isa.Store(code, isa.OpST8, isa.R1, 0, isa.R0)
+	code = isa.Store(code, isa.OpST16, isa.R1, 8, isa.R0)
+	code = isa.Store(code, isa.OpST32, isa.R1, 16, isa.R0)
+	code = isa.Store(code, isa.OpST64, isa.R1, 24, isa.R0)
+	code = isa.Load(code, isa.OpLD8U, isa.R2, isa.R1, 0)
+	code = isa.Load(code, isa.OpLD8S, isa.R3, isa.R1, 0)
+	code = isa.Load(code, isa.OpLD16U, isa.R4, isa.R1, 8)
+	code = isa.Load(code, isa.OpLD32S, isa.R5, isa.R1, 16)
+	code = isa.HLT(code)
+	m, th := load(code, 0x100)
+	if _, err := m.Run(th, 100); err != nil {
+		t.Fatal(err)
+	}
+	if th.R[isa.R2] != 0xff {
+		t.Errorf("ld8u = %#x", th.R[isa.R2])
+	}
+	if int64(th.R[isa.R3]) != -1 {
+		t.Errorf("ld8s = %d", int64(th.R[isa.R3]))
+	}
+	if th.R[isa.R4] != 0xffff {
+		t.Errorf("ld16u = %#x", th.R[isa.R4])
+	}
+	if int64(th.R[isa.R5]) != -1 {
+		t.Errorf("ld32s = %d", int64(th.R[isa.R5]))
+	}
+}
+
+func TestCallRetAndStack(t *testing.T) {
+	// main: movi r0,5; call f; hlt   f: addi r0,+1... via ALU; ret
+	main := isa.MOVI(nil, isa.R0, 5)
+	callOff := len(main)
+	main = isa.CALL(main, 0) // patched below
+	main = isa.HLT(main)
+	fAddr := uint32(0x300)
+	f := isa.MOVI(nil, isa.R1, 37)
+	f = isa.ALU(f, isa.OpADD32, isa.R0, isa.R1)
+	f = isa.RET(f)
+
+	m, th := load(main, 0x100)
+	copy(m.Mem[fAddr:], f)
+	// Patch the call displacement: target - next.
+	next := uint32(0x100 + callOff + 5)
+	isa.PatchRel32(m.Mem[0x100+callOff+1:], 0, int32(fAddr-next))
+
+	sp0 := th.SP()
+	if _, err := m.Run(th, 100); err != nil {
+		t.Fatal(err)
+	}
+	if th.R[isa.R0] != 42 {
+		t.Errorf("r0 = %d, want 42", th.R[isa.R0])
+	}
+	if th.SP() != sp0 {
+		t.Errorf("stack imbalance: sp %#x -> %#x", sp0, th.SP())
+	}
+	if !th.Halted {
+		t.Error("thread not halted")
+	}
+}
+
+func TestConditionalBranches(t *testing.T) {
+	// if (3 < 5) r0 = 1 else r0 = 2, using signed and unsigned forms.
+	cases := []struct {
+		a, b int32
+		cc   isa.CC
+		want uint64
+	}{
+		{3, 5, isa.CCLT, 1},
+		{5, 3, isa.CCLT, 2},
+		{-1, 1, isa.CCLT, 1},  // signed: -1 < 1
+		{-1, 1, isa.CCULT, 2}, // unsigned: 0xffffffff > 1
+		{7, 7, isa.CCEQ, 1},
+		{7, 8, isa.CCNE, 1},
+		{9, 9, isa.CCGE, 1},
+		{2, 2, isa.CCUGT, 2},
+	}
+	for _, c := range cases {
+		code := isa.MOVI(nil, isa.R1, c.a)
+		code = isa.MOVI(code, isa.R2, c.b)
+		code = isa.CMP(code, isa.OpCMP32, isa.R1, isa.R2)
+		code = isa.JCCS(code, c.cc, 8) // skip the else arm (movi=6 + jmps=2)
+		code = isa.MOVI(code, isa.R0, 2)
+		code = isa.JMPS(code, 6) // skip then arm
+		code = isa.MOVI(code, isa.R0, 1)
+		code = isa.HLT(code)
+		m, th := load(code, 0x100)
+		if _, err := m.Run(th, 100); err != nil {
+			t.Fatalf("%v %s %v: %v", c.a, c.cc, c.b, err)
+		}
+		if th.R[isa.R0] != c.want {
+			t.Errorf("%d %s %d -> r0=%d, want %d", c.a, c.cc, c.b, th.R[isa.R0], c.want)
+		}
+	}
+}
+
+func TestSETCC(t *testing.T) {
+	code := isa.MOVI(nil, isa.R1, 10)
+	code = isa.CMPI(code, isa.OpCMPI32, isa.R1, 10)
+	code = isa.SETCC(code, isa.R0, isa.CCEQ)
+	code = isa.SETCC(code, isa.R2, isa.CCNE)
+	code = isa.HLT(code)
+	m, th := load(code, 0x100)
+	if _, err := m.Run(th, 100); err != nil {
+		t.Fatal(err)
+	}
+	if th.R[isa.R0] != 1 || th.R[isa.R2] != 0 {
+		t.Errorf("setcc: eq=%d ne=%d", th.R[isa.R0], th.R[isa.R2])
+	}
+}
+
+func TestTrapDispatchAndRedirect(t *testing.T) {
+	// Trap 5 doubles r0. Trap 9 redirects execution to a handler address,
+	// the way syscall dispatch enters kernel code.
+	handlerAddr := uint32(0x400)
+	code := isa.MOVI(nil, isa.R0, 21)
+	code = isa.TRAP(code, 5)
+	code = isa.TRAP(code, 9)
+	code = isa.HLT(code) // skipped by the redirect
+
+	handler := isa.MOVI(nil, isa.R3, 99)
+	handler = isa.HLT(handler)
+
+	m, th := load(code, 0x100)
+	copy(m.Mem[handlerAddr:], handler)
+	m.Handle(5, func(t *Thread) error { t.R[isa.R0] *= 2; return nil })
+	m.Handle(9, func(t *Thread) error { t.IP = handlerAddr; return nil })
+
+	if _, err := m.Run(th, 100); err != nil {
+		t.Fatal(err)
+	}
+	if th.R[isa.R0] != 42 || th.R[isa.R3] != 99 {
+		t.Errorf("r0=%d r3=%d", th.R[isa.R0], th.R[isa.R3])
+	}
+}
+
+func TestFaults(t *testing.T) {
+	// Unregistered trap.
+	m, th := load(isa.TRAP(nil, 77), 0x100)
+	if _, err := m.Run(th, 10); err == nil {
+		t.Error("unregistered trap ran")
+	}
+	// Undefined opcode.
+	m, th = load([]byte{0xEE}, 0x100)
+	if _, err := m.Run(th, 10); err == nil {
+		t.Error("undefined opcode ran")
+	}
+	// Out-of-range store.
+	code := isa.MOVI(nil, isa.R1, 1<<30)
+	code = isa.Store(code, isa.OpST32, isa.R1, 0, isa.R0)
+	m, th = load(code, 0x100)
+	if _, err := m.Run(th, 10); err == nil {
+		t.Error("wild store ran")
+	}
+	// Stepping a halted thread.
+	m, th = load(isa.HLT(nil), 0x100)
+	if _, err := m.Run(th, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Step(th); err == nil {
+		t.Error("halted thread stepped")
+	}
+}
+
+func TestRunStepBudget(t *testing.T) {
+	// An infinite loop must stop exactly at the step budget.
+	code := isa.JMPS(nil, -2)
+	m, th := load(code, 0x100)
+	n, err := m.Run(th, 1000)
+	if err != nil || n != 1000 {
+		t.Errorf("n=%d err=%v", n, err)
+	}
+	if th.Steps != 1000 {
+		t.Errorf("Steps = %d", th.Steps)
+	}
+}
+
+// Property: ADD32/SUB32/MUL32 agree with Go int32 arithmetic.
+func TestALU32MatchesGoProperty(t *testing.T) {
+	ops := []struct {
+		op isa.Op
+		f  func(a, b int32) int32
+	}{
+		{isa.OpADD32, func(a, b int32) int32 { return a + b }},
+		{isa.OpSUB32, func(a, b int32) int32 { return a - b }},
+		{isa.OpMUL32, func(a, b int32) int32 { return a * b }},
+		{isa.OpAND32, func(a, b int32) int32 { return a & b }},
+		{isa.OpXOR32, func(a, b int32) int32 { return a ^ b }},
+	}
+	for _, o := range ops {
+		op, f := o.op, o.f
+		check := func(a, b int32) bool {
+			code := isa.MOVI(nil, isa.R0, a)
+			code = isa.MOVI(code, isa.R1, b)
+			code = isa.ALU(code, op, isa.R0, isa.R1)
+			code = isa.HLT(code)
+			m, th := load(code, 0x100)
+			if _, err := m.Run(th, 10); err != nil {
+				return false
+			}
+			return int64(th.R[isa.R0]) == int64(f(a, b))
+		}
+		if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+			t.Errorf("%s: %v", op.Name(), err)
+		}
+	}
+}
+
+// Property: CMP32 + SETCC matches Go comparisons for every condition code.
+func TestCompareMatchesGoProperty(t *testing.T) {
+	check := func(a, b int32, ccRaw uint8) bool {
+		cc := isa.CC(ccRaw % isa.NumCC)
+		code := isa.MOVI(nil, isa.R1, a)
+		code = isa.MOVI(code, isa.R2, b)
+		code = isa.CMP(code, isa.OpCMP32, isa.R1, isa.R2)
+		code = isa.SETCC(code, isa.R0, cc)
+		code = isa.HLT(code)
+		m, th := load(code, 0x100)
+		if _, err := m.Run(th, 10); err != nil {
+			return false
+		}
+		var want bool
+		ua, ub := uint32(a), uint32(b)
+		switch cc {
+		case isa.CCEQ:
+			want = a == b
+		case isa.CCNE:
+			want = a != b
+		case isa.CCLT:
+			want = a < b
+		case isa.CCLE:
+			want = a <= b
+		case isa.CCGT:
+			want = a > b
+		case isa.CCGE:
+			want = a >= b
+		case isa.CCULT:
+			want = ua < ub
+		case isa.CCULE:
+			want = ua <= ub
+		case isa.CCUGT:
+			want = ua > ub
+		case isa.CCUGE:
+			want = ua >= ub
+		}
+		return (th.R[isa.R0] == 1) == want
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
