@@ -1,0 +1,19 @@
+GO ?= go
+
+.PHONY: build test check bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The strict gate: vet plus the full test suite under the race detector
+# (the parallel evaluation pipeline is exercised concurrently by
+# TestConcurrentRunsAreIndependent).
+check:
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run '^$$'

@@ -14,6 +14,7 @@ package gosplice
 import (
 	"bytes"
 	"fmt"
+	"runtime"
 	"testing"
 	"time"
 
@@ -27,11 +28,24 @@ import (
 
 // BenchmarkEvalAll64 regenerates the headline result (abstract, section
 // 6.3): all 64 significant vulnerabilities taken through the full
-// pipeline. Metrics: patches applied without new code, with custom code,
-// and the average stop_machine pause.
+// pipeline, sequentially (Workers pinned to 1 so the number is a stable
+// baseline). Metrics: patches applied without new code, with custom
+// code, and the average stop_machine pause.
 func BenchmarkEvalAll64(b *testing.B) {
+	benchEvalAll64(b, 1)
+}
+
+// BenchmarkEvalAll64Parallel runs the same evaluation with one worker
+// per CPU: every patch gets its own kernel cloned from the per-release
+// boot cache, so the pipeline parallelizes across patches. Compare
+// against BenchmarkEvalAll64 for the speedup.
+func BenchmarkEvalAll64Parallel(b *testing.B) {
+	benchEvalAll64(b, runtime.NumCPU())
+}
+
+func benchEvalAll64(b *testing.B, workers int) {
 	for i := 0; i < b.N; i++ {
-		res, err := eval.Run(eval.Options{StressRounds: 20})
+		res, err := eval.Run(eval.Options{StressRounds: 20, Workers: workers})
 		if err != nil {
 			b.Fatal(err)
 		}

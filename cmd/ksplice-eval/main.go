@@ -4,14 +4,16 @@
 //
 //	ksplice-eval -all
 //	ksplice-eval -figure 3
-//	ksplice-eval -table headline|1|inlining|symbols|pause
+//	ksplice-eval -table headline|1|inlining|symbols|pause|timings
 //	ksplice-eval -only CVE-2006-2451,CVE-2005-2709 -v
+//	ksplice-eval -j 8 -table headline
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"gosplice/internal/eval"
@@ -19,19 +21,20 @@ import (
 
 func main() {
 	all := flag.Bool("all", false, "print every table and figure")
-	table := flag.String("table", "", "print one table: headline, 1, inlining, symbols, pause")
+	table := flag.String("table", "", "print one table: headline, 1, inlining, symbols, pause, timings")
 	figure := flag.Int("figure", 0, "print one figure (3)")
 	only := flag.String("only", "", "comma-separated CVE IDs to evaluate")
 	verbose := flag.Bool("v", false, "log per-patch progress")
 	stress := flag.Int("stress", 50, "stress workload rounds per update")
 	stacked := flag.Bool("stacked", false, "leave every update applied (one kernel per release accumulates all its fixes)")
+	jobs := flag.Int("j", runtime.NumCPU(), "patches evaluated concurrently (stacked mode is always sequential); the tables are identical for any -j")
 	flag.Parse()
 
 	if !*all && *table == "" && *figure == 0 {
 		*all = true
 	}
 
-	opts := eval.Options{StressRounds: *stress, KeepApplied: *stacked}
+	opts := eval.Options{StressRounds: *stress, KeepApplied: *stacked, Workers: *jobs}
 	if *verbose {
 		opts.Log = os.Stderr
 	}
@@ -63,6 +66,8 @@ func main() {
 		fmt.Print(res.SymbolsTable())
 	case *table == "pause":
 		fmt.Print(res.PauseTable())
+	case *table == "timings":
+		fmt.Print(res.TimingsTable())
 	default:
 		fmt.Fprintf(os.Stderr, "ksplice-eval: unknown table/figure\n")
 		os.Exit(2)

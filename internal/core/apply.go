@@ -49,6 +49,9 @@ type Applied struct {
 	Attempts int
 	// Pause is the duration of the successful stop_machine window.
 	Pause time.Duration
+	// MatchDuration is the wall-clock time run-pre matching took (zero
+	// under TrustSymtab).
+	MatchDuration time.Duration
 	// HelperBytes is the total size of the helper objects (the paper
 	// notes helpers can be much larger than primaries and are unloaded
 	// after use).
@@ -121,7 +124,9 @@ func (m *Manager) Apply(u *Update, opts ApplyOptions) (*Applied, error) {
 	// function's anchor (its replacement) unify (section 5.4).
 	canon := m.trampolineCanon()
 	matches := map[string]*MatchResult{}
+	var matchDur time.Duration
 	if !opts.TrustSymtab {
+		matchStart := time.Now()
 		m.K.Lock()
 		mem := m.K.LockedMem()
 		for _, uu := range u.Units {
@@ -136,6 +141,7 @@ func (m *Manager) Apply(u *Update, opts ApplyOptions) (*Applied, error) {
 			matches[uu.Path] = res
 		}
 		m.K.Unlock()
+		matchDur = time.Since(matchStart)
 	}
 
 	// Stage 2: load the primary module, resolving imports from the
@@ -169,7 +175,8 @@ func (m *Manager) Apply(u *Update, opts ApplyOptions) (*Applied, error) {
 	// Stage 3: build the trampoline plan.
 	a := &Applied{
 		Update: u, ModuleName: modName, Matches: matches,
-		HelperBytes: helperBytes, PrimaryBytes: primaryBytes,
+		MatchDuration: matchDur,
+		HelperBytes:   helperBytes, PrimaryBytes: primaryBytes,
 	}
 	for _, uu := range u.Units {
 		for _, fname := range uu.Patched {

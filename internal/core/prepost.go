@@ -27,6 +27,11 @@ type CreateOptions struct {
 	// the same compiler version as the running kernel's build is
 	// advisable (paper section 4.3); run-pre matching is the backstop.
 	BuildOpts *codegen.Options
+	// BuildCache consults the process-wide srctree build cache for the
+	// pre and post builds instead of rebuilding. Builds are bit-for-bit
+	// deterministic, so the cache is semantics-preserving; callers that
+	// want to measure real build cost leave it off.
+	BuildCache bool
 }
 
 // CreateUpdate implements ksplice-create: it builds the tree before and
@@ -47,11 +52,15 @@ func CreateUpdate(tree *srctree.Tree, patchText string, o CreateOptions) (*Updat
 	if o.BuildOpts != nil {
 		buildOpts = *o.BuildOpts
 	}
-	preB, err := srctree.Build(tree, buildOpts)
+	build := srctree.Build
+	if o.BuildCache {
+		build = srctree.BuildCached
+	}
+	preB, err := build(tree, buildOpts)
 	if err != nil {
 		return nil, fmt.Errorf("core: pre build: %w", err)
 	}
-	postB, err := srctree.Build(post, buildOpts)
+	postB, err := build(post, buildOpts)
 	if err != nil {
 		return nil, fmt.Errorf("core: post build: %w", err)
 	}

@@ -97,6 +97,15 @@ func MatchUnitCanon(mem []byte, symtab *kernel.SymTab, preF *obj.File, canon fun
 		candidates := symtab.Lookup(fname)
 		var matches []kernel.Sym
 		var failures []string
+		// Each candidate is trial-matched against the same pre-section
+		// inference state; the winner's inferences and byte count are
+		// committed only once the function is known to match uniquely.
+		// Committing inside the loop would seed later candidates' trials
+		// with the first match's inferences, which can fail a genuinely
+		// matching second candidate on a manufactured conflict and turn a
+		// true ambiguity into a silent (wrong) unique match.
+		var matchVals map[string]uint32
+		var matchBytes int
 		for _, cand := range candidates {
 			if !cand.Func {
 				continue
@@ -114,8 +123,8 @@ func MatchUnitCanon(mem []byte, symtab *kernel.SymTab, preF *obj.File, canon fun
 			}
 			matches = append(matches, cand)
 			if len(matches) == 1 {
-				inf.vals = trial.vals
-				res.BytesMatched += n
+				matchVals = trial.vals
+				matchBytes = n
 			}
 		}
 		switch len(matches) {
@@ -127,6 +136,8 @@ func MatchUnitCanon(mem []byte, symtab *kernel.SymTab, preF *obj.File, canon fun
 			return nil, fmt.Errorf("%w: function %s of %s does not match the running kernel: %s",
 				ErrRunPreMismatch, fname, preF.SourcePath, detail)
 		case 1:
+			inf.vals = matchVals
+			res.BytesMatched += matchBytes
 			res.Anchors[fname] = matches[0]
 			if err := inf.record(fname, matches[0].Addr); err != nil {
 				return nil, err
@@ -153,6 +164,10 @@ func MatchUnitCanon(mem []byte, symtab *kernel.SymTab, preF *obj.File, canon fun
 			continue
 		}
 		lo, hi := int(sym.Value), int(sym.Value+sym.Size)
+		if hi > len(sec.Data) || lo > hi {
+			return nil, fmt.Errorf("%w: rodata %q extends past its pre section (%d..%d of %d bytes)",
+				ErrRunPreMismatch, sym.Name, lo, hi, len(sec.Data))
+		}
 		if int(addr)+hi-lo > len(mem) {
 			return nil, fmt.Errorf("%w: rodata %q inferred at %#x outside memory", ErrRunPreMismatch, sym.Name, addr)
 		}
@@ -239,6 +254,16 @@ func matchFunc(mem []byte, runAddr uint32, sec *obj.Section, preF *obj.File, inf
 				}
 				fieldOff := rel.Offset - p
 				size := uint32(rel.Type.Size())
+				// Matching equal opcodes means equal lengths, but the run
+				// instruction (and the relocated field within it) must
+				// still lie wholly inside memory: run code near the end of
+				// a truncated machine is a mismatch, never a crash.
+				if int(r)+preIn.Len > len(mem) {
+					return 0, mismatch(p, r, "run instruction truncated by end of memory")
+				}
+				if int(fieldOff)+int(size) > preIn.Len {
+					return 0, mismatch(p, r, "relocation field extends past the instruction")
+				}
 				// All bytes outside the relocated field must agree.
 				for i := uint32(0); i < uint32(preIn.Len); i++ {
 					if i >= fieldOff && i < fieldOff+size {

@@ -458,3 +458,201 @@ int daemon_body(void) {
 		t.Errorf("patched daemon_body = %d, want 0", got)
 	}
 }
+
+// dupeKernel boots a kernel with two exported functions whose bodies are
+// identical except for which file-local global they load. Together with a
+// hand-built symbol table that gives both the same name, they model the
+// genuinely ambiguous case of section 4.1: one pre function, two run
+// locations that both match it.
+func dupeKernel(t *testing.T) (k *kernel.Kernel, helper *obj.File) {
+	t.Helper()
+	files := kernel.Lib()
+	files["a.mc"] = `
+int gva = 111;
+int dupe_a(int n) {
+	int v = gva;
+	return v + n;
+}
+`
+	files["b.mc"] = `
+int gvb = 222;
+int dupe_b(int n) {
+	int v = gvb;
+	return v + n;
+}
+`
+	tree := srctree.New("dupe-1.0", files)
+	k = boot(t, tree)
+
+	pre := srctree.New("dupe-1.0", map[string]string{"dupe.mc": `
+int gv = 111;
+int dupe_fn(int n) {
+	int v = gv;
+	return v + n;
+}
+`})
+	helper, err := srctree.BuildUnit(pre, "dupe.mc", codegen.KspliceBuild())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k, helper
+}
+
+// TestRunPreAmbiguousTwoCandidates: when two run locations both match a
+// pre function, the matcher must report the ambiguity rather than quietly
+// taking the first. The regression mode: committing the first candidate's
+// inferences before trying the second manufactures an inference conflict
+// (gv is inferred at a different address per candidate) that wrongly
+// eliminates the second candidate and turns a true ambiguity into a
+// silent unique match.
+func TestRunPreAmbiguousTwoCandidates(t *testing.T) {
+	k, helper := dupeKernel(t)
+	k.Lock()
+	mem := k.LockedMem()
+	k.Unlock()
+
+	var syms []kernel.Sym
+	for _, name := range []string{"dupe_a", "dupe_b"} {
+		found := k.Syms.Lookup(name)
+		if len(found) != 1 || !found[0].Func {
+			t.Fatalf("kallsyms %s: %v", name, found)
+		}
+		syms = append(syms, found[0])
+	}
+
+	// Sanity: against a symtab holding only one candidate, the pre
+	// function matches it and infers its global.
+	for i, s := range syms {
+		st := kernel.NewSymTab(&obj.Image{Symbols: []obj.ImageSymbol{
+			{Name: "dupe_fn", Addr: s.Addr, Size: s.Size, Func: true, File: s.Owner},
+		}})
+		res, err := MatchUnit(mem, st, helper)
+		if err != nil {
+			t.Fatalf("candidate %d alone: %v", i, err)
+		}
+		if res.Anchors["dupe_fn"].Addr != s.Addr {
+			t.Fatalf("candidate %d alone: anchored at %#x, want %#x", i, res.Anchors["dupe_fn"].Addr, s.Addr)
+		}
+	}
+
+	// Both candidates under one name: must be reported as ambiguous.
+	st := kernel.NewSymTab(&obj.Image{Symbols: []obj.ImageSymbol{
+		{Name: "dupe_fn", Addr: syms[0].Addr, Size: syms[0].Size, Func: true, File: syms[0].Owner},
+		{Name: "dupe_fn", Addr: syms[1].Addr, Size: syms[1].Size, Func: true, File: syms[1].Owner},
+	}})
+	_, err := MatchUnit(mem, st, helper)
+	if !errors.Is(err, ErrRunPreMismatch) {
+		t.Fatalf("two matching candidates: err = %v, want run-pre mismatch", err)
+	}
+	if !strings.Contains(err.Error(), "2 distinct run locations") {
+		t.Fatalf("ambiguity not reported: %v", err)
+	}
+}
+
+// TestRunPreTruncatedMemoryNeverPanics sweeps a truncation boundary
+// through the run code of a matched unit: every cut must produce a clean
+// ErrRunPreMismatch (or, past the unit's extent, possibly a match), never
+// a panic or a foreign error.
+func TestRunPreTruncatedMemoryNeverPanics(t *testing.T) {
+	tree := testTree()
+	k := boot(t, tree)
+	helper, err := srctree.BuildUnit(tree, "sys.mc", codegen.KspliceBuild())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.Lock()
+	mem := k.LockedMem()
+	k.Unlock()
+	if _, err := MatchUnit(mem, k.Syms, helper); err != nil {
+		t.Fatalf("premise: full memory does not match: %v", err)
+	}
+
+	for _, s := range k.Syms.All() {
+		if !s.Func || s.Owner != "sys.mc" {
+			continue
+		}
+		// Matching needs the run bytes through the function's final RET;
+		// anything after that is alignment padding a truncation may
+		// legitimately cut. Find that boundary.
+		needEnd := int(s.Addr)
+		for off := int(s.Addr); off < int(s.Addr+s.Size); {
+			if n := isa.SkipNops(mem, off); n != off {
+				off = n
+				continue
+			}
+			in, err := isa.Decode(mem, off)
+			if err != nil {
+				break
+			}
+			off += in.Len
+			needEnd = off
+			if in.Op == isa.OpRET {
+				break
+			}
+		}
+		// Any cut strictly inside the needed bytes leaves the function
+		// unmatchable; every cut in the padded tail must still be clean.
+		for cut := s.Addr + 1; cut <= s.Addr+s.Size; cut++ {
+			_, err := MatchUnit(mem[:cut], k.Syms, helper)
+			if err == nil {
+				if int(cut) < needEnd {
+					t.Fatalf("%s truncated at %#x (needs bytes to %#x): match succeeded", s.Name, cut, needEnd)
+				}
+				continue
+			}
+			if !errors.Is(err, ErrRunPreMismatch) {
+				t.Fatalf("%s truncated at %#x: err = %v, want run-pre mismatch", s.Name, cut, err)
+			}
+		}
+	}
+}
+
+// TestRunPreRelocFieldOverrunIsMismatch: a (corrupt) relocation whose
+// field extends past its instruction must be rejected as a mismatch, not
+// read bytes beyond the instruction — which, at the end of memory, was an
+// out-of-range panic.
+func TestRunPreRelocFieldOverrunIsMismatch(t *testing.T) {
+	tree := testTree()
+	k := boot(t, tree)
+	helper, err := srctree.BuildUnit(tree, "sys.mc", codegen.KspliceBuild())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sec := helper.Section(obj.FuncSectionPrefix + "sys_getsecret")
+	if sec == nil {
+		t.Fatal("no pre section for sys_getsecret")
+	}
+	// Find the first absolute relocation and the instruction holding it,
+	// then push the relocation to the instruction's last byte so the
+	// 4-byte field overruns it.
+	moved := false
+	for ri := range sec.Relocs {
+		r := &sec.Relocs[ri]
+		if r.Type != obj.RelAbs32 {
+			continue
+		}
+		for off := 0; off < len(sec.Data); {
+			in, err := isa.Decode(sec.Data, off)
+			if err != nil {
+				t.Fatalf("pre decode at %#x: %v", off, err)
+			}
+			if r.Offset >= uint32(off) && r.Offset < uint32(off+in.Len) {
+				r.Offset = uint32(off + in.Len - 1)
+				moved = true
+				break
+			}
+			off += in.Len
+		}
+		break
+	}
+	if !moved {
+		t.Fatal("no absolute relocation found in sys_getsecret")
+	}
+	k.Lock()
+	mem := k.LockedMem()
+	k.Unlock()
+	_, err = MatchUnit(mem, k.Syms, helper)
+	if !errors.Is(err, ErrRunPreMismatch) {
+		t.Fatalf("overrunning relocation field: err = %v, want run-pre mismatch", err)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"gosplice/internal/diffutil"
 	"gosplice/internal/srctree"
@@ -164,19 +165,43 @@ var Versions = []string{
 	"sim-2.6.24-vanilla",
 }
 
+// The corpus is deterministic and, once assembled, immutable; it is built
+// once per process. Entries are shared pointers — callers must not mutate
+// them. rawCorpus preserves buildCorpus's spec order (which fixes the
+// kinit call sequence in generated trees); corpus is the ID-sorted view.
+var (
+	corpusOnce sync.Once
+	rawVal     []*CVE
+	corpusVal  []*CVE
+)
+
+func assembleCorpus() {
+	rawVal = buildCorpus()
+	corpusVal = append([]*CVE(nil), rawVal...)
+	sort.Slice(corpusVal, func(i, j int) bool { return corpusVal[i].ID < corpusVal[j].ID })
+	if len(corpusVal) != 64 {
+		panic(fmt.Sprintf("cvedb: corpus has %d entries, want 64", len(corpusVal)))
+	}
+}
+
+func rawCorpus() []*CVE {
+	corpusOnce.Do(assembleCorpus)
+	return rawVal
+}
+
+func corpus() []*CVE {
+	corpusOnce.Do(assembleCorpus)
+	return corpusVal
+}
+
 // All returns the 64-entry corpus, ordered by ID.
 func All() []*CVE {
-	corpus := buildCorpus()
-	sort.Slice(corpus, func(i, j int) bool { return corpus[i].ID < corpus[j].ID })
-	if len(corpus) != 64 {
-		panic(fmt.Sprintf("cvedb: corpus has %d entries, want 64", len(corpus)))
-	}
-	return corpus
+	return append([]*CVE(nil), corpus()...)
 }
 
 // ByID returns one corpus entry.
 func ByID(id string) (*CVE, bool) {
-	for _, c := range All() {
+	for _, c := range corpus() {
 		if c.ID == id {
 			return c, true
 		}
@@ -187,7 +212,7 @@ func ByID(id string) (*CVE, bool) {
 // ForVersion filters the corpus by kernel release.
 func ForVersion(version string) []*CVE {
 	var out []*CVE
-	for _, c := range All() {
+	for _, c := range corpus() {
 		if c.Version == version {
 			out = append(out, c)
 		}
@@ -195,13 +220,25 @@ func ForVersion(version string) []*CVE {
 	return out
 }
 
+var (
+	treeCacheMu sync.Mutex
+	treeCache   = map[string]*srctree.Tree{}
+)
+
 // Tree builds the vulnerable kernel source tree for a release: the shared
 // runtime plus every corpus file. All releases share subsystem content
 // (the corpus is a single population; the paper likewise tested each
-// patch on whichever release it applied to).
+// patch on whichever release it applied to). Assembly is memoized per
+// release; callers get an independent clone, so mutating a returned tree
+// never leaks into later calls.
 func Tree(version string) *srctree.Tree {
+	treeCacheMu.Lock()
+	defer treeCacheMu.Unlock()
+	if t, ok := treeCache[version]; ok {
+		return t.Clone()
+	}
 	files := baseFiles()
-	for _, c := range All() {
+	for _, c := range corpus() {
 		for p, s := range c.Files {
 			if _, dup := files[p]; dup {
 				panic("cvedb: duplicate corpus file " + p)
@@ -209,7 +246,9 @@ func Tree(version string) *srctree.Tree {
 			files[p] = s
 		}
 	}
-	return srctree.New(version, files)
+	t := srctree.New(version, files)
+	treeCache[version] = t
+	return t.Clone()
 }
 
 // FixedTree builds the tree with one CVE's fix applied (for tests that

@@ -35,7 +35,7 @@ func mainSource() string {
 	sb.WriteString("#include \"klib.h\"\n\n")
 
 	var inits []string
-	for _, c := range buildCorpus() {
+	for _, c := range rawCorpus() {
 		if c.InitFn != "" {
 			inits = append(inits, c.InitFn)
 		}

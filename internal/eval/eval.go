@@ -11,13 +11,46 @@ package eval
 import (
 	"fmt"
 	"io"
+	"runtime"
+	"sync"
 	"time"
 
+	"gosplice/internal/codegen"
 	"gosplice/internal/core"
 	"gosplice/internal/cvedb"
 	"gosplice/internal/kernel"
 	"gosplice/internal/srctree"
 )
+
+// StageTimings records wall-clock time spent in each pipeline stage.
+// Build and Boot are paid once per kernel release (the per-version boot
+// cache); the rest accrue per patch. Durations are measurements, not
+// results: they vary run to run and are excluded from the deterministic
+// tables.
+type StageTimings struct {
+	Build  time.Duration // source tree -> objects (cache misses only)
+	Boot   time.Duration // link + load + kinit
+	Create time.Duration // ksplice-create (pre/post build + diff + extract)
+	RunPre time.Duration // run-pre matching inside apply
+	Apply  time.Duration // module load, quiescence, splice (minus RunPre)
+	Stress time.Duration // correctness workload
+	Undo   time.Duration // reversal
+}
+
+func (t *StageTimings) accumulate(u StageTimings) {
+	t.Build += u.Build
+	t.Boot += u.Boot
+	t.Create += u.Create
+	t.RunPre += u.RunPre
+	t.Apply += u.Apply
+	t.Stress += u.Stress
+	t.Undo += u.Undo
+}
+
+// Total sums every stage.
+func (t StageTimings) Total() time.Duration {
+	return t.Build + t.Boot + t.Create + t.RunPre + t.Apply + t.Stress + t.Undo
+}
 
 // PatchResult records one vulnerability's trip through the pipeline.
 type PatchResult struct {
@@ -50,6 +83,9 @@ type PatchResult struct {
 	Trampolines  int
 	HelperBytes  int
 	PrimaryBytes int
+	// Timings covers the per-patch stages (Create through Undo); the
+	// shared Build/Boot cost lives in Result.Timings.
+	Timings StageTimings
 
 	Err string
 }
@@ -76,6 +112,9 @@ type Result struct {
 	Ambiguity kernel.AmbiguityStats
 	// Pauses collects every successful stop_machine window.
 	Pauses []time.Duration
+	// Timings aggregates wall-clock cost across the whole run: the
+	// per-version build/boot work plus every patch's stages.
+	Timings StageTimings
 }
 
 // Options tunes Run.
@@ -87,6 +126,13 @@ type Options struct {
 	// KeepApplied leaves each update applied instead of undoing it (the
 	// "eliminate all reboots" stacking mode). Undo checks are skipped.
 	KeepApplied bool
+	// Workers bounds how many patches are evaluated concurrently. Zero
+	// or negative means runtime.NumCPU(). Stacking mode (KeepApplied) is
+	// order-dependent — run-pre matching binds against the previous
+	// update's replacement code (section 5.4) — so it always runs
+	// sequentially on one shared kernel per release, whatever Workers
+	// says.
+	Workers int
 	// Log receives progress lines when non-nil.
 	Log io.Writer
 }
@@ -97,70 +143,221 @@ func (o *Options) logf(format string, args ...any) {
 	}
 }
 
-// Run evaluates the corpus: one booted kernel per release, each of its
-// vulnerabilities taken through probe -> exploit -> create -> apply ->
-// re-probe -> re-exploit -> stress -> undo.
+// bootEntry lazily builds and boots one release's template kernel. The
+// build and link go through the process-wide srctree caches; the booted
+// kernel itself is per-Run and is never evaluated against directly —
+// workers take a Clone per patch, so every patch sees a pristine kernel.
+type bootEntry struct {
+	once        sync.Once
+	k           *kernel.Kernel
+	build, boot time.Duration
+	err         error
+}
+
+func (e *bootEntry) get(version string) (*kernel.Kernel, error) {
+	e.once.Do(func() {
+		t0 := time.Now()
+		tree := cvedb.Tree(version)
+		br, err := srctree.BuildCached(tree, codegen.KernelBuild())
+		if err != nil {
+			e.err = fmt.Errorf("eval: building %s: %w", version, err)
+			return
+		}
+		im, err := srctree.LinkKernelCached(br, kernel.KernelBase)
+		if err != nil {
+			e.err = fmt.Errorf("eval: linking %s: %w", version, err)
+			return
+		}
+		e.build = time.Since(t0)
+		t0 = time.Now()
+		k, err := kernel.BootImage(br, im, 0)
+		if err != nil {
+			e.err = fmt.Errorf("eval: booting %s: %w", version, err)
+			return
+		}
+		e.boot = time.Since(t0)
+		e.k = k
+	})
+	return e.k, e.err
+}
+
+// Run evaluates the corpus: each vulnerability is taken through probe ->
+// exploit -> create -> apply -> re-probe -> re-exploit -> stress -> undo
+// on its own kernel, cloned from a per-release booted template. Patches
+// run concurrently under a bounded worker pool (Options.Workers);
+// results are collected in corpus order, so every deterministic table is
+// byte-identical whatever the worker count.
 func Run(opts Options) (*Result, error) {
 	if opts.StressRounds == 0 {
 		opts.StressRounds = 50
 	}
-	res := &Result{}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
 
+	// The deterministic job list: release order, then corpus order
+	// within the release.
+	type job struct {
+		version string
+		c       *cvedb.CVE
+	}
+	var jobs []job
 	for _, version := range cvedb.Versions {
-		var selected []*cvedb.CVE
 		for _, c := range cvedb.ForVersion(version) {
 			if opts.Only == nil || opts.Only[c.ID] {
-				selected = append(selected, c)
+				jobs = append(jobs, job{version, c})
 			}
 		}
-		if len(selected) == 0 {
-			continue
-		}
+	}
+	res := &Result{}
+	if len(jobs) == 0 {
+		return res, nil
+	}
 
-		tree := cvedb.Tree(version)
-		k, err := kernel.Boot(kernel.Config{Tree: tree})
-		if err != nil {
-			return nil, fmt.Errorf("eval: booting %s: %w", version, err)
+	boots := map[string]*bootEntry{}
+	for _, j := range jobs {
+		if boots[j.version] == nil {
+			boots[j.version] = &bootEntry{}
 		}
-		if res.Ambiguity.TotalSymbols == 0 {
-			res.Ambiguity = k.Syms.Ambiguity()
-		}
-		mgr := core.NewManager(k)
+	}
 
-		for _, c := range selected {
-			pr := evalOne(k, mgr, tree, c, &opts)
-			if pr.Applied {
-				res.Pauses = append(res.Pauses, pr.Pause)
-			}
-			res.Patches = append(res.Patches, pr)
-			status := "ok"
-			if !pr.OK() {
-				status = "FAIL: " + pr.Err
-			}
-			opts.logf("%-14s %-18s loc=%-3d newcode=%-2d %s", c.ID, version, pr.PatchLoC, pr.NewCodeLines, status)
+	var (
+		results = make([]PatchResult, len(jobs))
+		errMu   sync.Mutex
+		runErr  error
+	)
+	setErr := func(err error) {
+		errMu.Lock()
+		if runErr == nil {
+			runErr = err
 		}
+		errMu.Unlock()
+	}
+	failed := func() bool {
+		errMu.Lock()
+		defer errMu.Unlock()
+		return runErr != nil
+	}
+	var logMu sync.Mutex
+	logResult := func(j job, pr *PatchResult) {
+		status := "ok"
+		if !pr.OK() {
+			status = "FAIL: " + pr.Err
+		}
+		logMu.Lock()
+		opts.logf("%-14s %-18s loc=%-3d newcode=%-2d %s", j.c.ID, j.version, pr.PatchLoC, pr.NewCodeLines, status)
+		logMu.Unlock()
+	}
+
+	if opts.KeepApplied {
+		// Stacking mode: one kernel per release accumulates every fix,
+		// strictly in corpus order.
+		kernels := map[string]*kernel.Kernel{}
+		mgrs := map[string]*core.Manager{}
+		for i, j := range jobs {
+			k := kernels[j.version]
+			if k == nil {
+				tmpl, err := boots[j.version].get(j.version)
+				if err != nil {
+					return nil, err
+				}
+				k, err = tmpl.Clone()
+				if err != nil {
+					return nil, fmt.Errorf("eval: cloning %s kernel: %w", j.version, err)
+				}
+				kernels[j.version] = k
+				mgrs[j.version] = core.NewManager(k)
+			}
+			results[i] = evalOne(k, mgrs[j.version], cvedb.Tree(j.version), j.c, &opts)
+			logResult(j, &results[i])
+		}
+	} else {
+		jobCh := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range jobCh {
+					if failed() {
+						continue
+					}
+					j := jobs[i]
+					tmpl, err := boots[j.version].get(j.version)
+					if err != nil {
+						setErr(err)
+						continue
+					}
+					k, err := tmpl.Clone()
+					if err != nil {
+						setErr(fmt.Errorf("eval: cloning %s kernel: %w", j.version, err))
+						continue
+					}
+					results[i] = evalOne(k, core.NewManager(k), cvedb.Tree(j.version), j.c, &opts)
+					logResult(j, &results[i])
+				}
+			}()
+		}
+		for i := range jobs {
+			jobCh <- i
+		}
+		close(jobCh)
+		wg.Wait()
+		if runErr != nil {
+			return nil, runErr
+		}
+	}
+
+	// Collect in job (corpus) order, so the report is independent of
+	// worker scheduling.
+	for i := range results {
+		pr := &results[i]
+		if pr.Applied {
+			res.Pauses = append(res.Pauses, pr.Pause)
+		}
+		res.Patches = append(res.Patches, *pr)
+		res.Timings.accumulate(pr.Timings)
+	}
+	for _, e := range boots {
+		if e.k != nil {
+			res.Timings.Build += e.build
+			res.Timings.Boot += e.boot
+		}
+	}
+	// The kallsyms census comes from the first evaluated release's
+	// template (which no patch ever touches).
+	if k, err := boots[jobs[0].version].get(jobs[0].version); err == nil {
+		res.Ambiguity = k.Syms.Ambiguity()
 	}
 	return res, nil
 }
 
-// baseAddr finds the base-kernel (non-module) symbol for name.
-func baseAddr(k *kernel.Kernel, name string) (uint32, error) {
-	var addr uint32
-	for _, s := range k.Syms.Lookup(name) {
+// baseAddr finds the base-kernel (non-module) function symbol for name.
+// Resolution must be exact: a missing name and an ambiguous one are both
+// errors (silently taking the last match could probe the wrong code), and
+// a symbol legitimately linked at address zero still resolves.
+func baseAddr(st *kernel.SymTab, name string) (uint32, error) {
+	var found []kernel.Sym
+	for _, s := range st.Lookup(name) {
 		if s.Func && s.Module == "" {
-			addr = s.Addr
+			found = append(found, s)
 		}
 	}
-	if addr == 0 {
-		return 0, fmt.Errorf("no base symbol %q", name)
+	switch len(found) {
+	case 0:
+		return 0, fmt.Errorf("no base kernel function %q", name)
+	case 1:
+		return found[0].Addr, nil
+	default:
+		return 0, fmt.Errorf("symbol %q names %d base kernel functions", name, len(found))
 	}
-	return addr, nil
 }
 
 // runProbe executes a probe via the base-kernel entry point (which may be
 // trampolined) on a task with the probe's credential.
 func runProbe(k *kernel.Kernel, p cvedb.Probe) (int64, error) {
-	addr, err := baseAddr(k, p.Entry)
+	addr, err := baseAddr(k.Syms, p.Entry)
 	if err != nil {
 		return 0, err
 	}
@@ -179,7 +376,7 @@ func runProbe(k *kernel.Kernel, p cvedb.Probe) (int64, error) {
 
 // runExploit executes a user exploit program and reports (exit, uid).
 func runExploit(k *kernel.Kernel, e *cvedb.Exploit) (int64, int, error) {
-	addr, err := baseAddr(k, e.Entry)
+	addr, err := baseAddr(k.Syms, e.Entry)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -236,17 +433,26 @@ func evalOne(k *kernel.Kernel, mgr *core.Manager, tree *srctree.Tree, c *cvedb.C
 		}
 	}
 
-	// 2. ksplice-create.
-	u, err := core.CreateUpdate(tree, c.Patch(), core.CreateOptions{Name: "ksplice-" + c.ID})
+	// 2. ksplice-create. The build cache is sound here: tree builds are
+	// deterministic, so every patch of a release shares one pre build.
+	t0 := time.Now()
+	u, err := core.CreateUpdate(tree, c.Patch(), core.CreateOptions{Name: "ksplice-" + c.ID, BuildCache: true})
+	pr.Timings.Create = time.Since(t0)
 	if err != nil {
 		return fail("create: %v", err)
 	}
 
 	// 3. ksplice-apply.
+	t0 = time.Now()
 	a, err := mgr.Apply(u, core.ApplyOptions{})
+	pr.Timings.Apply = time.Since(t0)
 	if err != nil {
 		return fail("apply: %v", err)
 	}
+	// Report run-pre matching separately from the rest of apply, so the
+	// stages stay disjoint and sum to the wall-clock total.
+	pr.Timings.RunPre = a.MatchDuration
+	pr.Timings.Apply -= a.MatchDuration
 	pr.Applied = true
 	pr.Attempts = a.Attempts
 	pr.Pause = a.Pause
@@ -275,7 +481,9 @@ func evalOne(k *kernel.Kernel, mgr *core.Manager, tree *srctree.Tree, c *cvedb.C
 	}
 
 	// 5. The kernel still works.
+	t0 = time.Now()
 	stress, err := k.Call("stress_main", int64(opts.StressRounds))
+	pr.Timings.Stress = time.Since(t0)
 	if err != nil {
 		return fail("stress: %v", err)
 	}
@@ -289,7 +497,10 @@ func evalOne(k *kernel.Kernel, mgr *core.Manager, tree *srctree.Tree, c *cvedb.C
 		pr.UndoOK = true
 		return pr
 	}
-	if err := mgr.Undo(core.ApplyOptions{}); err != nil {
+	t0 = time.Now()
+	err = mgr.Undo(core.ApplyOptions{})
+	pr.Timings.Undo = time.Since(t0)
+	if err != nil {
 		return fail("undo: %v", err)
 	}
 	got, err = runProbe(k, c.Probe)

@@ -7,6 +7,8 @@ import (
 	"time"
 
 	"gosplice/internal/cvedb"
+	"gosplice/internal/kernel"
+	"gosplice/internal/obj"
 )
 
 // The full run is shared across tests: it exercises all 64 updates once.
@@ -216,5 +218,125 @@ func TestReportRenders(t *testing.T) {
 		if !strings.Contains(rep, section) {
 			t.Errorf("report missing %q", section)
 		}
+	}
+}
+
+// TestBaseAddrResolution pins the resolution rules probes rely on: a
+// base-kernel function resolves even at address zero, a missing or
+// non-function name errors, a module's copy is ignored, and a duplicated
+// base name errors instead of silently taking one copy.
+func TestBaseAddrResolution(t *testing.T) {
+	st := kernel.NewSymTab(&obj.Image{Symbols: []obj.ImageSymbol{
+		{Name: "zero_fn", Addr: 0, Size: 8, Func: true, File: "z.mc"},
+		{Name: "plain_fn", Addr: 0x100, Size: 8, Func: true, File: "p.mc"},
+		{Name: "dup_fn", Addr: 0x200, Size: 8, Func: true, File: "p.mc"},
+		{Name: "dup_fn", Addr: 0x300, Size: 8, Func: true, File: "q.mc"},
+		{Name: "data_sym", Addr: 0x400, Size: 4, File: "p.mc"},
+	}})
+	st.AddModule("mod", &obj.Image{Symbols: []obj.ImageSymbol{
+		{Name: "mod_fn", Addr: 0x500, Size: 8, Func: true, File: "m.mc"},
+	}})
+
+	if addr, err := baseAddr(st, "plain_fn"); err != nil || addr != 0x100 {
+		t.Errorf("plain_fn = %#x, %v", addr, err)
+	}
+	// Address zero is a legitimate link address, distinct from missing.
+	if addr, err := baseAddr(st, "zero_fn"); err != nil || addr != 0 {
+		t.Errorf("zero_fn = %#x, %v", addr, err)
+	}
+	for _, name := range []string{"missing_fn", "data_sym", "mod_fn", "dup_fn"} {
+		if addr, err := baseAddr(st, name); err == nil {
+			t.Errorf("baseAddr(%s) = %#x, want error", name, addr)
+		}
+	}
+	if _, err := baseAddr(st, "dup_fn"); err == nil || !strings.Contains(err.Error(), "2 base kernel functions") {
+		t.Errorf("dup_fn error does not report the duplication: %v", err)
+	}
+}
+
+// TestConcurrentRunsAreIndependent runs two evaluations at once over
+// disjoint corpus halves, each itself using two workers. With the shared
+// build/link caches and per-patch kernel clones underneath, the runs must
+// not interfere; under -race this is the data-race soak for the whole
+// parallel pipeline.
+func TestConcurrentRunsAreIndependent(t *testing.T) {
+	all := cvedb.All()
+	half := [2]map[string]bool{{}, {}}
+	for i, c := range all {
+		half[i%2][c.ID] = true
+	}
+	var (
+		wg  sync.WaitGroup
+		res [2]*Result
+		err [2]error
+	)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res[i], err[i] = Run(Options{Only: half[i], StressRounds: 5, Workers: 2})
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < 2; i++ {
+		if err[i] != nil {
+			t.Fatalf("run %d: %v", i, err[i])
+		}
+		if len(res[i].Patches) != 32 {
+			t.Fatalf("run %d evaluated %d patches, want 32", i, len(res[i].Patches))
+		}
+		for _, p := range res[i].Patches {
+			if !p.OK() {
+				t.Errorf("run %d: %s failed: %s", i, p.ID, p.Err)
+			}
+		}
+	}
+}
+
+// TestRunDeterministicAcrossWorkerCounts: the report tables must be
+// byte-identical whatever the worker count.
+func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
+	ids := map[string]bool{}
+	for i, c := range cvedb.All() {
+		if i%4 == 0 {
+			ids[c.ID] = true
+		}
+	}
+	var tables [2][3]string
+	for i, workers := range []int{1, 8} {
+		res, err := Run(Options{Only: ids, StressRounds: 5, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tables[i] = [3]string{res.Headline(), res.Figure3(), res.Table1()}
+	}
+	for j, name := range []string{"headline", "figure 3", "table 1"} {
+		if tables[0][j] != tables[1][j] {
+			t.Errorf("%s differs between -j 1 and -j 8:\n%s\n--- vs ---\n%s", name, tables[0][j], tables[1][j])
+		}
+	}
+}
+
+// TestTimingsPopulated: a run accounts wall-clock time to every stage it
+// actually executed.
+func TestTimingsPopulated(t *testing.T) {
+	res := fullRun(t)
+	tm := res.Timings
+	for _, st := range []struct {
+		name string
+		d    time.Duration
+	}{
+		{"Boot", tm.Boot}, {"Create", tm.Create}, {"RunPre", tm.RunPre},
+		{"Apply", tm.Apply}, {"Stress", tm.Stress}, {"Undo", tm.Undo},
+	} {
+		if st.d <= 0 {
+			t.Errorf("stage %s has no recorded time (%v)", st.name, st.d)
+		}
+	}
+	if tm.Total() <= 0 {
+		t.Errorf("total = %v", tm.Total())
+	}
+	if !strings.Contains(res.TimingsTable(), "run-pre matching") {
+		t.Errorf("timings table missing stages:\n%s", res.TimingsTable())
 	}
 }

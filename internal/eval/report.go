@@ -163,11 +163,37 @@ func (r *Result) PauseTable() string {
 	return sb.String()
 }
 
+// TimingsTable summarizes where the evaluation's wall-clock time went,
+// stage by stage. Unlike the paper tables these are measurements of this
+// run and vary with the machine and worker count.
+func (r *Result) TimingsTable() string {
+	t := r.Timings
+	var sb strings.Builder
+	sb.WriteString("Pipeline stage timings (wall clock, summed over patches)\n")
+	rows := []struct {
+		name string
+		d    time.Duration
+	}{
+		{"kernel build (cache misses)", t.Build},
+		{"kernel boot", t.Boot},
+		{"ksplice-create", t.Create},
+		{"run-pre matching", t.RunPre},
+		{"apply (load+splice)", t.Apply},
+		{"stress workload", t.Stress},
+		{"undo", t.Undo},
+	}
+	for _, rw := range rows {
+		fmt.Fprintf(&sb, "  %-28s %12v\n", rw.name, rw.d.Round(time.Microsecond))
+	}
+	fmt.Fprintf(&sb, "  %-28s %12v\n", "total", t.Total().Round(time.Microsecond))
+	return sb.String()
+}
+
 // Report renders every table and figure.
 func (r *Result) Report() string {
 	return strings.Join([]string{
 		r.Headline(), r.Figure3(), r.Table1(),
-		r.InliningTable(), r.SymbolsTable(), r.PauseTable(),
+		r.InliningTable(), r.SymbolsTable(), r.PauseTable(), r.TimingsTable(),
 	}, "\n")
 }
 

@@ -72,6 +72,19 @@ func (h *heap) freeBlock(addr uint32) error {
 	return nil
 }
 
+// clone deep-copies the allocator state, for kernel snapshots.
+func (h *heap) clone() *heap {
+	n := &heap{
+		base: h.base, end: h.end,
+		free: append([]span(nil), h.free...),
+		live: make(map[uint32]uint32, len(h.live)),
+	}
+	for addr, size := range h.live {
+		n.live[addr] = size
+	}
+	return n
+}
+
 // inUse reports the number of live blocks and bytes.
 func (h *heap) inUse() (blocks int, bytes uint32) {
 	for _, size := range h.live {

@@ -176,12 +176,21 @@ func Boot(cfg Config) (*Kernel, error) {
 
 // BootBuild boots from an existing build result.
 func BootBuild(br *srctree.BuildResult, memSize int) (*Kernel, error) {
-	if memSize == 0 {
-		memSize = DefaultMemSize
-	}
 	im, err := srctree.LinkKernel(br, KernelBase)
 	if err != nil {
 		return nil, err
+	}
+	return BootImage(br, im, memSize)
+}
+
+// BootImage boots from a build result and an image already linked at
+// KernelBase. The image is only read (its bytes are copied into machine
+// memory), so one linked image can boot any number of kernels — the
+// evaluation pipeline links each release once and boots per-patch
+// instances from the cached image.
+func BootImage(br *srctree.BuildResult, im *obj.Image, memSize int) (*Kernel, error) {
+	if memSize == 0 {
+		memSize = DefaultMemSize
 	}
 	if im.End() >= HeapBase {
 		return nil, fmt.Errorf("kernel: image end %#x collides with heap base %#x", im.End(), HeapBase)
@@ -216,6 +225,58 @@ func BootBuild(br *srctree.BuildResult, memSize int) (*Kernel, error) {
 		}
 	}
 	return k, nil
+}
+
+// Clone snapshots a quiescent kernel into an independent instance: machine
+// memory, the heap, the symbol table, shadow bindings, loaded modules and
+// counters are all copied, so the clone and the original never share
+// mutable state. The kernel must have no live tasks and no background
+// CPUs running — the snapshot is taken between instructions, like booting
+// a second machine from a memory image. The evaluation pipeline boots one
+// template kernel per release and clones it per patch, which skips the
+// build, link and kinit cost of a fresh boot.
+func (k *Kernel) Clone() (*Kernel, error) {
+	k.stop.mu.Lock()
+	active := k.stop.active
+	k.stop.mu.Unlock()
+	if active > 0 {
+		return nil, fmt.Errorf("kernel: cannot clone with %d background CPUs running", active)
+	}
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if n := len(k.tasks); n > 0 {
+		return nil, fmt.Errorf("kernel: cannot clone with %d live tasks", n)
+	}
+	n := &Kernel{
+		M:            vm.New(len(k.M.Mem)),
+		Image:        k.Image,
+		Syms:         k.Syms.Clone(),
+		Build:        k.Build,
+		Version:      k.Version,
+		taskOf:       map[*vm.Thread]*Task{},
+		nextTID:      k.nextTID,
+		stackCur:     k.stackCur,
+		freeStacks:   append([]uint32(nil), k.freeStacks...),
+		heap:         k.heap.clone(),
+		moduleCursor: k.moduleCursor,
+		modules:      make(map[string]*Module, len(k.modules)),
+		shadows:      make(map[shadowKey]uint32, len(k.shadows)),
+		totalSteps:   k.totalSteps,
+		bootedAt:     time.Now(),
+	}
+	for name, mod := range k.modules {
+		n.modules[name] = mod
+	}
+	for key, addr := range k.shadows {
+		n.shadows[key] = addr
+	}
+	n.console.Write(k.console.Bytes())
+	n.reports = append([]int64(nil), k.reports...)
+	n.stop.cond = sync.NewCond(&n.stop.mu)
+	n.M.LowGuard = k.M.LowGuard
+	copy(n.M.Mem, k.M.Mem)
+	n.installTraps()
+	return n, nil
 }
 
 // installTraps registers the host service handlers. Handlers run while

@@ -49,6 +49,19 @@ func (st *SymTab) add(s Sym) {
 	st.syms = append(st.syms, s)
 }
 
+// Clone deep-copies the symbol table, for kernel snapshots: module
+// loads/unloads on a cloned kernel must not touch the original's table.
+func (st *SymTab) Clone() *SymTab {
+	n := &SymTab{
+		syms:   append([]Sym(nil), st.syms...),
+		byName: make(map[string][]int, len(st.byName)),
+	}
+	for name, idxs := range st.byName {
+		n.byName[name] = append([]int(nil), idxs...)
+	}
+	return n
+}
+
 // AddModule registers a loaded module's symbols.
 func (st *SymTab) AddModule(module string, im *obj.Image) {
 	for _, s := range im.Symbols {

@@ -9,9 +9,12 @@
 package srctree
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"gosplice/internal/codegen"
 	"gosplice/internal/diffutil"
@@ -61,6 +64,27 @@ func (t *Tree) Units() []string {
 	}
 	sort.Strings(out)
 	return out
+}
+
+// Hash returns a content hash of the tree: version plus every path and
+// file body. Builds are bit-for-bit deterministic for a (tree, options)
+// pair, so the hash is a sound cache key for build artifacts.
+func (t *Tree) Hash() string {
+	h := sha256.New()
+	h.Write([]byte(t.Version))
+	h.Write([]byte{0})
+	var paths []string
+	for p := range t.Files {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		h.Write([]byte(p))
+		h.Write([]byte{0})
+		h.Write([]byte(t.Files[p]))
+		h.Write([]byte{0})
+	}
+	return hex.EncodeToString(h.Sum(nil))
 }
 
 // Patch applies a unified diff to the tree, returning the patched tree.
@@ -150,4 +174,80 @@ func LinkKernel(br *BuildResult, base uint32) (*obj.Image, error) {
 		return nil, fmt.Errorf("srctree: link kernel %s: %w", br.Tree.Version, err)
 	}
 	return im, nil
+}
+
+// --- Build and link caches ---
+//
+// The evaluation pipeline builds the same vulnerable tree once per CVE it
+// processes (every ksplice-create pre build compiles the unpatched tree),
+// and boots one kernel per release. Builds are deterministic, so both
+// artifacts can be cached process-wide, keyed by tree content hash and
+// build options. Cached results are shared: callers must treat the
+// returned BuildResult and Image as immutable, which every consumer in
+// the repo already does (obj.Link and kernel boot only read them).
+
+type buildKey struct {
+	hash string
+	opts codegen.Options
+}
+
+type buildEntry struct {
+	once sync.Once
+	br   *BuildResult
+	err  error
+}
+
+type imageKey struct {
+	build buildKey
+	base  uint32
+}
+
+type imageEntry struct {
+	once sync.Once
+	im   *obj.Image
+	err  error
+}
+
+var (
+	buildCacheMu sync.Mutex
+	buildCache   = map[buildKey]*buildEntry{}
+	imageCacheMu sync.Mutex
+	imageCache   = map[imageKey]*imageEntry{}
+)
+
+// BuildCached is Build behind a process-wide cache keyed by tree content
+// hash and options. Concurrent callers with the same key share one build;
+// distinct keys build in parallel. The returned BuildResult is shared and
+// must not be mutated.
+func BuildCached(t *Tree, opts codegen.Options) (*BuildResult, error) {
+	key := buildKey{hash: t.Hash(), opts: opts}
+	buildCacheMu.Lock()
+	e := buildCache[key]
+	if e == nil {
+		e = &buildEntry{}
+		buildCache[key] = e
+	}
+	buildCacheMu.Unlock()
+	e.once.Do(func() {
+		e.br, e.err = Build(t, opts)
+	})
+	return e.br, e.err
+}
+
+// LinkKernelCached is LinkKernel behind the same process-wide cache. The
+// returned Image is shared and must not be mutated; kernel boot copies
+// its bytes into machine memory.
+func LinkKernelCached(br *BuildResult, base uint32) (*obj.Image, error) {
+	key := imageKey{build: buildKey{hash: br.Tree.Hash(), opts: br.Options}, base: base}
+	imageCacheMu.Lock()
+	e := imageCache[key]
+	if e == nil {
+		e = &imageEntry{}
+		imageCache[key] = e
+	}
+	imageCacheMu.Unlock()
+	e.once.Do(func() {
+		e.im, e.err = LinkKernel(br, base)
+	})
+	return e.im, e.err
 }
