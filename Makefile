@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench
+.PHONY: build test check bench bench-json
 
 build:
 	$(GO) build ./...
@@ -8,12 +8,23 @@ build:
 test:
 	$(GO) test ./...
 
-# The strict gate: vet plus the full test suite under the race detector
-# (the parallel evaluation pipeline is exercised concurrently by
+# The strict gate: vet (including the incremental-build and benchjson
+# packages), the unit-cache race tests and the create determinism guard
+# under the race detector, then the full test suite under the race
+# detector (the parallel evaluation pipeline is exercised concurrently by
 # TestConcurrentRunsAreIndependent).
 check:
 	$(GO) vet ./...
+	$(GO) test -race -run 'UnitCache|CreateUpdateDeterministic' ./internal/srctree ./internal/core
 	$(GO) test -race ./...
 
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$'
+
+# Regenerate the perf trajectory record: the eval pipeline benchmarks
+# (cold vs incremental create, the full 64-CVE run with cache hit rates)
+# rendered as JSON. Commit BENCH_eval.json to track the trend across PRs.
+bench-json:
+	$(GO) test -run '^$$' -bench 'BenchmarkEvalAll64|BenchmarkPrePostDiff|BenchmarkKernelBuild' -benchmem > BENCH_eval.txt
+	$(GO) run ./cmd/benchjson -in BENCH_eval.txt -out BENCH_eval.json
+	rm -f BENCH_eval.txt

@@ -68,6 +68,16 @@ func benchEvalAll64(b *testing.B, workers int) {
 		b.ReportMetric(float64(noCode), "patches-no-new-code")
 		b.ReportMetric(float64(withCode), "patches-custom-code")
 		b.ReportMetric(float64(pause.Nanoseconds())/64, "pause-ns/update")
+		// Incremental-create effectiveness: Create-stage wall time per
+		// patch and the cache hit rates behind it.
+		b.ReportMetric(float64(res.Timings.Create.Nanoseconds())/float64(len(res.Patches)), "create-ns/patch")
+		c := res.Cache
+		if total := c.UnitHits + c.UnitMisses; total > 0 {
+			b.ReportMetric(100*float64(c.UnitHits)/float64(total), "unit-cache-hit-%")
+		}
+		if total := c.FingerprintSkips + c.DeepCompares; total > 0 {
+			b.ReportMetric(100*float64(c.FingerprintSkips)/float64(total), "diff-fingerprint-skip-%")
+		}
 	}
 }
 
@@ -259,10 +269,24 @@ func BenchmarkRunPreMatch(b *testing.B) {
 	b.ReportMetric(float64(matched), "pre-bytes-matched")
 }
 
-// BenchmarkPrePostDiff measures ksplice-create end to end for a small
-// security patch (section 3): two full tree builds plus object
-// extraction.
+// BenchmarkPrePostDiff measures cold ksplice-create end to end for a
+// small security patch (section 3): two full tree builds plus object
+// extraction, with the per-unit cache disabled.
 func BenchmarkPrePostDiff(b *testing.B) {
+	defer srctree.SetUnitCache(srctree.SetUnitCache(false))
+	benchPrePostDiff(b)
+}
+
+// BenchmarkPrePostDiffIncremental is the same create with the per-unit
+// cache on: unchanged units assemble from cache and the differ skips
+// them by pointer identity, so the cost is proportional to the patch
+// rather than the tree. Compare against BenchmarkPrePostDiff.
+func BenchmarkPrePostDiffIncremental(b *testing.B) {
+	defer srctree.SetUnitCache(srctree.SetUnitCache(true))
+	benchPrePostDiff(b)
+}
+
+func benchPrePostDiff(b *testing.B) {
 	c, _ := cvedb.ByID("CVE-2008-0600")
 	tree := cvedb.Tree(c.Version)
 	patch := c.Patch()
@@ -323,11 +347,39 @@ func benchDiffGranularity(b *testing.B, opts codegen.Options) {
 	b.ReportMetric(float64(diff), "changed-text-bytes")
 }
 
-// BenchmarkKernelBuild measures a full corpus kernel build (74 units:
-// lex, parse, check, inline, codegen, relax).
+// BenchmarkKernelBuild measures a full cold corpus kernel build (74
+// units: lex, parse, check, inline, codegen, relax). The per-unit cache
+// is disabled so every iteration pays the real compile cost.
 func BenchmarkKernelBuild(b *testing.B) {
+	defer srctree.SetUnitCache(srctree.SetUnitCache(false))
 	tree := cvedb.Tree(cvedb.Versions[0])
 	for i := 0; i < b.N; i++ {
+		if _, err := srctree.Build(tree, codegen.KernelBuild()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkKernelBuildIncremental measures the build of a tree in which
+// exactly one unit changed since the previous build — the ksplice-create
+// post-build shape. Each iteration edits the same file differently, so
+// one unit really recompiles and the rest assemble from the unit cache;
+// compare against BenchmarkKernelBuild for the incremental speedup.
+func BenchmarkKernelBuildIncremental(b *testing.B) {
+	defer srctree.SetUnitCache(srctree.SetUnitCache(true))
+	base := cvedb.Tree(cvedb.Versions[0])
+	const unit = "drivers/dst_ca.mc"
+	if _, ok := base.Files[unit]; !ok {
+		b.Fatalf("corpus tree lacks %s", unit)
+	}
+	// Warm the cache with the unmodified tree.
+	if _, err := srctree.Build(base, codegen.KernelBuild()); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree := base.Clone()
+		tree.Files[unit] += fmt.Sprintf("// rev %d\n", i)
 		if _, err := srctree.Build(tree, codegen.KernelBuild()); err != nil {
 			b.Fatal(err)
 		}

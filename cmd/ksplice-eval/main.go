@@ -4,7 +4,7 @@
 //
 //	ksplice-eval -all
 //	ksplice-eval -figure 3
-//	ksplice-eval -table headline|1|inlining|symbols|pause|timings
+//	ksplice-eval -table headline|1|inlining|symbols|pause|timings|cache
 //	ksplice-eval -only CVE-2006-2451,CVE-2005-2709 -v
 //	ksplice-eval -j 8 -table headline
 package main
@@ -21,7 +21,7 @@ import (
 
 func main() {
 	all := flag.Bool("all", false, "print every table and figure")
-	table := flag.String("table", "", "print one table: headline, 1, inlining, symbols, pause, timings")
+	table := flag.String("table", "", "print one table: headline, 1, inlining, symbols, pause, timings, cache")
 	figure := flag.Int("figure", 0, "print one figure (3)")
 	only := flag.String("only", "", "comma-separated CVE IDs to evaluate")
 	verbose := flag.Bool("v", false, "log per-patch progress")
@@ -68,6 +68,8 @@ func main() {
 		fmt.Print(res.PauseTable())
 	case *table == "timings":
 		fmt.Print(res.TimingsTable())
+	case *table == "cache":
+		fmt.Print(res.CacheTable())
 	default:
 		fmt.Fprintf(os.Stderr, "ksplice-eval: unknown table/figure\n")
 		os.Exit(2)

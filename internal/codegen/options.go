@@ -1,5 +1,7 @@
 package codegen
 
+import "fmt"
+
 // Options configures a compilation, mirroring the gcc options the paper
 // discusses.
 type Options struct {
@@ -23,6 +25,17 @@ type Options struct {
 	// files. Run-pre matching is sensitive to compiler changes; tools
 	// compare stamps to warn before an abort happens (paper section 4.3).
 	Version string
+}
+
+// CacheKey renders the options as a canonical string for use in build
+// cache keys. Every field participates: two Options values produce the
+// same key exactly when they configure identical compilations, so any
+// field added to Options must be added here or cached objects could be
+// served across semantically different builds.
+func (o Options) CacheKey() string {
+	return fmt.Sprintf("fs=%t ds=%t inline=%t/%d align=%t ver=%q",
+		o.FunctionSections, o.DataSections, o.Inline, o.InlineMaxNodes,
+		o.AlignLoops, o.Version)
 }
 
 // KernelBuild returns the options a distributor uses to build a running

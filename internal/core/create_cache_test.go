@@ -1,0 +1,52 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"gosplice/internal/cvedb"
+	"gosplice/internal/srctree"
+)
+
+// TestCreateUpdateDeterministicAcrossUnitCache is the determinism guard
+// for the incremental compilation layer: for every corpus patch, the
+// serialized update produced with the per-unit compile cache ON must be
+// byte-identical to the one produced with the cache OFF (every compile
+// really runs, every comparison walks the bytes). It mirrors the
+// worker-count determinism test of the evaluation pipeline: caching is an
+// optimization, never a semantic input.
+func TestCreateUpdateDeterministicAcrossUnitCache(t *testing.T) {
+	defer srctree.SetUnitCache(srctree.SetUnitCache(true))
+	createTar := func(c *cvedb.CVE, cached bool) ([]byte, error) {
+		srctree.SetUnitCache(cached)
+		u, err := CreateUpdate(cvedb.Tree(c.Version), c.Patch(), CreateOptions{Name: "det-" + c.ID})
+		if err != nil {
+			return nil, err
+		}
+		var buf bytes.Buffer
+		if err := u.WriteTar(&buf); err != nil {
+			return nil, err
+		}
+		return buf.Bytes(), nil
+	}
+	for _, c := range cvedb.All() {
+		hot, hotErr := createTar(c, true)
+		cold, coldErr := createTar(c, false)
+		if (hotErr == nil) != (coldErr == nil) {
+			t.Fatalf("%s: cache on err = %v, cache off err = %v", c.ID, hotErr, coldErr)
+		}
+		if hotErr != nil {
+			// Both paths must fail identically (e.g. a comment-only patch
+			// is ErrNoChanges either way).
+			if !errors.Is(hotErr, ErrNoChanges) || !errors.Is(coldErr, ErrNoChanges) {
+				t.Fatalf("%s: unexpected create failure: %v / %v", c.ID, hotErr, coldErr)
+			}
+			continue
+		}
+		if !bytes.Equal(hot, cold) {
+			t.Errorf("%s: update bytes differ between cached and uncached create (%d vs %d bytes)",
+				c.ID, len(hot), len(cold))
+		}
+	}
+}

@@ -1,0 +1,33 @@
+package core
+
+import "sync/atomic"
+
+// Observability for the pre/post differ's fast paths. With the per-unit
+// compile cache on, the pre and post builds of an unchanged unit return
+// the same *obj.File, and CreateUpdate skips it on pointer identity or
+// memoized fingerprint equality instead of a byte-for-byte walk. These
+// process-wide counters let the evaluation report how often each path
+// fired; callers diff two snapshots to attribute activity to a run.
+
+var (
+	fingerprintSkips atomic.Uint64
+	deepCompares     atomic.Uint64
+)
+
+// DiffCounters is a snapshot of the differ's comparison activity.
+type DiffCounters struct {
+	// FingerprintSkips counts unit comparisons short-circuited by pointer
+	// identity or equal memoized fingerprints.
+	FingerprintSkips uint64
+	// DeepCompares counts unit comparisons that fell through to the full
+	// section-by-section, byte-for-byte walk.
+	DeepCompares uint64
+}
+
+// DiffStats returns the current differ activity snapshot.
+func DiffStats() DiffCounters {
+	return DiffCounters{
+		FingerprintSkips: fingerprintSkips.Load(),
+		DeepCompares:     deepCompares.Load(),
+	}
+}

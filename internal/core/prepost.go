@@ -153,6 +153,11 @@ func relocsEqual(a []obj.Reloc, af *obj.File, b []obj.Reloc, bf *obj.File) bool 
 }
 
 func sectionsEqual(a *obj.Section, af *obj.File, b *obj.Section, bf *obj.File) bool {
+	if a == b {
+		// The per-unit compile cache shares section structures between
+		// builds; identical pointers need no inspection.
+		return true
+	}
 	return a.Kind == b.Kind &&
 		a.Align == b.Align &&
 		a.Size == b.Size &&
@@ -161,7 +166,17 @@ func sectionsEqual(a *obj.Section, af *obj.File, b *obj.Section, bf *obj.File) b
 }
 
 // filesEqual reports whether two object files are entirely equivalent.
+// Unchanged units compiled through the unit cache are pointer-identical
+// and skip immediately; otherwise equal memoized fingerprints prove
+// equality without a deep walk (the fingerprint covers every field the
+// walk would compare). Unequal fingerprints fall through to the full
+// comparison, which remains authoritative.
 func filesEqual(a, b *obj.File) bool {
+	if a == b || a.Fingerprint() == b.Fingerprint() {
+		fingerprintSkips.Add(1)
+		return true
+	}
+	deepCompares.Add(1)
 	if len(a.Sections) != len(b.Sections) || len(a.Symbols) != len(b.Symbols) {
 		return false
 	}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strings"
 
 	"gosplice/internal/isa"
 	"gosplice/internal/kernel"
@@ -61,6 +62,44 @@ func (inf *inference) record(name string, val uint32) error {
 	return nil
 }
 
+// trialInference overlays one candidate trial's inferences on the
+// committed base without copying it. Reads consult the overlay first and
+// fall back to the base; writes (and conflicts) land in the overlay. A
+// failed candidate's overlay is simply dropped; a uniquely matching
+// candidate's overlay is merged into the base by commit. This replaces a
+// full map copy per kallsyms candidate — quadratic in unit size for
+// ambiguous names — with state proportional to the one function tried.
+type trialInference struct {
+	base    *inference
+	overlay map[string]uint32
+}
+
+func newTrial(base *inference) *trialInference {
+	return &trialInference{base: base, overlay: map[string]uint32{}}
+}
+
+func (tr *trialInference) record(name string, val uint32) error {
+	val = tr.base.canonical(val)
+	if prev, ok := tr.overlay[name]; ok {
+		if prev != val {
+			return fmt.Errorf("%w: symbol %q inferred as both %#x and %#x", ErrRunPreMismatch, name, prev, val)
+		}
+		return nil
+	}
+	if prev, ok := tr.base.vals[name]; ok && prev != val {
+		return fmt.Errorf("%w: symbol %q inferred as both %#x and %#x", ErrRunPreMismatch, name, prev, val)
+	}
+	tr.overlay[name] = val
+	return nil
+}
+
+// commit merges the trial's inferences into the base.
+func (tr *trialInference) commit() {
+	for k, v := range tr.overlay {
+		tr.base.vals[k] = v
+	}
+}
+
 // MatchUnit run-pre matches every function of a pre object file against
 // kernel memory. mem is the machine memory (caller holds the machine
 // lock or the machine is stopped), symtab the running kernel's symbol
@@ -94,6 +133,14 @@ func MatchUnitCanon(mem []byte, symtab *kernel.SymTab, preF *obj.File, canon fun
 		if sym == nil || !sym.Func {
 			return nil, fmt.Errorf("%w: pre object %s has no function symbol for %s", ErrRunPreMismatch, preF.SourcePath, sec.Name)
 		}
+		// The pre side of the walk — no-op skipping, instruction decode,
+		// and the relocation index — depends only on the pre section, so
+		// it is computed once here and reused for every kallsyms
+		// candidate instead of being redone per trial.
+		scan, err := scanPre(sec, preF)
+		if err != nil {
+			return nil, err
+		}
 		candidates := symtab.Lookup(fname)
 		var matches []kernel.Sym
 		var failures []string
@@ -104,26 +151,23 @@ func MatchUnitCanon(mem []byte, symtab *kernel.SymTab, preF *obj.File, canon fun
 		// with the first match's inferences, which can fail a genuinely
 		// matching second candidate on a manufactured conflict and turn a
 		// true ambiguity into a silent (wrong) unique match.
-		var matchVals map[string]uint32
+		var matchTrial *trialInference
 		var matchBytes int
 		for _, cand := range candidates {
 			if !cand.Func {
 				continue
 			}
-			// Trial-match against a scratch copy of the inference so a
-			// failed candidate leaves no partial state.
-			trial := &inference{vals: map[string]uint32{}, canon: canon}
-			for k, v := range inf.vals {
-				trial.vals[k] = v
-			}
-			n, err := matchFunc(mem, cand.Addr, sec, preF, trial)
+			// Trial-match against an overlay on the committed inference so
+			// a failed candidate leaves no partial state.
+			trial := newTrial(inf)
+			n, err := matchFunc(mem, cand.Addr, scan, trial)
 			if err != nil {
 				failures = append(failures, fmt.Sprintf("  candidate %#x (%s): %v", cand.Addr, cand.Owner, err))
 				continue
 			}
 			matches = append(matches, cand)
 			if len(matches) == 1 {
-				matchVals = trial.vals
+				matchTrial = trial
 				matchBytes = n
 			}
 		}
@@ -136,15 +180,23 @@ func MatchUnitCanon(mem []byte, symtab *kernel.SymTab, preF *obj.File, canon fun
 			return nil, fmt.Errorf("%w: function %s of %s does not match the running kernel: %s",
 				ErrRunPreMismatch, fname, preF.SourcePath, detail)
 		case 1:
-			inf.vals = matchVals
+			matchTrial.commit()
 			res.BytesMatched += matchBytes
 			res.Anchors[fname] = matches[0]
 			if err := inf.record(fname, matches[0].Addr); err != nil {
 				return nil, err
 			}
 		default:
-			return nil, fmt.Errorf("%w: function %s of %s matches %d distinct run locations",
-				ErrRunPreMismatch, fname, preF.SourcePath, len(matches))
+			// Report where each candidate matched and why the others
+			// failed: an ambiguity abort is actionable only if the
+			// operator can see all the locations involved.
+			var detail []string
+			for _, m := range matches {
+				detail = append(detail, fmt.Sprintf("  candidate %#x (%s): matches", m.Addr, m.Owner))
+			}
+			detail = append(detail, failures...)
+			return nil, fmt.Errorf("%w: function %s of %s matches %d distinct run locations:\n%s",
+				ErrRunPreMismatch, fname, preF.SourcePath, len(matches), joinLines(detail))
 		}
 	}
 
@@ -182,27 +234,99 @@ func MatchUnitCanon(mem []byte, symtab *kernel.SymTab, preF *obj.File, canon fun
 
 func joinLines(lines []string) string {
 	sort.Strings(lines)
-	out := ""
+	var sb strings.Builder
 	for _, l := range lines {
-		out += l + "\n"
+		sb.WriteString(l)
+		sb.WriteByte('\n')
 	}
-	return out
+	return sb.String()
 }
 
-// matchFunc walks every byte of one pre function section against run code
-// at runAddr. It returns the number of pre bytes matched.
+// preStep is one decoded pre instruction: its offset (at an instruction
+// boundary, after no-op skipping), the decoded form, and the relocation
+// (if any) whose field lies inside it.
+type preStep struct {
+	off uint32
+	in  isa.Insn
+	rel *obj.Reloc
+	// sym is the relocation's symbol name; "" when rel is nil.
+	sym string
+}
+
+// preScan is the candidate-independent half of run-pre matching one
+// function section: the no-op-skipped instruction boundaries, the decoded
+// pre instructions, and each instruction's relocation. Built once per
+// section by scanPre and reused across every kallsyms candidate trial —
+// previously all of this was recomputed for each candidate.
+type preScan struct {
+	data  []byte
+	steps []preStep
+}
+
+// scanPre decodes one pre function section. Errors here are properties of
+// the pre object alone (undecodable code, malformed relocations), so they
+// abort the whole match rather than just one candidate.
+func scanPre(sec *obj.Section, preF *obj.File) (*preScan, error) {
+	pre := sec.Data
+	relocAt := map[uint32]obj.Reloc{}
+	for _, r := range sec.Relocs {
+		relocAt[r.Offset] = r
+	}
+	scan := &preScan{data: pre}
+	badPre := func(p uint32, format string, args ...any) error {
+		return fmt.Errorf("%w: %s at pre+%#x: %s", ErrRunPreMismatch, sec.Name, p, fmt.Sprintf(format, args...))
+	}
+	p := uint32(0)
+	for int(p) < len(pre) {
+		p = uint32(isa.SkipNops(pre, int(p)))
+		if int(p) >= len(pre) {
+			break
+		}
+		preIn, err := isa.Decode(pre, int(p))
+		if err != nil {
+			return nil, badPre(p, "pre decode: %v", err)
+		}
+		st := preStep{off: p, in: preIn}
+		// Relocation inside this pre instruction?
+		for off := p; off < p+uint32(preIn.Len); off++ {
+			if rr, ok := relocAt[off]; ok {
+				st.rel = &rr
+				st.sym = preF.Symbols[rr.Sym].Name
+				break
+			}
+		}
+		if rel := st.rel; rel != nil {
+			switch rel.Type {
+			case obj.RelAbs32, obj.RelAbs64:
+				fieldOff := rel.Offset - p
+				size := uint32(rel.Type.Size())
+				if int(fieldOff)+int(size) > preIn.Len {
+					return nil, badPre(p, "relocation field extends past the instruction")
+				}
+			case obj.RelPC32:
+				if preIn.Op.Branch() == isa.BranchNone {
+					return nil, badPre(p, "pc32 relocation on non-branch %s", preIn.Op.Name())
+				}
+			default:
+				return nil, badPre(p, "unsupported relocation type %s in text", rel.Type)
+			}
+		}
+		scan.steps = append(scan.steps, st)
+		p += uint32(preIn.Len)
+	}
+	return scan, nil
+}
+
+// matchFunc walks one pre function (already decoded into scan) against
+// run code at runAddr. It returns the number of pre bytes matched.
 //
 // The walk embodies the architecture knowledge of section 4.3: no-op
 // sequences are recognized and skipped independently on both sides, and
 // instruction lengths plus the PC-relative instruction table let the
 // matcher verify that short- and near-encoded branches point at
 // corresponding locations even though their offsets (and lengths) differ.
-func matchFunc(mem []byte, runAddr uint32, sec *obj.Section, preF *obj.File, inf *inference) (int, error) {
-	pre := sec.Data
-	relocAt := map[uint32]obj.Reloc{}
-	for _, r := range sec.Relocs {
-		relocAt[r.Offset] = r
-	}
+func matchFunc(mem []byte, runAddr uint32, scan *preScan, inf *trialInference) (int, error) {
+	pre := scan.data
 
 	// corr maps pre offsets (at instruction boundaries, after no-op
 	// skipping) to run addresses; branch targets must correspond.
@@ -214,39 +338,21 @@ func matchFunc(mem []byte, runAddr uint32, sec *obj.Section, preF *obj.File, inf
 		return fmt.Errorf("%w: at pre+%#x/run %#x: %s", ErrRunPreMismatch, p, r, fmt.Sprintf(format, args...))
 	}
 
-	p := uint32(0)
 	r := runAddr
-	for int(p) < len(pre) {
-		p = uint32(isa.SkipNops(pre, int(p)))
-		if int(p) >= len(pre) {
-			break
-		}
+	for _, st := range scan.steps {
+		p, preIn := st.off, st.in
 		if int(r) >= len(mem) {
 			return 0, mismatch(p, r, "run cursor out of memory")
 		}
 		r = uint32(isa.SkipNops(mem, int(r)))
 		corr[p] = r
 
-		preIn, err := isa.Decode(pre, int(p))
-		if err != nil {
-			return 0, mismatch(p, r, "pre decode: %v", err)
-		}
 		runIn, err := isa.Decode(mem, int(r))
 		if err != nil {
 			return 0, mismatch(p, r, "run decode: %v", err)
 		}
 
-		// Relocation inside this pre instruction?
-		var rel *obj.Reloc
-		for off := p; off < p+uint32(preIn.Len); off++ {
-			if rr, ok := relocAt[off]; ok {
-				rel = &rr
-				break
-			}
-		}
-
-		if rel != nil {
-			symName := preF.Symbols[rel.Sym].Name
+		if rel := st.rel; rel != nil {
 			switch rel.Type {
 			case obj.RelAbs32, obj.RelAbs64:
 				if runIn.Op != preIn.Op {
@@ -261,9 +367,6 @@ func matchFunc(mem []byte, runAddr uint32, sec *obj.Section, preF *obj.File, inf
 				if int(r)+preIn.Len > len(mem) {
 					return 0, mismatch(p, r, "run instruction truncated by end of memory")
 				}
-				if int(fieldOff)+int(size) > preIn.Len {
-					return 0, mismatch(p, r, "relocation field extends past the instruction")
-				}
 				// All bytes outside the relocated field must agree.
 				for i := uint32(0); i < uint32(preIn.Len); i++ {
 					if i >= fieldOff && i < fieldOff+size {
@@ -276,18 +379,14 @@ func matchFunc(mem []byte, runAddr uint32, sec *obj.Section, preF *obj.File, inf
 				val := readLE(mem, r+fieldOff, int(size))
 				// field = S + A  =>  S = val - A.
 				s := uint32(val) - uint32(rel.Addend)
-				if err := inf.record(symName, s); err != nil {
+				if err := inf.record(st.sym, s); err != nil {
 					return 0, err
 				}
-				p += uint32(preIn.Len)
 				r += uint32(runIn.Len)
 
 			case obj.RelPC32:
 				// External branch: the pre side is always near-form; the
 				// run side may be near or short.
-				if preIn.Op.Branch() == isa.BranchNone {
-					return 0, mismatch(p, r, "pc32 relocation on non-branch %s", preIn.Op.Name())
-				}
 				if runIn.Op.Branch() != preIn.Op.Branch() {
 					return 0, mismatch(p, r, "branch class %s vs run %s", preIn.Op.Name(), runIn.Op.Name())
 				}
@@ -298,14 +397,10 @@ func matchFunc(mem []byte, runAddr uint32, sec *obj.Section, preF *obj.File, inf
 				// = P+4+field). So S = run target - A - 4.
 				target := runIn.Target(r)
 				s := target - uint32(rel.Addend) - 4
-				if err := inf.record(symName, s); err != nil {
+				if err := inf.record(st.sym, s); err != nil {
 					return 0, err
 				}
-				p += uint32(preIn.Len)
 				r += uint32(runIn.Len)
-
-			default:
-				return 0, mismatch(p, r, "unsupported relocation type %s in text", rel.Type)
 			}
 			continue
 		}
@@ -313,7 +408,6 @@ func matchFunc(mem []byte, runAddr uint32, sec *obj.Section, preF *obj.File, inf
 		// No relocation: bytes must be identical, or the instructions
 		// must be equivalent branch encodings with corresponding targets.
 		if int(r)+preIn.Len <= len(mem) && bytes.Equal(pre[p:p+uint32(preIn.Len)], mem[r:r+uint32(preIn.Len)]) {
-			p += uint32(preIn.Len)
 			r += uint32(preIn.Len)
 			continue
 		}
@@ -332,7 +426,6 @@ func matchFunc(mem []byte, runAddr uint32, sec *obj.Section, preF *obj.File, inf
 			} else {
 				pending = append(pending, pend{preTarget, runTarget})
 			}
-			p += uint32(preIn.Len)
 			r += uint32(runIn.Len)
 			continue
 		}

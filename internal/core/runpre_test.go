@@ -2,6 +2,7 @@ package core
 
 import (
 	"errors"
+	"fmt"
 	"strings"
 	"testing"
 
@@ -546,6 +547,13 @@ func TestRunPreAmbiguousTwoCandidates(t *testing.T) {
 	}
 	if !strings.Contains(err.Error(), "2 distinct run locations") {
 		t.Fatalf("ambiguity not reported: %v", err)
+	}
+	// The abort must be actionable: every matching candidate's address
+	// and owner appears in the error detail.
+	for i, s := range syms {
+		if !strings.Contains(err.Error(), fmt.Sprintf("candidate %#x (%s): matches", s.Addr, s.Owner)) {
+			t.Errorf("ambiguity error omits candidate %d at %#x:\n%v", i, s.Addr, err)
+		}
 	}
 }
 

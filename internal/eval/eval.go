@@ -52,6 +52,43 @@ func (t StageTimings) Total() time.Duration {
 	return t.Build + t.Boot + t.Create + t.RunPre + t.Apply + t.Stress + t.Undo
 }
 
+// CacheStats attributes build-cache and differ activity to one Run: unit
+// compiles served from the per-unit cache vs. compiled, whole-tree build
+// memo hits, kernel link cache hits, and how many pre/post unit
+// comparisons the differ short-circuited by fingerprint instead of
+// walking byte-for-byte. Like StageTimings these are measurements, not
+// results: a second run in the same process sees warmer caches, and
+// concurrent runs share the process-wide counters, so the numbers are
+// excluded from the deterministic tables.
+type CacheStats struct {
+	UnitHits, UnitMisses   uint64 // per-unit compile cache
+	BuildHits, BuildMisses uint64 // whole-tree build memo
+	LinkHits, LinkMisses   uint64 // kernel image link cache
+	FingerprintSkips       uint64 // differ short-circuits (pointer/fingerprint)
+	DeepCompares           uint64 // differ full byte-for-byte walks
+}
+
+func cacheSnapshot() CacheStats {
+	sc := srctree.Counters()
+	dc := core.DiffStats()
+	return CacheStats{
+		UnitHits: sc.UnitHits, UnitMisses: sc.UnitMisses,
+		BuildHits: sc.BuildHits, BuildMisses: sc.BuildMisses,
+		LinkHits: sc.LinkHits, LinkMisses: sc.LinkMisses,
+		FingerprintSkips: dc.FingerprintSkips, DeepCompares: dc.DeepCompares,
+	}
+}
+
+func (c CacheStats) sub(b CacheStats) CacheStats {
+	return CacheStats{
+		UnitHits: c.UnitHits - b.UnitHits, UnitMisses: c.UnitMisses - b.UnitMisses,
+		BuildHits: c.BuildHits - b.BuildHits, BuildMisses: c.BuildMisses - b.BuildMisses,
+		LinkHits: c.LinkHits - b.LinkHits, LinkMisses: c.LinkMisses - b.LinkMisses,
+		FingerprintSkips: c.FingerprintSkips - b.FingerprintSkips,
+		DeepCompares:     c.DeepCompares - b.DeepCompares,
+	}
+}
+
 // PatchResult records one vulnerability's trip through the pipeline.
 type PatchResult struct {
 	ID      string
@@ -115,6 +152,9 @@ type Result struct {
 	// Timings aggregates wall-clock cost across the whole run: the
 	// per-version build/boot work plus every patch's stages.
 	Timings StageTimings
+	// Cache attributes build-cache and differ fast-path activity to this
+	// run (a counter delta over the process-wide caches).
+	Cache CacheStats
 }
 
 // Options tunes Run.
@@ -195,6 +235,7 @@ func Run(opts Options) (*Result, error) {
 	if workers <= 0 {
 		workers = runtime.NumCPU()
 	}
+	cache0 := cacheSnapshot()
 
 	// The deterministic job list: release order, then corpus order
 	// within the release.
@@ -330,6 +371,7 @@ func Run(opts Options) (*Result, error) {
 	if k, err := boots[jobs[0].version].get(jobs[0].version); err == nil {
 		res.Ambiguity = k.Syms.Ambiguity()
 	}
+	res.Cache = cacheSnapshot().sub(cache0)
 	return res, nil
 }
 

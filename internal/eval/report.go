@@ -189,11 +189,39 @@ func (r *Result) TimingsTable() string {
 	return sb.String()
 }
 
+// CacheTable summarizes the incremental-build machinery's effectiveness
+// during this run: how many unit compiles were served from the per-unit
+// cache, how often whole builds and links were memoized, and how many
+// pre/post unit comparisons the differ skipped by fingerprint. Like the
+// timings, these are measurements of this run (warm caches in the same
+// process raise the rates) and are excluded from the deterministic
+// tables.
+func (r *Result) CacheTable() string {
+	c := r.Cache
+	var sb strings.Builder
+	sb.WriteString("Incremental create cache (per-run counter deltas)\n")
+	row := func(name string, hits, misses uint64) {
+		total := hits + misses
+		if total == 0 {
+			fmt.Fprintf(&sb, "  %-28s %8s\n", name, "unused")
+			return
+		}
+		fmt.Fprintf(&sb, "  %-28s %8d of %-8d (%.1f%% hit)\n",
+			name, hits, total, 100*float64(hits)/float64(total))
+	}
+	row("unit compile cache", c.UnitHits, c.UnitMisses)
+	row("tree build memo", c.BuildHits, c.BuildMisses)
+	row("kernel link cache", c.LinkHits, c.LinkMisses)
+	row("diff fingerprint skips", c.FingerprintSkips, c.DeepCompares)
+	return sb.String()
+}
+
 // Report renders every table and figure.
 func (r *Result) Report() string {
 	return strings.Join([]string{
 		r.Headline(), r.Figure3(), r.Table1(),
 		r.InliningTable(), r.SymbolsTable(), r.PauseTable(), r.TimingsTable(),
+		r.CacheTable(),
 	}, "\n")
 }
 

@@ -1,0 +1,30 @@
+package obj
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+)
+
+// Fingerprint returns a content hash of the file: a sha256 over its SOF
+// serialization, covering every section (name, kind, alignment, data,
+// relocations) and every symbol. Equal fingerprints imply the files are
+// equivalent under the pre/post differencing comparison, so callers use
+// the fingerprint both as a build-cache key and as a fast path that skips
+// byte-for-byte comparison of unchanged compilation units.
+//
+// The hash is memoized on first use. Fingerprint must only be called on
+// files that are no longer mutated — compiler output, cached build
+// artifacts, and deserialized updates all qualify; files still under
+// construction (SymbolIndex appends import entries) do not.
+func (f *File) Fingerprint() string {
+	f.fpOnce.Do(func() {
+		h := sha256.New()
+		// Write only fails when the underlying writer fails, and a hash
+		// never does.
+		if err := f.Write(h); err != nil {
+			panic("obj: fingerprinting failed: " + err.Error())
+		}
+		f.fp = hex.EncodeToString(h.Sum(nil))
+	})
+	return f.fp
+}

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // SectionKind classifies a section for segment layout.
@@ -161,6 +162,11 @@ type File struct {
 	Compiler string
 	Sections []*Section
 	Symbols  []*Symbol
+
+	// Fingerprint memoization (see Fingerprint). Embedding the Once makes
+	// File non-copyable by value; every user passes *File already.
+	fpOnce sync.Once
+	fp     string
 }
 
 // Section returns the section with the given name, or nil.

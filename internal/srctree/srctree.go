@@ -130,11 +130,16 @@ func (br *BuildResult) Object(path string) *obj.File {
 	return nil
 }
 
-// Build compiles every unit in the tree with the given options.
+// Build compiles every unit in the tree with the given options. Units go
+// through the process-wide per-unit compile cache (see unitcache.go), so
+// a build of a patched tree recompiles only the units the patch reaches
+// and assembles the rest from cache; SetUnitCache(false) forces every
+// compile to really run. Objects from a cache-enabled build are shared
+// and must not be mutated.
 func Build(t *Tree, opts codegen.Options) (*BuildResult, error) {
 	br := &BuildResult{Tree: t, Options: opts}
 	for _, path := range t.Units() {
-		f, err := buildUnit(t, path, opts)
+		f, err := compileUnit(t, path, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -162,7 +167,9 @@ func buildUnit(t *Tree, path string, opts codegen.Options) (*obj.File, error) {
 	return f, nil
 }
 
-// BuildUnit compiles a single unit.
+// BuildUnit compiles a single unit. It bypasses the per-unit cache:
+// benchmarks use it to measure real compile cost, and its result is
+// freshly allocated and safe to mutate.
 func BuildUnit(t *Tree, path string, opts codegen.Options) (*obj.File, error) {
 	return buildUnit(t, path, opts)
 }
@@ -226,6 +233,9 @@ func BuildCached(t *Tree, opts codegen.Options) (*BuildResult, error) {
 	if e == nil {
 		e = &buildEntry{}
 		buildCache[key] = e
+		buildMisses.Add(1)
+	} else {
+		buildHits.Add(1)
 	}
 	buildCacheMu.Unlock()
 	e.once.Do(func() {
@@ -244,6 +254,9 @@ func LinkKernelCached(br *BuildResult, base uint32) (*obj.Image, error) {
 	if e == nil {
 		e = &imageEntry{}
 		imageCache[key] = e
+		linkMisses.Add(1)
+	} else {
+		linkHits.Add(1)
 	}
 	imageCacheMu.Unlock()
 	e.once.Do(func() {

@@ -1,0 +1,168 @@
+package srctree
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"gosplice/internal/codegen"
+	"gosplice/internal/obj"
+)
+
+// The per-unit compile cache.
+//
+// A ksplice-create run compiles the same tree twice — pre and post — even
+// though a CVE patch touches one or two files, and a corpus evaluation
+// repeats that for every patch of a release. Compilation is a pure
+// function of (unit source, include closure, options), so objects are
+// cached process-wide keyed by a content hash of exactly those inputs.
+// A build then assembles its object list from cached units and compiles
+// only the files a patch actually changed, making create cost
+// proportional to the patch rather than the tree (the paper's section
+// 4.1 workflow is inherently incremental).
+//
+// Cached objects are shared across builds and across concurrent callers:
+// they must be treated as immutable, the same contract the whole-tree
+// build cache below already imposes. Sharing is also what makes the
+// pre/post diff fast — the unchanged units of the two builds are
+// pointer-identical, so the differ skips them without looking inside.
+
+type unitKey struct {
+	// hash covers the unit path, its contents, and the contents of its
+	// include closure (see unitHash).
+	hash string
+	// opts is the canonical rendering of the codegen options.
+	opts string
+}
+
+type unitEntry struct {
+	once sync.Once
+	f    *obj.File
+	err  error
+}
+
+var (
+	unitCacheMu sync.Mutex
+	unitCache   = map[unitKey]*unitEntry{}
+
+	// unitCacheOn gates the cache; disabled only by benchmarks that
+	// measure cold-build cost and by the determinism guard that proves
+	// cached and uncached creates emit identical updates.
+	unitCacheOn atomic.Bool
+
+	unitHits, unitMisses   atomic.Uint64
+	buildHits, buildMisses atomic.Uint64
+	linkHits, linkMisses   atomic.Uint64
+)
+
+func init() { unitCacheOn.Store(true) }
+
+// SetUnitCache enables or disables the per-unit compile cache and returns
+// the previous setting. The cache is on by default; turning it off is for
+// benchmarks and determinism tests that need every compile to really run.
+func SetUnitCache(on bool) bool {
+	return unitCacheOn.Swap(on)
+}
+
+// CacheCounters is a snapshot of the process-wide build cache activity:
+// per-unit compiles, whole-tree build memoizations, and kernel links.
+// Counters only ever grow; callers diff two snapshots to attribute
+// activity to a run.
+type CacheCounters struct {
+	UnitHits, UnitMisses   uint64
+	BuildHits, BuildMisses uint64
+	LinkHits, LinkMisses   uint64
+}
+
+// Counters returns the current cache activity snapshot.
+func Counters() CacheCounters {
+	return CacheCounters{
+		UnitHits: unitHits.Load(), UnitMisses: unitMisses.Load(),
+		BuildHits: buildHits.Load(), BuildMisses: buildMisses.Load(),
+		LinkHits: linkHits.Load(), LinkMisses: linkMisses.Load(),
+	}
+}
+
+// scanIncludes extracts the #include "path" arguments of a source file,
+// in textual order. It deliberately over-approximates the preprocessor:
+// includes inside inactive #ifdef branches are still reported, which can
+// only widen the cache key (extra misses), never narrow it (stale hits).
+func scanIncludes(src string) []string {
+	var out []string
+	for _, line := range strings.Split(src, "\n") {
+		line = strings.TrimSpace(line)
+		if !strings.HasPrefix(line, "#") {
+			continue
+		}
+		rest := strings.TrimSpace(line[1:])
+		if !strings.HasPrefix(rest, "include") {
+			continue
+		}
+		arg := strings.TrimSpace(rest[len("include"):])
+		if len(arg) >= 2 && arg[0] == '"' {
+			if end := strings.IndexByte(arg[1:], '"'); end >= 0 {
+				out = append(out, arg[1:1+end])
+			}
+		}
+	}
+	return out
+}
+
+// unitHash computes the cache key content hash for one unit: the unit
+// path and contents plus, recursively, every file its (over-approximated)
+// include closure reaches, in deterministic depth-first order. Files the
+// closure names but the tree lacks are hashed as absent, so adding the
+// missing header later changes the key.
+func unitHash(t *Tree, path string) string {
+	h := sha256.New()
+	seen := map[string]bool{}
+	var walk func(p string)
+	walk = func(p string) {
+		if seen[p] {
+			return
+		}
+		seen[p] = true
+		h.Write([]byte(p))
+		h.Write([]byte{0})
+		src, ok := t.Files[p]
+		if !ok {
+			h.Write([]byte{1})
+			return
+		}
+		h.Write([]byte{2})
+		h.Write([]byte(src))
+		h.Write([]byte{0})
+		for _, inc := range scanIncludes(src) {
+			walk(inc)
+		}
+	}
+	walk(path)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// compileUnit compiles one unit through the per-unit cache (when
+// enabled). Concurrent callers with the same key share one compile;
+// distinct keys compile in parallel. The returned object is shared and
+// must not be mutated.
+func compileUnit(t *Tree, path string, opts codegen.Options) (*obj.File, error) {
+	if !unitCacheOn.Load() {
+		return buildUnit(t, path, opts)
+	}
+	key := unitKey{hash: unitHash(t, path), opts: opts.CacheKey()}
+	unitCacheMu.Lock()
+	e := unitCache[key]
+	if e == nil {
+		e = &unitEntry{}
+		unitCache[key] = e
+		unitMisses.Add(1)
+	} else {
+		unitHits.Add(1)
+	}
+	unitCacheMu.Unlock()
+	e.once.Do(func() {
+		e.f, e.err = buildUnit(t, path, opts)
+	})
+	return e.f, e.err
+}
