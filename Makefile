@@ -9,14 +9,24 @@ test:
 	$(GO) test ./...
 
 # The strict gate: vet (including the incremental-build and benchjson
-# packages), the unit-cache race tests and the create determinism guard
-# under the race detector, then the full test suite under the race
-# detector (the parallel evaluation pipeline is exercised concurrently by
-# TestConcurrentRunsAreIndependent).
+# packages); the artifact-store, unit-cache, and parallel-build race
+# tests plus both create determinism guards under the race detector;
+# the full test suite under the race detector (the parallel evaluation
+# pipeline is exercised concurrently by TestConcurrentRunsAreIndependent);
+# and a cold-then-warm ksplice-create round trip through a shared
+# -cache-dir — the tarballs must be byte-identical and the warm process
+# must compile nothing.
 check:
 	$(GO) vet ./...
-	$(GO) test -race -run 'UnitCache|CreateUpdateDeterministic' ./internal/srctree ./internal/core
+	$(GO) test -race -run 'UnitCache|CreateUpdateDeterministic|DiskWarmStart|EvictionUnderPressure|BuildParallel|Concurrent|Corrupt' ./internal/srctree ./internal/core ./internal/store
 	$(GO) test -race ./...
+	@tmp=$$(mktemp -d) && \
+	$(GO) run ./cmd/ksplice-create -version sim-2.6.16-deb -cve CVE-2006-2451 -cache-dir $$tmp/store -cache-stats -o $$tmp/cold.tar >/dev/null 2>$$tmp/cold.log && \
+	$(GO) run ./cmd/ksplice-create -version sim-2.6.16-deb -cve CVE-2006-2451 -cache-dir $$tmp/store -cache-stats -o $$tmp/warm.tar >/dev/null 2>$$tmp/warm.log && \
+	cmp $$tmp/cold.tar $$tmp/warm.tar && \
+	grep -q ' 0 compiled' $$tmp/warm.log && \
+	echo "check: cold/warm -cache-dir round trip OK (warm create compiled nothing)" && \
+	rm -rf $$tmp
 
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$'

@@ -24,6 +24,7 @@ import (
 	"gosplice/internal/eval"
 	"gosplice/internal/kernel"
 	"gosplice/internal/srctree"
+	"gosplice/internal/store"
 )
 
 // BenchmarkEvalAll64 regenerates the headline result (abstract, section
@@ -78,6 +79,45 @@ func benchEvalAll64(b *testing.B, workers int) {
 		if total := c.FingerprintSkips + c.DeepCompares; total > 0 {
 			b.ReportMetric(100*float64(c.FingerprintSkips)/float64(total), "diff-fingerprint-skip-%")
 		}
+	}
+}
+
+// BenchmarkEvalAll64DiskStore measures the persistent artifact store
+// under the full evaluation: each iteration runs the 64-CVE pipeline
+// cold against an empty disk-backed store, then again through a fresh
+// store over the now-populated directory — what a restarted
+// ksplice-eval process sees. Metrics record the warm run's disk-tier
+// hit rates, how many units it really recompiled (should be 0), and
+// the store's on-disk footprint.
+func BenchmarkEvalAll64DiskStore(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		dir := b.TempDir()
+		s1, err := store.New(store.Options{Dir: dir})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := eval.Run(eval.Options{StressRounds: 20, Workers: 1, Store: s1}); err != nil {
+			b.Fatal(err)
+		}
+		s2, err := store.New(store.Options{Dir: dir})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := eval.Run(eval.Options{StressRounds: 20, Workers: 1, Store: s2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		c := res.Cache
+		if total := c.UnitHits + c.UnitDiskHits + c.UnitMisses; total > 0 {
+			b.ReportMetric(100*float64(c.UnitDiskHits)/float64(total), "unit-disk-hit-%")
+		}
+		b.ReportMetric(float64(c.UnitMisses), "warm-unit-recompiles")
+		if total := c.LinkHits + c.LinkDiskHits + c.LinkMisses; total > 0 {
+			b.ReportMetric(100*float64(c.LinkDiskHits)/float64(total), "link-disk-hit-%")
+		}
+		entries, diskBytes := s2.DiskUsage()
+		b.ReportMetric(float64(entries), "disk-entries")
+		b.ReportMetric(float64(diskBytes), "disk-bytes")
 	}
 }
 

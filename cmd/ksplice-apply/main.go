@@ -17,17 +17,29 @@ import (
 
 	"gosplice/internal/core"
 	"gosplice/internal/simstate"
+	"gosplice/internal/srctree"
+	"gosplice/internal/store"
 )
 
 func main() {
 	statePath := flag.String("state", "machine.json", "machine state file")
 	trust := flag.Bool("trust-symtab", false, "UNSAFE: skip run-pre matching (ablation mode)")
 	stress := flag.Int("stress", 100, "post-update stress workload rounds (0 to skip)")
+	cacheDir := flag.String("cache-dir", "", "persist build artifacts in this directory (shared across processes)")
+	cacheMax := flag.Int64("cache-max-bytes", store.DefaultMaxBytes, "in-memory artifact cache cap in bytes")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fatal(fmt.Errorf("usage: ksplice-apply [-state file] update.tar"))
 	}
 	tarPath := flag.Arg(0)
+
+	if *cacheDir != "" || *cacheMax != store.DefaultMaxBytes {
+		s, err := store.New(store.Options{Dir: *cacheDir, MaxBytes: *cacheMax})
+		if err != nil {
+			fatal(err)
+		}
+		srctree.SetStore(s)
+	}
 
 	st, err := simstate.Load(*statePath)
 	if err != nil {

@@ -12,6 +12,12 @@
 //
 //	ksplice-create -state machine.json -patch fix.patch
 //	ksplice-create -version sim-2.6.16-deb -cve CVE-2006-2451
+//
+// With -cache-dir, compiled units persist in an on-disk artifact store:
+// a later ksplice-create process recompiles only what the patch changed,
+// even from a cold start.
+//
+//	ksplice-create -version sim-2.6.16-deb -cve CVE-2006-2451 -cache-dir ~/.cache/gosplice
 package main
 
 import (
@@ -24,6 +30,7 @@ import (
 	"gosplice/internal/cvedb"
 	"gosplice/internal/simstate"
 	"gosplice/internal/srctree"
+	"gosplice/internal/store"
 )
 
 func main() {
@@ -32,7 +39,18 @@ func main() {
 	patchPath := flag.String("patch", "", "unified diff to convert into a hot update")
 	cveID := flag.String("cve", "", "use the corpus patch for this CVE")
 	out := flag.String("o", "", "output tarball (default <name>.tar)")
+	cacheDir := flag.String("cache-dir", "", "persist build artifacts in this directory (shared across processes)")
+	cacheMax := flag.Int64("cache-max-bytes", store.DefaultMaxBytes, "in-memory artifact cache cap in bytes")
+	cacheStats := flag.Bool("cache-stats", false, "print artifact cache counters to stderr on exit")
 	flag.Parse()
+
+	if *cacheDir != "" || *cacheMax != store.DefaultMaxBytes {
+		s, err := store.New(store.Options{Dir: *cacheDir, MaxBytes: *cacheMax})
+		if err != nil {
+			fatal(err)
+		}
+		srctree.SetStore(s)
+	}
 
 	var tree *srctree.Tree
 	var err error
@@ -109,6 +127,13 @@ func main() {
 			fmt.Printf(" data-init-changes=%v", uu.DataInitChanges)
 		}
 		fmt.Println()
+	}
+
+	if *cacheStats {
+		c := srctree.Counters()
+		fmt.Fprintf(os.Stderr, "cache: units %d mem + %d disk hits, %d compiled; store %d disk writes, %d evictions, %d disk errors\n",
+			c.UnitHits, c.UnitDiskHits, c.UnitMisses,
+			c.Store.DiskWrites, c.Store.Evictions, c.Store.DiskErrors)
 	}
 }
 

@@ -7,6 +7,12 @@
 //	ksplice-eval -table headline|1|inlining|symbols|pause|timings|cache
 //	ksplice-eval -only CVE-2006-2451,CVE-2005-2709 -v
 //	ksplice-eval -j 8 -table headline
+//
+// With -cache-dir, build artifacts (compiled units, linked kernel
+// images) persist on disk: a cold ksplice-eval process warm-starts from
+// what a previous run left behind, visible in `-table cache`.
+//
+//	ksplice-eval -cache-dir ~/.cache/gosplice -table cache
 package main
 
 import (
@@ -17,6 +23,7 @@ import (
 	"strings"
 
 	"gosplice/internal/eval"
+	"gosplice/internal/store"
 )
 
 func main() {
@@ -28,6 +35,8 @@ func main() {
 	stress := flag.Int("stress", 50, "stress workload rounds per update")
 	stacked := flag.Bool("stacked", false, "leave every update applied (one kernel per release accumulates all its fixes)")
 	jobs := flag.Int("j", runtime.NumCPU(), "patches evaluated concurrently (stacked mode is always sequential); the tables are identical for any -j")
+	cacheDir := flag.String("cache-dir", "", "persist build artifacts in this directory (shared across processes)")
+	cacheMax := flag.Int64("cache-max-bytes", store.DefaultMaxBytes, "in-memory artifact cache cap in bytes")
 	flag.Parse()
 
 	if !*all && *table == "" && *figure == 0 {
@@ -35,6 +44,14 @@ func main() {
 	}
 
 	opts := eval.Options{StressRounds: *stress, KeepApplied: *stacked, Workers: *jobs}
+	if *cacheDir != "" || *cacheMax != store.DefaultMaxBytes {
+		s, err := store.New(store.Options{Dir: *cacheDir, MaxBytes: *cacheMax})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ksplice-eval:", err)
+			os.Exit(1)
+		}
+		opts.Store = s
+	}
 	if *verbose {
 		opts.Log = os.Stderr
 	}

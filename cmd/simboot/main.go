@@ -14,6 +14,8 @@ import (
 
 	"gosplice/internal/cvedb"
 	"gosplice/internal/simstate"
+	"gosplice/internal/srctree"
+	"gosplice/internal/store"
 )
 
 func main() {
@@ -22,7 +24,17 @@ func main() {
 	list := flag.Bool("list", false, "list available kernel releases and exit")
 	probe := flag.String("probe", "", "after boot, run this kernel function and print its result")
 	uid := flag.Int("uid", 0, "credential for -probe")
+	cacheDir := flag.String("cache-dir", "", "persist build artifacts in this directory (shared across processes)")
+	cacheMax := flag.Int64("cache-max-bytes", store.DefaultMaxBytes, "in-memory artifact cache cap in bytes")
 	flag.Parse()
+
+	if *cacheDir != "" || *cacheMax != store.DefaultMaxBytes {
+		s, err := store.New(store.Options{Dir: *cacheDir, MaxBytes: *cacheMax})
+		if err != nil {
+			fatal(err)
+		}
+		srctree.SetStore(s)
+	}
 
 	if *list {
 		for _, v := range cvedb.Versions {

@@ -20,6 +20,7 @@ import (
 	"gosplice/internal/cvedb"
 	"gosplice/internal/kernel"
 	"gosplice/internal/srctree"
+	"gosplice/internal/store"
 )
 
 // StageTimings records wall-clock time spent in each pipeline stage.
@@ -53,39 +54,61 @@ func (t StageTimings) Total() time.Duration {
 }
 
 // CacheStats attributes build-cache and differ activity to one Run: unit
-// compiles served from the per-unit cache vs. compiled, whole-tree build
-// memo hits, kernel link cache hits, and how many pre/post unit
+// compiles served from the artifact store's memory and disk tiers vs.
+// compiled, whole-tree build memo hits, kernel link cache hits per tier,
+// store-level eviction/persistence activity, and how many pre/post unit
 // comparisons the differ short-circuited by fingerprint instead of
 // walking byte-for-byte. Like StageTimings these are measurements, not
 // results: a second run in the same process sees warmer caches, and
 // concurrent runs share the process-wide counters, so the numbers are
 // excluded from the deterministic tables.
 type CacheStats struct {
-	UnitHits, UnitMisses   uint64 // per-unit compile cache
-	BuildHits, BuildMisses uint64 // whole-tree build memo
-	LinkHits, LinkMisses   uint64 // kernel image link cache
-	FingerprintSkips       uint64 // differ short-circuits (pointer/fingerprint)
-	DeepCompares           uint64 // differ full byte-for-byte walks
+	UnitHits, UnitDiskHits, UnitMisses uint64 // per-unit compile cache, by tier
+	BuildHits, BuildMisses             uint64 // whole-tree build memo
+	LinkHits, LinkDiskHits, LinkMisses uint64 // kernel image link cache, by tier
+	FingerprintSkips                   uint64 // differ short-circuits (pointer/fingerprint)
+	DeepCompares                       uint64 // differ full byte-for-byte walks
+
+	// Store-level activity: LRU evictions, artifacts persisted to disk
+	// (count and payload bytes), corrupt disk entries demoted to misses.
+	StoreEvictions      uint64
+	StoreDiskWrites     uint64
+	StoreDiskWriteBytes uint64
+	StoreDiskErrors     uint64
+	// Gauges at the end of the run (not deltas): bytes and entries
+	// resident in the store's memory tier.
+	StoreMemBytes, StoreMemEntries uint64
 }
 
 func cacheSnapshot() CacheStats {
 	sc := srctree.Counters()
 	dc := core.DiffStats()
 	return CacheStats{
-		UnitHits: sc.UnitHits, UnitMisses: sc.UnitMisses,
+		UnitHits: sc.UnitHits, UnitDiskHits: sc.UnitDiskHits, UnitMisses: sc.UnitMisses,
 		BuildHits: sc.BuildHits, BuildMisses: sc.BuildMisses,
-		LinkHits: sc.LinkHits, LinkMisses: sc.LinkMisses,
+		LinkHits: sc.LinkHits, LinkDiskHits: sc.LinkDiskHits, LinkMisses: sc.LinkMisses,
 		FingerprintSkips: dc.FingerprintSkips, DeepCompares: dc.DeepCompares,
+		StoreEvictions: sc.Store.Evictions, StoreDiskWrites: sc.Store.DiskWrites,
+		StoreDiskWriteBytes: sc.Store.DiskWriteBytes, StoreDiskErrors: sc.Store.DiskErrors,
+		StoreMemBytes: sc.Store.MemBytes, StoreMemEntries: sc.Store.MemEntries,
 	}
 }
 
 func (c CacheStats) sub(b CacheStats) CacheStats {
 	return CacheStats{
-		UnitHits: c.UnitHits - b.UnitHits, UnitMisses: c.UnitMisses - b.UnitMisses,
-		BuildHits: c.BuildHits - b.BuildHits, BuildMisses: c.BuildMisses - b.BuildMisses,
-		LinkHits: c.LinkHits - b.LinkHits, LinkMisses: c.LinkMisses - b.LinkMisses,
+		UnitHits: c.UnitHits - b.UnitHits, UnitDiskHits: c.UnitDiskHits - b.UnitDiskHits,
+		UnitMisses: c.UnitMisses - b.UnitMisses,
+		BuildHits:  c.BuildHits - b.BuildHits, BuildMisses: c.BuildMisses - b.BuildMisses,
+		LinkHits: c.LinkHits - b.LinkHits, LinkDiskHits: c.LinkDiskHits - b.LinkDiskHits,
+		LinkMisses:       c.LinkMisses - b.LinkMisses,
 		FingerprintSkips: c.FingerprintSkips - b.FingerprintSkips,
 		DeepCompares:     c.DeepCompares - b.DeepCompares,
+		StoreEvictions:   c.StoreEvictions - b.StoreEvictions,
+		StoreDiskWrites:  c.StoreDiskWrites - b.StoreDiskWrites,
+		StoreDiskWriteBytes: c.StoreDiskWriteBytes - b.StoreDiskWriteBytes,
+		StoreDiskErrors:     c.StoreDiskErrors - b.StoreDiskErrors,
+		// Gauges: keep the end-of-run values.
+		StoreMemBytes: c.StoreMemBytes, StoreMemEntries: c.StoreMemEntries,
 	}
 }
 
@@ -175,6 +198,13 @@ type Options struct {
 	Workers int
 	// Log receives progress lines when non-nil.
 	Log io.Writer
+	// Store, when non-nil, is installed as the process-wide artifact
+	// store for the duration of the run (and restored afterwards). A
+	// disk-backed store makes a cold process warm-start from artifacts
+	// a previous run persisted; nil keeps whatever store is active.
+	// Because the store is process-wide, concurrent Runs should either
+	// share one Store or leave this nil.
+	Store *store.Store
 }
 
 func (o *Options) logf(format string, args ...any) {
@@ -234,6 +264,9 @@ func Run(opts Options) (*Result, error) {
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.NumCPU()
+	}
+	if opts.Store != nil {
+		defer srctree.SetStore(srctree.SetStore(opts.Store))
 	}
 	cache0 := cacheSnapshot()
 

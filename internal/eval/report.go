@@ -190,30 +190,53 @@ func (r *Result) TimingsTable() string {
 }
 
 // CacheTable summarizes the incremental-build machinery's effectiveness
-// during this run: how many unit compiles were served from the per-unit
-// cache, how often whole builds and links were memoized, and how many
-// pre/post unit comparisons the differ skipped by fingerprint. Like the
-// timings, these are measurements of this run (warm caches in the same
-// process raise the rates) and are excluded from the deterministic
-// tables.
+// during this run: how many unit compiles were served from the artifact
+// store (split by memory and disk tier — misses are real recompiles),
+// how often whole builds and links were memoized, how many pre/post unit
+// comparisons the differ skipped by fingerprint, and the store's own
+// eviction/persistence activity. Like the timings, these are
+// measurements of this run (warm caches in the same process raise the
+// rates) and are excluded from the deterministic tables.
 func (r *Result) CacheTable() string {
 	c := r.Cache
 	var sb strings.Builder
 	sb.WriteString("Incremental create cache (per-run counter deltas)\n")
-	row := func(name string, hits, misses uint64) {
-		total := hits + misses
+	row := func(name string, mem, disk, misses uint64) {
+		total := mem + disk + misses
 		if total == 0 {
 			fmt.Fprintf(&sb, "  %-28s %8s\n", name, "unused")
 			return
 		}
-		fmt.Fprintf(&sb, "  %-28s %8d of %-8d (%.1f%% hit)\n",
-			name, hits, total, 100*float64(hits)/float64(total))
+		fmt.Fprintf(&sb, "  %-28s %8d of %-8d (%.1f%% hit: %d mem + %d disk, %d recomputed)\n",
+			name, mem+disk, total, 100*float64(mem+disk)/float64(total), mem, disk, misses)
 	}
-	row("unit compile cache", c.UnitHits, c.UnitMisses)
-	row("tree build memo", c.BuildHits, c.BuildMisses)
-	row("kernel link cache", c.LinkHits, c.LinkMisses)
-	row("diff fingerprint skips", c.FingerprintSkips, c.DeepCompares)
+	row("unit compile cache", c.UnitHits, c.UnitDiskHits, c.UnitMisses)
+	row("tree build memo", c.BuildHits, 0, c.BuildMisses)
+	row("kernel link cache", c.LinkHits, c.LinkDiskHits, c.LinkMisses)
+	if total := c.FingerprintSkips + c.DeepCompares; total == 0 {
+		fmt.Fprintf(&sb, "  %-28s %8s\n", "diff fingerprint skips", "unused")
+	} else {
+		fmt.Fprintf(&sb, "  %-28s %8d of %-8d (%.1f%% hit)\n",
+			"diff fingerprint skips", c.FingerprintSkips, total,
+			100*float64(c.FingerprintSkips)/float64(total))
+	}
+	fmt.Fprintf(&sb, "  %-28s %8d evictions, %d disk writes (%s), %d disk errors\n",
+		"artifact store", c.StoreEvictions, c.StoreDiskWrites,
+		byteCount(c.StoreDiskWriteBytes), c.StoreDiskErrors)
+	fmt.Fprintf(&sb, "  %-28s %8d entries, %s resident\n",
+		"store memory tier", c.StoreMemEntries, byteCount(c.StoreMemBytes))
 	return sb.String()
+}
+
+// byteCount renders a byte quantity with a binary unit.
+func byteCount(b uint64) string {
+	switch {
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(b)/(1<<10))
+	}
+	return fmt.Sprintf("%d B", b)
 }
 
 // Report renders every table and figure.

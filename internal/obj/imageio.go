@@ -1,0 +1,90 @@
+package obj
+
+import (
+	"bufio"
+	"errors"
+	"io"
+)
+
+// Binary serialization of linked images, companion to the SOF file
+// serialization in io.go and sharing its writer/reader helpers. Persisted
+// images let a cold process boot a kernel without relinking: the artifact
+// store keys them by (tree hash, options, base), which the link is a pure
+// function of.
+
+var imageMagic = [4]byte{'S', 'I', 'M', 'G'}
+
+// ErrBadImageMagic is returned when decoding data that is not a
+// serialized image.
+var ErrBadImageMagic = errors.New("obj: bad image magic")
+
+// WriteImage serializes im to out.
+func (im *Image) WriteImage(out io.Writer) error {
+	bw := &writer{w: bufio.NewWriter(out)}
+	if _, err := bw.w.Write(imageMagic[:]); err != nil {
+		return err
+	}
+	bw.u32(im.Base)
+	bw.bytes(im.Bytes)
+	bw.uvarint(uint64(len(im.Sections)))
+	for _, s := range im.Sections {
+		bw.str(s.File)
+		bw.str(s.Name)
+		bw.u8(byte(s.Kind))
+		bw.u32(s.Addr)
+		bw.u32(s.Size)
+	}
+	bw.uvarint(uint64(len(im.Symbols)))
+	for _, s := range im.Symbols {
+		bw.str(s.Name)
+		bw.u32(s.Addr)
+		bw.u32(s.Size)
+		bw.bool(s.Local)
+		bw.bool(s.Func)
+		bw.str(s.File)
+	}
+	if bw.err != nil {
+		return bw.err
+	}
+	return bw.w.Flush()
+}
+
+// ReadImage deserializes a linked image from in.
+func ReadImage(in io.Reader) (*Image, error) {
+	br := &reader{r: bufio.NewReader(in)}
+	var magic [4]byte
+	if _, err := io.ReadFull(br.r, magic[:]); err != nil {
+		return nil, err
+	}
+	if magic != imageMagic {
+		return nil, ErrBadImageMagic
+	}
+	im := &Image{}
+	im.Base = br.u32()
+	im.Bytes = br.bytes()
+	nsec := br.count("placed section")
+	for i := 0; i < nsec && br.err == nil; i++ {
+		var s PlacedSection
+		s.File = br.str()
+		s.Name = br.str()
+		s.Kind = SectionKind(br.u8())
+		s.Addr = br.u32()
+		s.Size = br.u32()
+		im.Sections = append(im.Sections, s)
+	}
+	nsym := br.count("image symbol")
+	for i := 0; i < nsym && br.err == nil; i++ {
+		var s ImageSymbol
+		s.Name = br.str()
+		s.Addr = br.u32()
+		s.Size = br.u32()
+		s.Local = br.bool()
+		s.Func = br.bool()
+		s.File = br.str()
+		im.Symbols = append(im.Symbols, s)
+	}
+	if br.err != nil {
+		return nil, br.err
+	}
+	return im, nil
+}

@@ -1,0 +1,66 @@
+package obj
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+func sampleImage() *Image {
+	return &Image{
+		Base:  0x1000,
+		Bytes: []byte{0x90, 0x91, 0x92, 0, 0, 0, 0, 0},
+		Sections: []PlacedSection{
+			{File: "a.mc", Name: ".text", Kind: Text, Addr: 0x1000, Size: 3},
+			{File: "a.mc", Name: ".bss.counter", Kind: BSS, Addr: 0x1004, Size: 4},
+		},
+		Symbols: []ImageSymbol{
+			{Name: "entry", Addr: 0x1000, Size: 3, Local: false, Func: true, File: "a.mc"},
+			{Name: "counter", Addr: 0x1004, Size: 4, Local: true, Func: false, File: "a.mc"},
+		},
+	}
+}
+
+// TestImageRoundTrip: WriteImage/ReadImage are exact inverses, and
+// re-serializing the decoded image reproduces the bytes (the property the
+// artifact store's determinism guarantees rest on).
+func TestImageRoundTrip(t *testing.T) {
+	im := sampleImage()
+	var buf bytes.Buffer
+	if err := im.WriteImage(&buf); err != nil {
+		t.Fatal(err)
+	}
+	first := append([]byte(nil), buf.Bytes()...)
+	got, err := ReadImage(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(im, got) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, im)
+	}
+	var again bytes.Buffer
+	if err := got.WriteImage(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, again.Bytes()) {
+		t.Error("re-serialization is not byte-identical")
+	}
+}
+
+// TestImageReadRejectsGarbage: wrong magic and truncation are errors, not
+// silent misparses.
+func TestImageReadRejectsGarbage(t *testing.T) {
+	if _, err := ReadImage(bytes.NewReader([]byte("SOF1rest"))); err == nil {
+		t.Error("foreign magic accepted")
+	}
+	im := sampleImage()
+	var buf bytes.Buffer
+	if err := im.WriteImage(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for cut := 1; cut < buf.Len(); cut += 7 {
+		if _, err := ReadImage(bytes.NewReader(buf.Bytes()[:cut])); err == nil {
+			t.Errorf("truncation at %d bytes accepted", cut)
+		}
+	}
+}

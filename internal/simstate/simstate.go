@@ -14,6 +14,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"gosplice/internal/codegen"
 	"gosplice/internal/core"
 	"gosplice/internal/cvedb"
 	"gosplice/internal/kernel"
@@ -110,9 +111,20 @@ func (st *State) Tree() (*srctree.Tree, error) {
 }
 
 // Replay boots the machine and re-applies its updates, returning the
-// running kernel and its Ksplice manager.
+// running kernel and its Ksplice manager. The boot goes through the
+// artifact store's cached build and link paths, so with a disk-backed
+// store (srctree.SetStore) a replay in a fresh process reuses the
+// compiled units and linked image an earlier tool run left behind.
 func (st *State) Replay() (*kernel.Kernel, *core.Manager, error) {
-	k, err := kernel.Boot(kernel.Config{Tree: cvedb.Tree(st.Version)})
+	br, err := srctree.BuildCached(cvedb.Tree(st.Version), codegen.KernelBuild())
+	if err != nil {
+		return nil, nil, err
+	}
+	im, err := srctree.LinkKernelCached(br, kernel.KernelBase)
+	if err != nil {
+		return nil, nil, err
+	}
+	k, err := kernel.BootImage(br, im, 0)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -12,6 +12,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -20,6 +21,7 @@ import (
 	"gosplice/internal/diffutil"
 	"gosplice/internal/minic"
 	"gosplice/internal/obj"
+	"gosplice/internal/store"
 )
 
 // Tree is an in-memory source tree.
@@ -130,20 +132,55 @@ func (br *BuildResult) Object(path string) *obj.File {
 	return nil
 }
 
-// Build compiles every unit in the tree with the given options. Units go
-// through the process-wide per-unit compile cache (see unitcache.go), so
-// a build of a patched tree recompiles only the units the patch reaches
-// and assembles the rest from cache; SetUnitCache(false) forces every
-// compile to really run. Objects from a cache-enabled build are shared
-// and must not be mutated.
+// Build compiles every unit in the tree with the given options. Units
+// compile concurrently under a bounded worker pool — compilation is a
+// pure function of (source, options), and the artifact store's
+// singleflight already serializes duplicate keys — and go through the
+// process-wide per-unit compile cache (see unitcache.go), so a build of
+// a patched tree recompiles only the units the patch reaches and
+// assembles the rest from cache; SetUnitCache(false) forces every
+// compile to really run. The object list is in Units() order and any
+// error is the first failing unit's in that same order, so results are
+// deterministic for every worker count. Objects from a cache-enabled
+// build are shared and must not be mutated.
 func Build(t *Tree, opts codegen.Options) (*BuildResult, error) {
-	br := &BuildResult{Tree: t, Options: opts}
-	for _, path := range t.Units() {
-		f, err := compileUnit(t, path, opts)
+	units := t.Units()
+	br := &BuildResult{Tree: t, Options: opts, Objects: make([]*obj.File, len(units))}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(units) {
+		workers = len(units)
+	}
+	if workers <= 1 {
+		for i, path := range units {
+			f, err := compileUnit(t, path, opts)
+			if err != nil {
+				return nil, err
+			}
+			br.Objects[i] = f
+		}
+		return br, nil
+	}
+	errs := make([]error, len(units))
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				br.Objects[i], errs[i] = compileUnit(t, units[i], opts)
+			}
+		}()
+	}
+	for i := range units {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		br.Objects = append(br.Objects, f)
 	}
 	return br, nil
 }
@@ -188,79 +225,42 @@ func LinkKernel(br *BuildResult, base uint32) (*obj.Image, error) {
 // The evaluation pipeline builds the same vulnerable tree once per CVE it
 // processes (every ksplice-create pre build compiles the unpatched tree),
 // and boots one kernel per release. Builds are deterministic, so both
-// artifacts can be cached process-wide, keyed by tree content hash and
-// build options. Cached results are shared: callers must treat the
+// artifacts are cached in the content-addressed store, keyed by tree
+// content hash and build options. The build memo is memory-only (its
+// value is a list of pointers into disk-backed unit artifacts); linked
+// images persist to the store's disk tier, so a cold process boots
+// without relinking. Cached results are shared: callers must treat the
 // returned BuildResult and Image as immutable, which every consumer in
 // the repo already does (obj.Link and kernel boot only read them).
 
-type buildKey struct {
-	hash string
-	opts codegen.Options
-}
-
-type buildEntry struct {
-	once sync.Once
-	br   *BuildResult
-	err  error
-}
-
-type imageKey struct {
-	build buildKey
-	base  uint32
-}
-
-type imageEntry struct {
-	once sync.Once
-	im   *obj.Image
-	err  error
-}
-
-var (
-	buildCacheMu sync.Mutex
-	buildCache   = map[buildKey]*buildEntry{}
-	imageCacheMu sync.Mutex
-	imageCache   = map[imageKey]*imageEntry{}
-)
-
-// BuildCached is Build behind a process-wide cache keyed by tree content
-// hash and options. Concurrent callers with the same key share one build;
-// distinct keys build in parallel. The returned BuildResult is shared and
-// must not be mutated.
+// BuildCached is Build behind the process-wide store, keyed by tree
+// content hash and options. Concurrent callers with the same key share
+// one build; distinct keys build in parallel. The returned BuildResult is
+// shared and must not be mutated.
 func BuildCached(t *Tree, opts codegen.Options) (*BuildResult, error) {
-	key := buildKey{hash: t.Hash(), opts: opts}
-	buildCacheMu.Lock()
-	e := buildCache[key]
-	if e == nil {
-		e = &buildEntry{}
-		buildCache[key] = e
-		buildMisses.Add(1)
-	} else {
-		buildHits.Add(1)
-	}
-	buildCacheMu.Unlock()
-	e.once.Do(func() {
-		e.br, e.err = Build(t, opts)
+	key := store.Key("build", t.Hash(), opts.CacheKey())
+	v, src, err := ActiveStore().GetOrFill(key, buildKind, func() (any, error) {
+		return Build(t, opts)
 	})
-	return e.br, e.err
+	count(src, &buildHits, &buildHits, &buildMisses)
+	if err != nil {
+		return nil, err
+	}
+	return v.(*BuildResult), nil
 }
 
-// LinkKernelCached is LinkKernel behind the same process-wide cache. The
-// returned Image is shared and must not be mutated; kernel boot copies
-// its bytes into machine memory.
+// LinkKernelCached is LinkKernel behind the same store. The returned
+// Image is shared and must not be mutated; kernel boot copies its bytes
+// into machine memory. With a disk-backed store, images written by one
+// process are linked exactly once across every later process.
 func LinkKernelCached(br *BuildResult, base uint32) (*obj.Image, error) {
-	key := imageKey{build: buildKey{hash: br.Tree.Hash(), opts: br.Options}, base: base}
-	imageCacheMu.Lock()
-	e := imageCache[key]
-	if e == nil {
-		e = &imageEntry{}
-		imageCache[key] = e
-		linkMisses.Add(1)
-	} else {
-		linkHits.Add(1)
-	}
-	imageCacheMu.Unlock()
-	e.once.Do(func() {
-		e.im, e.err = LinkKernel(br, base)
+	key := store.Key("image", br.Tree.Hash(), br.Options.CacheKey(), fmt.Sprintf("base=%#x", base))
+	v, src, err := ActiveStore().GetOrFill(key, imageKind, func() (any, error) {
+		return LinkKernel(br, base)
 	})
-	return e.im, e.err
+	count(src, &linkHits, &linkDiskHits, &linkMisses)
+	if err != nil {
+		return nil, err
+	}
+	return v.(*obj.Image), nil
 }

@@ -1,0 +1,206 @@
+package srctree
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"gosplice/internal/codegen"
+	"gosplice/internal/store"
+)
+
+// TestUnitCacheDiskWarmStart: a build served by a fresh store over a
+// previously-populated cache directory — the cold-process case — must
+// recompile nothing: every unit comes off the disk tier, and the decoded
+// objects are byte-identical to the originals.
+func TestUnitCacheDiskWarmStart(t *testing.T) {
+	defer SetUnitCache(SetUnitCache(true))
+	dir := t.TempDir()
+	defer SetStore(SetStore(store.MustNew(store.Options{Dir: dir})))
+	opts := codegen.KspliceBuild()
+	tree := cacheTree("v-disk-warm")
+	br1, err := Build(tree, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh store over the same directory simulates a new process: the
+	// memory tier is empty, the disk tier is warm.
+	SetStore(store.MustNew(store.Options{Dir: dir}))
+	c0 := Counters()
+	br2, err := Build(tree, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1 := Counters()
+	units := uint64(len(tree.Units()))
+	if got := c1.UnitDiskHits - c0.UnitDiskHits; got != units {
+		t.Errorf("cold-process build: %d disk hits, want %d", got, units)
+	}
+	if got := c1.UnitMisses - c0.UnitMisses; got != 0 {
+		t.Errorf("cold-process build recompiled %d units, want 0", got)
+	}
+	for i, f := range br2.Objects {
+		if f.Fingerprint() != br1.Objects[i].Fingerprint() {
+			t.Errorf("%s: disk round trip changed the object", f.SourcePath)
+		}
+	}
+}
+
+// TestLinkCacheDiskWarmStart: linked kernel images persist to the disk
+// tier, so a fresh store over the same directory serves the link without
+// relinking — the warm-start every state-replaying tool relies on.
+func TestLinkCacheDiskWarmStart(t *testing.T) {
+	defer SetUnitCache(SetUnitCache(true))
+	dir := t.TempDir()
+	defer SetStore(SetStore(store.MustNew(store.Options{Dir: dir})))
+	opts := codegen.KernelBuild()
+	tree := cacheTree("v-disk-link")
+	const base = 0x100000
+	br1, err := BuildCached(tree, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	im1, err := LinkKernelCached(br1, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	SetStore(store.MustNew(store.Options{Dir: dir}))
+	// The build memo is memory-only by design, so the cold process
+	// reassembles the build from per-unit disk hits...
+	br2, err := BuildCached(tree, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ...but the image itself must come off disk, not be relinked.
+	c0 := Counters()
+	im2, err := LinkKernelCached(br2, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1 := Counters()
+	if got := c1.LinkDiskHits - c0.LinkDiskHits; got != 1 {
+		t.Errorf("cold-process link: %d disk hits, want 1", got)
+	}
+	if got := c1.LinkMisses - c0.LinkMisses; got != 0 {
+		t.Errorf("cold-process link relinked %d times, want 0", got)
+	}
+	if !bytes.Equal(im1.Bytes, im2.Bytes) || im1.Base != im2.Base {
+		t.Error("disk round trip changed the image bytes")
+	}
+	if !reflect.DeepEqual(im1.Symbols, im2.Symbols) {
+		t.Error("disk round trip changed the image symbol table")
+	}
+}
+
+// TestStoreEvictionUnderPressure: under a cap far smaller than one
+// build's artifacts, the memory tier evicts continuously; builds, the
+// build memo, and the link cache all stay correct — objects may stop
+// being pointer-shared, but every artifact served equals a fresh
+// compile. This is the safety property the LRU cap rests on.
+func TestStoreEvictionUnderPressure(t *testing.T) {
+	defer SetUnitCache(SetUnitCache(true))
+	defer SetStore(SetStore(store.MustNew(store.Options{MaxBytes: 512})))
+	opts := codegen.KspliceBuild()
+	tree := cacheTree("v-evict")
+	if _, err := Build(tree, opts); err != nil {
+		t.Fatal(err)
+	}
+	br, err := BuildCached(tree, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LinkKernelCached(br, 0x100000); err != nil {
+		t.Fatal(err)
+	}
+	c := Counters()
+	if c.Store.Evictions == 0 {
+		t.Fatalf("512-byte cap never evicted: %+v", c.Store)
+	}
+	if c.Store.MemBytes > 512+uint64(fileMemSize(br.Objects[0])) {
+		t.Errorf("memory tier resident %d bytes far exceeds the cap", c.Store.MemBytes)
+	}
+	// Rebuild under the same pressure: whatever mix of hits and
+	// recompiles the evictions produce, the objects must equal fresh
+	// uncached compiles.
+	br2, err := Build(tree, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range tree.Units() {
+		fresh, err := BuildUnit(tree, path, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if br2.Object(path).Fingerprint() != fresh.Fingerprint() {
+			t.Errorf("%s: artifact served under eviction pressure differs from a fresh compile", path)
+		}
+	}
+}
+
+// TestBuildParallelDeterministic: the worker-pool build produces the
+// same object list, in Units() order, for every worker count.
+func TestBuildParallelDeterministic(t *testing.T) {
+	defer SetUnitCache(SetUnitCache(false))
+	tree := cacheTree("v-par")
+	for i := 0; i < 24; i++ {
+		tree.Files[fmt.Sprintf("gen%02d.mc", i)] = fmt.Sprintf("int gen%d(void) { return %d; }\n", i, i)
+	}
+	opts := codegen.KspliceBuild()
+	units := tree.Units()
+
+	var want *BuildResult
+	for _, procs := range []int{1, 2, 8} {
+		old := runtime.GOMAXPROCS(procs)
+		br, err := Build(tree, opts)
+		runtime.GOMAXPROCS(old)
+		if err != nil {
+			t.Fatalf("GOMAXPROCS=%d: %v", procs, err)
+		}
+		for i, f := range br.Objects {
+			if f.SourcePath != units[i] {
+				t.Fatalf("GOMAXPROCS=%d: object %d is %s, want %s (out of order)", procs, i, f.SourcePath, units[i])
+			}
+		}
+		if want == nil {
+			want = br
+			continue
+		}
+		for i, f := range br.Objects {
+			if f.Fingerprint() != want.Objects[i].Fingerprint() {
+				t.Errorf("GOMAXPROCS=%d: %s differs from the single-worker build", procs, f.SourcePath)
+			}
+		}
+	}
+}
+
+// TestBuildParallelFirstError: when several units fail, every worker
+// count reports the same error — the first failing unit's, in Units()
+// order — so error output is reproducible too.
+func TestBuildParallelFirstError(t *testing.T) {
+	defer SetUnitCache(SetUnitCache(false))
+	tree := cacheTree("v-par-err")
+	tree.Files["a.mc"] = "int broken("
+	tree.Files["c.mc"] = "int alsobroken("
+	opts := codegen.KspliceBuild()
+
+	var want string
+	for _, procs := range []int{1, 4} {
+		old := runtime.GOMAXPROCS(procs)
+		_, err := Build(tree, opts)
+		runtime.GOMAXPROCS(old)
+		if err == nil {
+			t.Fatalf("GOMAXPROCS=%d: build of broken tree succeeded", procs)
+		}
+		if want == "" {
+			want = err.Error()
+			continue
+		}
+		if err.Error() != want {
+			t.Errorf("GOMAXPROCS=%d: error %q, want the sequential build's %q", procs, err, want)
+		}
+	}
+}

@@ -1,63 +1,74 @@
 package srctree
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"encoding/hex"
 	"strings"
-	"sync"
 	"sync/atomic"
 
 	"gosplice/internal/codegen"
 	"gosplice/internal/obj"
+	"gosplice/internal/store"
 )
 
-// The per-unit compile cache.
+// The build artifact caches.
 //
 // A ksplice-create run compiles the same tree twice — pre and post — even
 // though a CVE patch touches one or two files, and a corpus evaluation
 // repeats that for every patch of a release. Compilation is a pure
-// function of (unit source, include closure, options), so objects are
-// cached process-wide keyed by a content hash of exactly those inputs.
-// A build then assembles its object list from cached units and compiles
-// only the files a patch actually changed, making create cost
+// function of (unit source, include closure, options), linking a pure
+// function of (tree, options, base), so both artifacts are cached in a
+// content-addressed store (internal/store) keyed by hashes of exactly
+// those inputs. A build assembles its object list from cached units and
+// compiles only the files a patch actually changed, making create cost
 // proportional to the patch rather than the tree (the paper's section
 // 4.1 workflow is inherently incremental).
 //
+// Because unit keys hash content rather than tree identity, identical
+// units hit across different release trees, not just identical trees; and
+// because the store's optional disk tier persists SOF and image bytes,
+// they hit across processes too — a cold ksplice-create warm-starts from
+// a previous process's artifacts.
+//
 // Cached objects are shared across builds and across concurrent callers:
-// they must be treated as immutable, the same contract the whole-tree
-// build cache below already imposes. Sharing is also what makes the
-// pre/post diff fast — the unchanged units of the two builds are
+// they must be treated as immutable. Sharing is also what makes the
+// pre/post diff fast — unchanged units of two builds in one process are
 // pointer-identical, so the differ skips them without looking inside.
 
-type unitKey struct {
-	// hash covers the unit path, its contents, and the contents of its
-	// include closure (see unitHash).
-	hash string
-	// opts is the canonical rendering of the codegen options.
-	opts string
-}
-
-type unitEntry struct {
-	once sync.Once
-	f    *obj.File
-	err  error
-}
-
 var (
-	unitCacheMu sync.Mutex
-	unitCache   = map[unitKey]*unitEntry{}
+	// artifacts is the process-wide store. Tools with a -cache-dir flag
+	// swap in a disk-backed store via SetStore; the default is a
+	// memory-only store with the default cap.
+	artifacts atomic.Pointer[store.Store]
 
-	// unitCacheOn gates the cache; disabled only by benchmarks that
-	// measure cold-build cost and by the determinism guard that proves
-	// cached and uncached creates emit identical updates.
+	// unitCacheOn gates the unit compile cache; disabled only by
+	// benchmarks that measure cold-build cost and by the determinism
+	// guard that proves cached and uncached creates emit identical
+	// updates. The build memo and link cache are reached only through
+	// BuildCached/LinkKernelCached, so they need no gate.
 	unitCacheOn atomic.Bool
 
-	unitHits, unitMisses   atomic.Uint64
-	buildHits, buildMisses atomic.Uint64
-	linkHits, linkMisses   atomic.Uint64
+	unitHits, unitDiskHits, unitMisses atomic.Uint64
+	buildHits, buildMisses             atomic.Uint64
+	linkHits, linkDiskHits, linkMisses atomic.Uint64
 )
 
-func init() { unitCacheOn.Store(true) }
+func init() {
+	unitCacheOn.Store(true)
+	artifacts.Store(store.MustNew(store.Options{}))
+}
+
+// SetStore installs the artifact store behind every srctree cache and
+// returns the previous one (for deferred restoration in tests). Swapping
+// stores mid-build is safe — each lookup pins the store once — but
+// artifacts cached in the old store are no longer reachable.
+func SetStore(s *store.Store) *store.Store {
+	return artifacts.Swap(s)
+}
+
+// ActiveStore returns the store currently backing the srctree caches.
+func ActiveStore() *store.Store { return artifacts.Load() }
 
 // SetUnitCache enables or disables the per-unit compile cache and returns
 // the previous setting. The cache is on by default; turning it off is for
@@ -67,22 +78,102 @@ func SetUnitCache(on bool) bool {
 }
 
 // CacheCounters is a snapshot of the process-wide build cache activity:
-// per-unit compiles, whole-tree build memoizations, and kernel links.
-// Counters only ever grow; callers diff two snapshots to attribute
-// activity to a run.
+// per-unit compiles, whole-tree build memoizations, and kernel links,
+// each split by serving tier (Hits = memory, DiskHits = disk, Misses =
+// the artifact was really recomputed), plus the underlying store's own
+// counters. Counters only ever grow; callers diff two snapshots to
+// attribute activity to a run.
 type CacheCounters struct {
-	UnitHits, UnitMisses   uint64
-	BuildHits, BuildMisses uint64
-	LinkHits, LinkMisses   uint64
+	UnitHits, UnitDiskHits, UnitMisses uint64
+	BuildHits, BuildMisses             uint64
+	LinkHits, LinkDiskHits, LinkMisses uint64
+	// Store carries the store-level view: evictions, disk writes and
+	// write bytes, corrupt-entry demotions, memory-tier gauges.
+	Store store.Stats
 }
 
 // Counters returns the current cache activity snapshot.
 func Counters() CacheCounters {
 	return CacheCounters{
-		UnitHits: unitHits.Load(), UnitMisses: unitMisses.Load(),
+		UnitHits: unitHits.Load(), UnitDiskHits: unitDiskHits.Load(), UnitMisses: unitMisses.Load(),
 		BuildHits: buildHits.Load(), BuildMisses: buildMisses.Load(),
-		LinkHits: linkHits.Load(), LinkMisses: linkMisses.Load(),
+		LinkHits: linkHits.Load(), LinkDiskHits: linkDiskHits.Load(), LinkMisses: linkMisses.Load(),
+		Store: ActiveStore().Stats(),
 	}
+}
+
+// count records one store outcome into a (mem, disk, miss) counter trio.
+func count(src store.Source, mem, disk, miss *atomic.Uint64) {
+	switch src {
+	case store.Mem:
+		mem.Add(1)
+	case store.Disk:
+		disk.Add(1)
+	default:
+		miss.Add(1)
+	}
+}
+
+// --- Artifact kinds ---
+
+// fileMemSize estimates an object file's in-memory footprint for LRU
+// accounting: section data dominates; relocs, symbols, and headers get
+// flat per-entry estimates.
+func fileMemSize(f *obj.File) int64 {
+	size := int64(128 + len(f.SourcePath) + len(f.Compiler))
+	for _, s := range f.Sections {
+		size += int64(64 + len(s.Name) + len(s.Data) + 16*len(s.Relocs))
+	}
+	for _, s := range f.Symbols {
+		size += int64(48 + len(s.Name))
+	}
+	return size
+}
+
+// unitKind persists compiled units as SOF bytes.
+var unitKind = store.Kind{
+	Name: "unit",
+	Size: func(v any) int64 { return fileMemSize(v.(*obj.File)) },
+	Encode: func(v any) ([]byte, error) {
+		var buf bytes.Buffer
+		if err := v.(*obj.File).Write(&buf); err != nil {
+			return nil, err
+		}
+		return buf.Bytes(), nil
+	},
+	Decode: func(b []byte) (any, error) {
+		// obj.Read validates structurally, so a decoded unit is as
+		// trustworthy as a compiled one.
+		return obj.Read(bytes.NewReader(b))
+	},
+}
+
+// buildKind memoizes whole-tree build results. It is memory-only: the
+// value is a slice of pointers into unit artifacts that are themselves
+// disk-backed, so persisting it would only duplicate them — a cold
+// process reassembles the list from per-unit disk hits instead.
+var buildKind = store.Kind{
+	Name: "build",
+	Size: func(v any) int64 { return int64(256 + 64*len(v.(*BuildResult).Objects)) },
+}
+
+// imageKind persists linked kernel images.
+var imageKind = store.Kind{
+	Name: "image",
+	Size: func(v any) int64 {
+		im := v.(*obj.Image)
+		return int64(128 + len(im.Bytes) + 48*len(im.Symbols) + 48*len(im.Sections))
+	},
+	Encode: func(v any) ([]byte, error) {
+		var buf bytes.Buffer
+		if err := v.(*obj.Image).WriteImage(&buf); err != nil {
+			return nil, err
+		}
+		return buf.Bytes(), nil
+	},
+	Decode: func(b []byte) (any, error) {
+		return obj.ReadImage(bytes.NewReader(b))
+	},
 }
 
 // scanIncludes extracts the #include "path" arguments of a source file,
@@ -114,7 +205,9 @@ func scanIncludes(src string) []string {
 // path and contents plus, recursively, every file its (over-approximated)
 // include closure reaches, in deterministic depth-first order. Files the
 // closure names but the tree lacks are hashed as absent, so adding the
-// missing header later changes the key.
+// missing header later changes the key. The tree's version deliberately
+// does not participate: identical units of different releases share one
+// artifact.
 func unitHash(t *Tree, path string) string {
 	h := sha256.New()
 	seen := map[string]bool{}
@@ -142,27 +235,21 @@ func unitHash(t *Tree, path string) string {
 	return hex.EncodeToString(h.Sum(nil))
 }
 
-// compileUnit compiles one unit through the per-unit cache (when
-// enabled). Concurrent callers with the same key share one compile;
-// distinct keys compile in parallel. The returned object is shared and
-// must not be mutated.
+// compileUnit compiles one unit through the artifact store (when the
+// unit cache is enabled). Concurrent callers with the same key share one
+// compile; distinct keys compile in parallel. The returned object is
+// shared and must not be mutated.
 func compileUnit(t *Tree, path string, opts codegen.Options) (*obj.File, error) {
 	if !unitCacheOn.Load() {
 		return buildUnit(t, path, opts)
 	}
-	key := unitKey{hash: unitHash(t, path), opts: opts.CacheKey()}
-	unitCacheMu.Lock()
-	e := unitCache[key]
-	if e == nil {
-		e = &unitEntry{}
-		unitCache[key] = e
-		unitMisses.Add(1)
-	} else {
-		unitHits.Add(1)
-	}
-	unitCacheMu.Unlock()
-	e.once.Do(func() {
-		e.f, e.err = buildUnit(t, path, opts)
+	key := store.Key("unit", unitHash(t, path), opts.CacheKey())
+	v, src, err := ActiveStore().GetOrFill(key, unitKind, func() (any, error) {
+		return buildUnit(t, path, opts)
 	})
-	return e.f, e.err
+	count(src, &unitHits, &unitDiskHits, &unitMisses)
+	if err != nil {
+		return nil, err
+	}
+	return v.(*obj.File), nil
 }

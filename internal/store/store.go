@@ -1,0 +1,395 @@
+// Package store is the content-addressed artifact store under the build
+// pipeline: a two-tier cache keyed by sha256 content hashes.
+//
+// The front tier is an in-memory LRU with a configurable byte cap. Behind
+// it sits an optional on-disk tier that persists serialized artifacts
+// (SOF object bytes, linked kernel images) under
+//
+//	<dir>/objects/ab/cdef...
+//
+// where ab/cdef... splits the hex key git-style. Disk entries are written
+// atomically (temp file + rename) and carry a checksum of the payload; a
+// truncated, bit-flipped, or otherwise unreadable entry is treated as a
+// miss — the artifact is recomputed, never served corrupt.
+//
+// Because keys are pure content hashes of the inputs (unit source plus
+// include closure plus codegen options; tree hash plus link base), the
+// store is shared safely across trees, releases, and — through the disk
+// tier — across processes: a cold ksplice-create warm-starts from the
+// artifacts a previous process left behind.
+//
+// Concurrent callers with the same key share one fill (singleflight);
+// distinct keys fill in parallel. Values handed out by the store are
+// shared and must be treated as immutable by every caller — the same
+// contract the process-wide build caches have always imposed.
+package store
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// DefaultMaxBytes is the in-memory tier's cap when Options.MaxBytes is
+// unset: generous for the 64-CVE corpus, bounded for many-tenant loads.
+const DefaultMaxBytes = 256 << 20
+
+// Source reports which tier satisfied a GetOrFill.
+type Source int
+
+const (
+	// Filled means the artifact was computed by running the fill
+	// function (a true miss).
+	Filled Source = iota
+	// Mem means the in-memory tier had the artifact (or an in-flight
+	// fill for the same key was joined).
+	Mem
+	// Disk means the artifact was deserialized from the on-disk tier.
+	Disk
+)
+
+func (s Source) String() string {
+	switch s {
+	case Mem:
+		return "mem"
+	case Disk:
+		return "disk"
+	}
+	return "filled"
+}
+
+// Kind describes how one artifact type is sized and serialized. A Kind
+// with a nil Encode or Decode is memory-only: it never touches the disk
+// tier (the whole-tree build memo works this way — its value is a slice
+// of pointers into unit artifacts that are themselves disk-backed).
+type Kind struct {
+	// Name labels the artifact type in errors.
+	Name string
+	// Size estimates the in-memory footprint in bytes, for LRU
+	// accounting.
+	Size func(v any) int64
+	// Encode serializes the artifact for the disk tier.
+	Encode func(v any) ([]byte, error)
+	// Decode deserializes a disk payload. It must validate the result:
+	// a decode error demotes the entry to a miss.
+	Decode func(b []byte) (any, error)
+}
+
+func (k Kind) diskable() bool { return k.Encode != nil && k.Decode != nil }
+
+// Options configures New.
+type Options struct {
+	// MaxBytes caps the in-memory tier; <= 0 means DefaultMaxBytes.
+	MaxBytes int64
+	// Dir roots the on-disk tier; empty disables it.
+	Dir string
+}
+
+// Stats is a snapshot of store activity. The counters are monotonic;
+// callers diff two snapshots to attribute activity to a run. MemBytes and
+// MemEntries are gauges of the in-memory tier at snapshot time.
+type Stats struct {
+	MemHits  uint64 // served from memory (including joined in-flight fills)
+	DiskHits uint64 // deserialized from the disk tier
+	Misses   uint64 // fill function ran
+
+	Evictions      uint64 // in-memory entries dropped by the LRU cap
+	DiskWrites     uint64 // entries persisted to the disk tier
+	DiskWriteBytes uint64 // payload bytes persisted
+	DiskErrors     uint64 // corrupt/unreadable disk entries demoted to misses
+
+	MemBytes   uint64
+	MemEntries uint64
+}
+
+type entry struct {
+	key  string
+	val  any
+	size int64
+}
+
+type call struct {
+	wg  sync.WaitGroup
+	val any
+	err error
+}
+
+// Store is a two-tier content-addressed artifact cache. The zero value is
+// not usable; construct with New.
+type Store struct {
+	maxBytes int64
+	dir      string // "" = memory-only
+
+	mu       sync.Mutex
+	items    map[string]*list.Element // key -> element holding *entry
+	lru      *list.List               // front = most recently used
+	curBytes int64
+	inflight map[string]*call
+	stats    Stats
+}
+
+// New creates a store. When Options.Dir is set, the objects directory is
+// created eagerly so misconfiguration (an unwritable path) surfaces here
+// rather than as silent cache misses later.
+func New(o Options) (*Store, error) {
+	if o.MaxBytes <= 0 {
+		o.MaxBytes = DefaultMaxBytes
+	}
+	s := &Store{
+		maxBytes: o.MaxBytes,
+		dir:      o.Dir,
+		items:    map[string]*list.Element{},
+		lru:      list.New(),
+		inflight: map[string]*call{},
+	}
+	if s.dir != "" {
+		if err := os.MkdirAll(filepath.Join(s.dir, "objects"), 0o755); err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+	}
+	return s, nil
+}
+
+// MustNew is New for static configuration that cannot fail (no disk dir).
+func MustNew(o Options) *Store {
+	s, err := New(o)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Key builds a content-hash key from its parts. Parts are length-prefixed
+// before hashing, so ("ab", "c") and ("a", "bc") produce distinct keys.
+func Key(parts ...string) string {
+	h := sha256.New()
+	var n [8]byte
+	for _, p := range parts {
+		binary.LittleEndian.PutUint64(n[:], uint64(len(p)))
+		h.Write(n[:])
+		h.Write([]byte(p))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// GetOrFill returns the artifact for key, consulting the memory tier,
+// then the disk tier, then running fill. Concurrent callers with the same
+// key share one lookup-and-fill; the winner's result is handed to every
+// joiner. Fill errors are returned but never cached — a later call
+// retries. The returned value is shared and must not be mutated.
+func (s *Store) GetOrFill(key string, k Kind, fill func() (any, error)) (any, Source, error) {
+	s.mu.Lock()
+	if el, ok := s.items[key]; ok {
+		s.lru.MoveToFront(el)
+		s.stats.MemHits++
+		v := el.Value.(*entry).val
+		s.mu.Unlock()
+		return v, Mem, nil
+	}
+	if c, ok := s.inflight[key]; ok {
+		// Join the in-flight fill: one compile, many consumers.
+		s.stats.MemHits++
+		s.mu.Unlock()
+		c.wg.Wait()
+		return c.val, Mem, c.err
+	}
+	c := &call{}
+	c.wg.Add(1)
+	s.inflight[key] = c
+	s.mu.Unlock()
+
+	v, src, err := s.lookupOrFill(key, k, fill)
+
+	s.mu.Lock()
+	switch {
+	case err != nil:
+		s.stats.Misses++
+	case src == Disk:
+		s.stats.DiskHits++
+		s.insertLocked(key, v, k)
+	default:
+		s.stats.Misses++
+		s.insertLocked(key, v, k)
+	}
+	delete(s.inflight, key)
+	s.mu.Unlock()
+
+	c.val, c.err = v, err
+	c.wg.Done()
+
+	if err == nil && src == Filled {
+		s.writeDisk(key, v, k)
+	}
+	return v, src, err
+}
+
+func (s *Store) lookupOrFill(key string, k Kind, fill func() (any, error)) (any, Source, error) {
+	if s.dir != "" && k.diskable() {
+		if b, ok := s.readDisk(key); ok {
+			v, err := k.Decode(b)
+			if err == nil {
+				return v, Disk, nil
+			}
+			// Checksum passed but the payload does not decode (foreign
+			// or stale format): demote to a miss like any corruption.
+			s.dropDisk(key)
+		}
+	}
+	v, err := fill()
+	return v, Filled, err
+}
+
+func (s *Store) insertLocked(key string, v any, k Kind) {
+	if _, ok := s.items[key]; ok {
+		return // a racing disk hit and fill can both insert; keep the first
+	}
+	size := k.Size(v)
+	e := &entry{key: key, val: v, size: size}
+	s.items[key] = s.lru.PushFront(e)
+	s.curBytes += size
+	for s.curBytes > s.maxBytes && s.lru.Len() > 0 {
+		back := s.lru.Back()
+		old := back.Value.(*entry)
+		s.lru.Remove(back)
+		delete(s.items, old.key)
+		s.curBytes -= old.size
+		s.stats.Evictions++
+	}
+}
+
+// Stats returns a snapshot of the counters and memory-tier gauges.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.MemBytes = uint64(s.curBytes)
+	st.MemEntries = uint64(s.lru.Len())
+	return st
+}
+
+// Dir returns the disk tier's root directory ("" when memory-only).
+func (s *Store) Dir() string { return s.dir }
+
+// DiskUsage reports the disk tier's entry count and total payload bytes
+// by walking the objects directory.
+func (s *Store) DiskUsage() (entries int, bytes int64) {
+	if s.dir == "" {
+		return 0, 0
+	}
+	filepath.WalkDir(filepath.Join(s.dir, "objects"), func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return nil
+		}
+		if info, err := d.Info(); err == nil {
+			entries++
+			bytes += info.Size()
+		}
+		return nil
+	})
+	return entries, bytes
+}
+
+// --- Disk tier ---
+//
+// Entry layout: 4-byte magic, sha256 of the payload, payload. The key is
+// a hash of the artifact's *inputs*, so it cannot authenticate the stored
+// bytes; the embedded payload digest does. Verification failures of any
+// sort (short file, flipped bit, bad magic) count as DiskErrors and fall
+// back to recomputation; the broken file is removed so it is rewritten.
+
+var diskMagic = [4]byte{'G', 'S', 'C', '1'}
+
+const diskHeaderLen = 4 + sha256.Size
+
+func (s *Store) objectPath(key string) string {
+	return filepath.Join(s.dir, "objects", key[:2], key[2:])
+}
+
+func (s *Store) readDisk(key string) ([]byte, bool) {
+	b, err := os.ReadFile(s.objectPath(key))
+	if err != nil {
+		if !os.IsNotExist(err) {
+			s.countDiskError()
+		}
+		return nil, false
+	}
+	if len(b) < diskHeaderLen || [4]byte(b[:4]) != diskMagic {
+		s.dropDisk(key)
+		return nil, false
+	}
+	payload := b[diskHeaderLen:]
+	if sha256.Sum256(payload) != [sha256.Size]byte(b[4:diskHeaderLen]) {
+		s.dropDisk(key)
+		return nil, false
+	}
+	return payload, true
+}
+
+// dropDisk removes a corrupt entry (so a fresh artifact replaces it) and
+// counts the corruption.
+func (s *Store) dropDisk(key string) {
+	os.Remove(s.objectPath(key))
+	s.countDiskError()
+}
+
+func (s *Store) countDiskError() {
+	s.mu.Lock()
+	s.stats.DiskErrors++
+	s.mu.Unlock()
+}
+
+// writeDisk persists a freshly filled artifact: encode, checksum, write
+// to a temp file in the final directory, rename into place. Failures are
+// counted but not returned — the store degrades to memory-only behaviour
+// rather than failing the build.
+func (s *Store) writeDisk(key string, v any, k Kind) {
+	if s.dir == "" || !k.diskable() {
+		return
+	}
+	payload, err := k.Encode(v)
+	if err != nil {
+		s.countDiskError()
+		return
+	}
+	dir := filepath.Dir(s.objectPath(key))
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		s.countDiskError()
+		return
+	}
+	sum := sha256.Sum256(payload)
+	buf := make([]byte, 0, diskHeaderLen+len(payload))
+	buf = append(buf, diskMagic[:]...)
+	buf = append(buf, sum[:]...)
+	buf = append(buf, payload...)
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		s.countDiskError()
+		return
+	}
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		s.countDiskError()
+		return
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		s.countDiskError()
+		return
+	}
+	if err := os.Rename(tmp.Name(), s.objectPath(key)); err != nil {
+		os.Remove(tmp.Name())
+		s.countDiskError()
+		return
+	}
+	s.mu.Lock()
+	s.stats.DiskWrites++
+	s.stats.DiskWriteBytes += uint64(len(payload))
+	s.mu.Unlock()
+}
