@@ -11,14 +11,18 @@ test:
 # The strict gate: vet (including the incremental-build and benchjson
 # packages); the artifact-store, unit-cache, and parallel-build race
 # tests plus both create determinism guards under the race detector;
-# the full test suite under the race detector (the parallel evaluation
-# pipeline is exercised concurrently by TestConcurrentRunsAreIndependent);
-# and a cold-then-warm ksplice-create round trip through a shared
-# -cache-dir — the tarballs must be byte-identical and the warm process
-# must compile nothing.
+# the networked-channel chaos soak under the race detector (the whole
+# 64-CVE corpus served over faulty HTTP to a fleet of concurrent
+# subscribers, every fault class injected); the full test suite under
+# the race detector (the parallel evaluation pipeline is exercised
+# concurrently by TestConcurrentRunsAreIndependent); and a
+# cold-then-warm ksplice-create round trip through a shared -cache-dir
+# — the tarballs must be byte-identical and the warm process must
+# compile nothing.
 check:
 	$(GO) vet ./...
-	$(GO) test -race -run 'UnitCache|CreateUpdateDeterministic|DiskWarmStart|EvictionUnderPressure|BuildParallel|Concurrent|Corrupt' ./internal/srctree ./internal/core ./internal/store
+	$(GO) test -race -run 'UnitCache|CreateUpdateDeterministic|DiskWarmStart|EvictionUnderPressure|BuildParallel|Concurrent|Corrupt|GC' ./internal/srctree ./internal/core ./internal/store
+	$(GO) test -race -run 'ChaosSoak' ./internal/channel
 	$(GO) test -race ./...
 	@tmp=$$(mktemp -d) && \
 	$(GO) run ./cmd/ksplice-create -version sim-2.6.16-deb -cve CVE-2006-2451 -cache-dir $$tmp/store -cache-stats -o $$tmp/cold.tar >/dev/null 2>$$tmp/cold.log && \

@@ -25,8 +25,11 @@ func main() {
 	statePath := flag.String("state", "machine.json", "machine state file")
 	trust := flag.Bool("trust-symtab", false, "UNSAFE: skip run-pre matching (ablation mode)")
 	stress := flag.Int("stress", 100, "post-update stress workload rounds (0 to skip)")
+	applyAttempts := flag.Int("apply-attempts", 0, "quiescence attempts per update (0 = default)")
+	applyDelay := flag.Duration("apply-retry-delay", 0, "delay between quiescence attempts (0 = default)")
 	cacheDir := flag.String("cache-dir", "", "persist build artifacts in this directory (shared across processes)")
 	cacheMax := flag.Int64("cache-max-bytes", store.DefaultMaxBytes, "in-memory artifact cache cap in bytes")
+	cacheGC := flag.Int64("cache-gc-bytes", 0, "sweep the on-disk artifact cache down to this many bytes before running (0 = no sweep)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fatal(fmt.Errorf("usage: ksplice-apply [-state file] update.tar"))
@@ -38,14 +41,22 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		if *cacheGC > 0 {
+			if _, err := s.GC(*cacheGC); err != nil {
+				fatal(err)
+			}
+		}
 		srctree.SetStore(s)
 	}
+	apply := core.ApplyOptions{MaxAttempts: *applyAttempts, RetryDelay: *applyDelay}
 
 	st, err := simstate.Load(*statePath)
 	if err != nil {
 		fatal(err)
 	}
-	k, mgr, err := st.Replay()
+	// The replay of already-applied updates always runs fully checked;
+	// -trust-symtab (the ablation mode) affects only the new update.
+	k, mgr, err := st.Replay(apply)
 	if err != nil {
 		fatal(err)
 	}
@@ -66,7 +77,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "  run-pre matching will abort on any resulting code difference.\n")
 	}
 
-	a, err := mgr.Apply(u, core.ApplyOptions{TrustSymtab: *trust})
+	newApply := apply
+	newApply.TrustSymtab = *trust
+	a, err := mgr.Apply(u, newApply)
 	if err != nil {
 		fatal(err)
 	}

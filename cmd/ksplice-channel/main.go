@@ -1,41 +1,81 @@
 // Command ksplice-channel distributes hot updates the way the paper's
 // conclusion proposes (section 8): a publisher builds a channel of update
-// tarballs for a kernel release, and subscribed machines transparently
-// receive every update they are missing — eliminating all their security
-// reboots at once.
+// tarballs for a kernel release, a server exposes it over HTTP, and
+// subscribed machines transparently receive every update they are
+// missing — eliminating all their security reboots at once.
 //
 //	ksplice-channel -publish -dir channel -version sim-2.6.20-deb
 //	ksplice-channel -publish -dir channel -version sim-2.6.20-deb -cve CVE-2007-3851
+//	ksplice-channel -serve -dir channel -addr :8940
 //	ksplice-channel -subscribe -dir channel -state machine.json
+//	ksplice-channel -subscribe -url http://updates.example:8940 -state machine.json
+//
+// Every tarball is published with its sha256 digest and size in the
+// manifest, and a subscriber verifies each download end to end before it
+// is applied — a truncated or corrupted update is re-fetched, never
+// spliced in. If the channel becomes unreachable mid-subscription the
+// machine keeps running at the position it reached; re-subscribing later
+// resumes from there.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"path/filepath"
+	"time"
 
 	"gosplice/internal/channel"
+	"gosplice/internal/core"
 	"gosplice/internal/cvedb"
 	"gosplice/internal/simstate"
+	"gosplice/internal/srctree"
+	"gosplice/internal/store"
 )
 
 func main() {
 	publish := flag.Bool("publish", false, "publish updates into the channel")
 	subscribe := flag.Bool("subscribe", false, "apply the channel's missing updates to a machine")
+	serve := flag.Bool("serve", false, "serve the channel directory over HTTP")
 	dir := flag.String("dir", "channel", "channel directory")
+	addr := flag.String("addr", ":8940", "listen address (serve)")
+	url := flag.String("url", "", "subscribe over HTTP from this channel server instead of -dir")
 	version := flag.String("version", "", "kernel release (publish)")
 	cveID := flag.String("cve", "", "publish only this CVE's fix (default: all of the release's)")
 	statePath := flag.String("state", "machine.json", "machine state file (subscribe)")
+	timeout := flag.Duration("timeout", 10*time.Second, "per-request HTTP timeout (subscribe -url)")
+	retries := flag.Int("retries", 4, "HTTP retries per fetch, with exponential backoff (subscribe -url)")
+	applyAttempts := flag.Int("apply-attempts", 0, "quiescence attempts per update (0 = default)")
+	applyDelay := flag.Duration("apply-retry-delay", 0, "delay between quiescence attempts (0 = default)")
+	cacheDir := flag.String("cache-dir", "", "persist build artifacts in this directory (shared across processes)")
+	cacheMax := flag.Int64("cache-max-bytes", store.DefaultMaxBytes, "in-memory artifact cache cap in bytes")
+	cacheGC := flag.Int64("cache-gc-bytes", 0, "sweep the on-disk artifact cache down to this many bytes before running (0 = no sweep)")
 	flag.Parse()
+
+	if *cacheDir != "" || *cacheMax != store.DefaultMaxBytes {
+		s, err := store.New(store.Options{Dir: *cacheDir, MaxBytes: *cacheMax})
+		if err != nil {
+			fatal(err)
+		}
+		if *cacheGC > 0 {
+			if _, err := s.GC(*cacheGC); err != nil {
+				fatal(err)
+			}
+		}
+		srctree.SetStore(s)
+	}
+	apply := core.ApplyOptions{MaxAttempts: *applyAttempts, RetryDelay: *applyDelay}
 
 	switch {
 	case *publish:
 		doPublish(*dir, *version, *cveID)
+	case *serve:
+		doServe(*dir, *addr)
 	case *subscribe:
-		doSubscribe(*dir, *statePath)
+		doSubscribe(*dir, *url, *statePath, *timeout, *retries, apply)
 	default:
-		fatal(fmt.Errorf("need -publish or -subscribe"))
+		fatal(fmt.Errorf("need -publish, -serve, or -subscribe"))
 	}
 }
 
@@ -71,40 +111,84 @@ func doPublish(dir, version, cveID string) {
 	}
 }
 
-func doSubscribe(dir, statePath string) {
+func doServe(dir, addr string) {
+	m, err := channel.ReadManifest(dir)
+	if err != nil {
+		fatal(fmt.Errorf("cannot serve %s: %w", dir, err))
+	}
+	fmt.Printf("serving %s (%s, %d updates) on %s\n", dir, m.KernelVersion, len(m.Updates), addr)
+	if err := http.ListenAndServe(addr, channel.NewServer(dir)); err != nil {
+		fatal(err)
+	}
+}
+
+func doSubscribe(dir, url, statePath string, timeout time.Duration, retries int, apply core.ApplyOptions) {
 	st, err := simstate.Load(statePath)
 	if err != nil {
 		fatal(err)
 	}
-	_, mgr, err := st.Replay()
+	_, mgr, err := st.Replay(apply)
 	if err != nil {
 		fatal(err)
 	}
-	applied, err := channel.Subscribe(dir, mgr, len(st.Updates))
-	if err != nil {
-		fatal(err)
+
+	stateDir := filepath.Dir(statePath)
+	var t channel.Transport
+	opts := channel.SubscribeOptions{Apply: apply}
+	if url != "" {
+		// Remote channel: persist a verified local copy of every applied
+		// tarball next to the state file, so a later replay of this
+		// machine needs no network.
+		local := filepath.Join(stateDir, "channel-cache")
+		if err := os.MkdirAll(local, 0o755); err != nil {
+			fatal(err)
+		}
+		t = channel.NewHTTPTransport(url, channel.HTTPOptions{Timeout: timeout, MaxRetries: retries})
+		opts.OnApplied = func(e channel.Entry, b []byte) error {
+			path := filepath.Join(local, filepath.Base(e.File))
+			if err := os.WriteFile(path, b, 0o644); err != nil {
+				return err
+			}
+			rel, err := filepath.Rel(stateDir, path)
+			if err != nil {
+				rel = path
+			}
+			st.Updates = append(st.Updates, rel)
+			fmt.Printf("applied %s (%s)\n", e.Name, e.CVE)
+			return nil
+		}
+	} else {
+		t = channel.NewDirTransport(dir)
+		opts.OnApplied = func(e channel.Entry, _ []byte) error {
+			rel, err := filepath.Rel(stateDir, filepath.Join(dir, e.File))
+			if err != nil {
+				rel = filepath.Join(dir, e.File)
+			}
+			st.Updates = append(st.Updates, rel)
+			fmt.Printf("applied %s (%s)\n", e.Name, e.CVE)
+			return nil
+		}
+	}
+
+	before := len(st.Updates)
+	applied, subErr := channel.Subscribe(t, mgr, before, opts)
+	// Whatever happened, the machine's true position is what we record:
+	// every applied update is already live in the kernel.
+	if len(applied) > 0 || subErr == nil {
+		if err := st.Save(statePath); err != nil {
+			fatal(err)
+		}
+	}
+	if subErr != nil {
+		if pe, ok := channel.IsPosition(subErr); ok {
+			fmt.Printf("machine stopped at channel position %d (%d update(s) applied this run); it keeps running and can re-subscribe later\n",
+				pe.Position, len(applied))
+		}
+		fatal(subErr)
 	}
 	if len(applied) == 0 {
 		fmt.Println("machine is up to date")
 		return
-	}
-	m, err := channel.ReadManifest(dir)
-	if err != nil {
-		fatal(err)
-	}
-	stateDir := filepath.Dir(statePath)
-	start := len(st.Updates)
-	for i, u := range applied {
-		entry := m.Updates[start+i]
-		rel, err := filepath.Rel(stateDir, filepath.Join(dir, entry.File))
-		if err != nil {
-			rel = filepath.Join(dir, entry.File)
-		}
-		st.Updates = append(st.Updates, rel)
-		fmt.Printf("applied %s (%s)\n", u.Name, entry.CVE)
-	}
-	if err := st.Save(statePath); err != nil {
-		fatal(err)
 	}
 	fmt.Printf("machine now carries %d hot updates; zero reboots\n", len(st.Updates))
 }

@@ -42,12 +42,18 @@ func main() {
 	cacheDir := flag.String("cache-dir", "", "persist build artifacts in this directory (shared across processes)")
 	cacheMax := flag.Int64("cache-max-bytes", store.DefaultMaxBytes, "in-memory artifact cache cap in bytes")
 	cacheStats := flag.Bool("cache-stats", false, "print artifact cache counters to stderr on exit")
+	cacheGC := flag.Int64("cache-gc-bytes", 0, "sweep the on-disk artifact cache down to this many bytes before running (0 = no sweep)")
 	flag.Parse()
 
 	if *cacheDir != "" || *cacheMax != store.DefaultMaxBytes {
 		s, err := store.New(store.Options{Dir: *cacheDir, MaxBytes: *cacheMax})
 		if err != nil {
 			fatal(err)
+		}
+		if *cacheGC > 0 {
+			if _, err := s.GC(*cacheGC); err != nil {
+				fatal(err)
+			}
 		}
 		srctree.SetStore(s)
 	}

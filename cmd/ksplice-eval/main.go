@@ -37,6 +37,7 @@ func main() {
 	jobs := flag.Int("j", runtime.NumCPU(), "patches evaluated concurrently (stacked mode is always sequential); the tables are identical for any -j")
 	cacheDir := flag.String("cache-dir", "", "persist build artifacts in this directory (shared across processes)")
 	cacheMax := flag.Int64("cache-max-bytes", store.DefaultMaxBytes, "in-memory artifact cache cap in bytes")
+	cacheGC := flag.Int64("cache-gc-bytes", 0, "sweep the on-disk artifact cache down to this many bytes before running (0 = no sweep)")
 	flag.Parse()
 
 	if !*all && *table == "" && *figure == 0 {
@@ -49,6 +50,12 @@ func main() {
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ksplice-eval:", err)
 			os.Exit(1)
+		}
+		if *cacheGC > 0 {
+			if _, err := s.GC(*cacheGC); err != nil {
+				fmt.Fprintln(os.Stderr, "ksplice-eval:", err)
+				os.Exit(1)
+			}
 		}
 		opts.Store = s
 	}

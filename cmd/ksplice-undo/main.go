@@ -16,7 +16,10 @@ import (
 
 func main() {
 	statePath := flag.String("state", "machine.json", "machine state file")
+	applyAttempts := flag.Int("apply-attempts", 0, "quiescence attempts (0 = default)")
+	applyDelay := flag.Duration("apply-retry-delay", 0, "delay between quiescence attempts (0 = default)")
 	flag.Parse()
+	apply := core.ApplyOptions{MaxAttempts: *applyAttempts, RetryDelay: *applyDelay}
 
 	st, err := simstate.Load(*statePath)
 	if err != nil {
@@ -25,13 +28,13 @@ func main() {
 	if len(st.Updates) == 0 {
 		fatal(fmt.Errorf("no updates applied to this machine"))
 	}
-	_, mgr, err := st.Replay()
+	_, mgr, err := st.Replay(apply)
 	if err != nil {
 		fatal(err)
 	}
 	applied := mgr.Applied()
 	last := applied[len(applied)-1]
-	if err := mgr.Undo(core.ApplyOptions{}); err != nil {
+	if err := mgr.Undo(apply); err != nil {
 		fatal(err)
 	}
 	fmt.Printf("reversed %s: %d function(s) restored\n",

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"os"
 
+	"gosplice/internal/core"
 	"gosplice/internal/cvedb"
 	"gosplice/internal/simstate"
 	"gosplice/internal/srctree"
@@ -26,12 +27,18 @@ func main() {
 	uid := flag.Int("uid", 0, "credential for -probe")
 	cacheDir := flag.String("cache-dir", "", "persist build artifacts in this directory (shared across processes)")
 	cacheMax := flag.Int64("cache-max-bytes", store.DefaultMaxBytes, "in-memory artifact cache cap in bytes")
+	cacheGC := flag.Int64("cache-gc-bytes", 0, "sweep the on-disk artifact cache down to this many bytes before running (0 = no sweep)")
 	flag.Parse()
 
 	if *cacheDir != "" || *cacheMax != store.DefaultMaxBytes {
 		s, err := store.New(store.Options{Dir: *cacheDir, MaxBytes: *cacheMax})
 		if err != nil {
 			fatal(err)
+		}
+		if *cacheGC > 0 {
+			if _, err := s.GC(*cacheGC); err != nil {
+				fatal(err)
+			}
 		}
 		srctree.SetStore(s)
 	}
@@ -47,7 +54,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	k, _, err := st.Replay()
+	k, _, err := st.Replay(core.ApplyOptions{})
 	if err != nil {
 		fatal(err)
 	}

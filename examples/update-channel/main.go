@@ -3,17 +3,26 @@
 // machine transparently receives the updates it is missing. One
 // subscription call eliminates all of the release's security reboots.
 //
+// This example runs the full networked path: the channel is served over
+// loopback HTTP with an injected fault (a truncated download), and the
+// subscriber's integrity checks plus the transport's retry/resume logic
+// recover transparently — the corrupted bytes never reach the kernel.
+//
 //	go run ./examples/update-channel
 package main
 
 import (
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
+	"time"
 
 	"gosplice/internal/channel"
 	"gosplice/internal/core"
 	"gosplice/internal/cvedb"
+	"gosplice/internal/faultinject"
 	"gosplice/internal/kernel"
 )
 
@@ -27,7 +36,8 @@ func main() {
 
 	// The distributor publishes every fix for the release. Each update is
 	// built against the accumulated previously-patched source, so they
-	// stack cleanly in order.
+	// stack cleanly in order; each tarball's sha256 digest and size land
+	// in the manifest.
 	pub, err := channel.NewPublisher(dir, cvedb.Tree(version))
 	if err != nil {
 		log.Fatal(err)
@@ -45,15 +55,31 @@ func main() {
 		fmt.Printf("published %-24s (%2d-line patch)%s\n", u.Name, u.PatchLines, note)
 	}
 
-	// A long-running production machine subscribes.
+	// Serve the channel over HTTP — through a fault injector that cuts
+	// the third response short, the way a flaky network would.
+	plan := faultinject.New(faultinject.Fault{Op: 3, Kind: faultinject.Truncate, Offset: 100})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &http.Server{Handler: faultinject.Handler(channel.NewServer(dir), plan)}
+	go srv.Serve(ln)
+	defer srv.Close()
+	baseURL := "http://" + ln.Addr().String()
+	fmt.Printf("\nchannel served at %s (with one injected truncation fault)\n", baseURL)
+
+	// A long-running production machine subscribes over the network.
 	k, err := kernel.Boot(kernel.Config{Tree: cvedb.Tree(version)})
 	if err != nil {
 		log.Fatal(err)
 	}
 	mgr := core.NewManager(k)
-	fmt.Printf("\nmachine booted: %s, uptime %d instructions\n", k.Version, k.TotalSteps())
+	fmt.Printf("machine booted: %s, uptime %d instructions\n", k.Version, k.TotalSteps())
 
-	applied, err := channel.Subscribe(dir, mgr, 0)
+	t := channel.NewHTTPTransport(baseURL, channel.HTTPOptions{
+		Timeout: 5 * time.Second, MaxRetries: 4, Backoff: 10 * time.Millisecond,
+	})
+	applied, err := channel.Subscribe(t, mgr, 0, channel.SubscribeOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -64,8 +90,10 @@ func main() {
 			worst = p.Nanoseconds()
 		}
 	}
+	st := plan.Stats()
 	fmt.Printf("subscribed: %d hot updates applied, %d stop_machine captures, worst pause %dns\n",
 		len(applied), calls, worst)
+	fmt.Printf("faults survived: %d injected (every tarball digest-verified before apply)\n", st.Total())
 	fmt.Printf("uptime now %d instructions — the machine never stopped being itself\n", k.TotalSteps())
 
 	// Prove the whole batch: every probe reports fixed behaviour and the

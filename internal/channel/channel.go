@@ -10,9 +10,20 @@
 // against the accumulated previously-patched source (the section 5.4
 // requirement), so subscribers apply them strictly in order; a machine's
 // position in the channel is simply how many updates it has applied.
+//
+// Every manifest entry carries the sha256 digest and size of its tarball,
+// and the manifest carries a digest of itself, so integrity is end to end:
+// whatever transport delivered the bytes — local disk, HTTP (Server and
+// NewHTTPTransport), or anything else implementing Transport — Subscribe
+// verifies them against the manifest before they are parsed, and a
+// corrupted tarball is re-fetched, never applied. All publisher writes are
+// atomic (temp file + rename), so a crashed publish never leaves a
+// half-written manifest or tarball behind.
 package channel
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -28,6 +39,10 @@ type Manifest struct {
 	KernelVersion string `json:"kernel_version"`
 	// Updates lists tarball file names in application order.
 	Updates []Entry `json:"updates"`
+	// Digest is the hex sha256 of the manifest's own canonical encoding
+	// (this struct marshaled with Digest empty). It lets a subscriber
+	// detect a truncated or tampered manifest wherever it came from.
+	Digest string `json:"digest,omitempty"`
 }
 
 // Entry is one published update.
@@ -40,9 +55,54 @@ type Entry struct {
 	PatchLines int `json:"patch_lines"`
 	// CustomCode marks Table 1-style updates that carry hooks.
 	CustomCode bool `json:"custom_code,omitempty"`
+	// Sha256 is the hex digest of the tarball bytes; Size their length.
+	// Subscribe refuses to hand bytes that fail either check to Apply.
+	Sha256 string `json:"sha256"`
+	Size   int64  `json:"size"`
 }
 
 const manifestName = "channel.json"
+
+// computeDigest returns the manifest's canonical digest: the sha256 of
+// its JSON encoding with the Digest field cleared.
+func (m *Manifest) computeDigest() (string, error) {
+	c := *m
+	c.Digest = ""
+	b, err := json.Marshal(&c)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// Verify checks the manifest's self-digest (when present — manifests
+// published before digests existed carry none and pass).
+func (m *Manifest) Verify() error {
+	if m.Digest == "" {
+		return nil
+	}
+	want, err := m.computeDigest()
+	if err != nil {
+		return err
+	}
+	if m.Digest != want {
+		return fmt.Errorf("channel: manifest digest %.12s… does not match contents (%.12s…)", m.Digest, want)
+	}
+	return nil
+}
+
+// DecodeManifest parses and verifies manifest bytes.
+func DecodeManifest(b []byte) (*Manifest, error) {
+	m := &Manifest{}
+	if err := json.Unmarshal(b, m); err != nil {
+		return nil, fmt.Errorf("channel: manifest: %w", err)
+	}
+	if err := m.Verify(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
 
 // Publisher accumulates a channel: each Publish builds the next update
 // against the previously-patched source and writes it into the directory.
@@ -53,10 +113,21 @@ type Publisher struct {
 }
 
 // NewPublisher opens (or creates) a channel directory for the release
-// whose base source is tree.
+// whose base source is tree. Stray temp files from a crashed publish are
+// swept away; the manifest only ever names fully written tarballs, so the
+// channel resumes cleanly from whatever the last atomic manifest rename
+// recorded.
 func NewPublisher(dir string, tree *srctree.Tree) (*Publisher, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
+	}
+	// Crash resume: remove half-written temp files an interrupted
+	// publish left behind. They were never renamed into place, so
+	// nothing references them.
+	if strays, err := filepath.Glob(filepath.Join(dir, ".tmp-*")); err == nil {
+		for _, s := range strays {
+			os.Remove(s)
+		}
 	}
 	p := &Publisher{
 		Dir:      dir,
@@ -70,7 +141,7 @@ func NewPublisher(dir string, tree *srctree.Tree) (*Publisher, error) {
 		}
 		p.manifest = *m
 		for _, e := range m.Updates {
-			u, err := loadUpdate(dir, e.File)
+			u, err := loadUpdate(dir, e)
 			if err != nil {
 				return nil, err
 			}
@@ -83,22 +154,24 @@ func NewPublisher(dir string, tree *srctree.Tree) (*Publisher, error) {
 	return p, nil
 }
 
-// Publish converts a source patch into the channel's next update.
+// Publish converts a source patch into the channel's next update. The
+// tarball is written atomically before the manifest names it, so a crash
+// at any point leaves the channel consistent: either the update is fully
+// published or it is absent.
 func (p *Publisher) Publish(name, cve, patchText string) (*core.Update, error) {
-	u, err := core.CreateUpdate(p.tree, patchText, core.CreateOptions{Name: name})
+	// The build cache is sound here: builds are bit-for-bit
+	// deterministic, so successive publishes of one release share the
+	// accumulated pre builds.
+	u, err := core.CreateUpdate(p.tree, patchText, core.CreateOptions{Name: name, BuildCache: true})
+	if err != nil {
+		return nil, err
+	}
+	b, digest, size, err := u.EncodeTar()
 	if err != nil {
 		return nil, err
 	}
 	file := u.Name + ".tar"
-	f, err := os.Create(filepath.Join(p.Dir, file))
-	if err != nil {
-		return nil, err
-	}
-	if err := u.WriteTar(f); err != nil {
-		f.Close()
-		return nil, err
-	}
-	if err := f.Close(); err != nil {
+	if err := writeFileAtomic(filepath.Join(p.Dir, file), b); err != nil {
 		return nil, err
 	}
 	next, err := p.tree.Patch(patchText)
@@ -109,65 +182,76 @@ func (p *Publisher) Publish(name, cve, patchText string) (*core.Update, error) {
 	p.manifest.Updates = append(p.manifest.Updates, Entry{
 		Name: u.Name, File: file, CVE: cve,
 		PatchLines: u.PatchLines, CustomCode: u.HasHooks(),
+		Sha256: digest, Size: size,
 	})
 	return u, p.writeManifest()
 }
 
 func (p *Publisher) writeManifest() error {
+	digest, err := p.manifest.computeDigest()
+	if err != nil {
+		return err
+	}
+	p.manifest.Digest = digest
 	b, err := json.MarshalIndent(&p.manifest, "", "  ")
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(filepath.Join(p.Dir, manifestName), append(b, '\n'), 0o644)
+	return writeFileAtomic(filepath.Join(p.Dir, manifestName), append(b, '\n'))
 }
 
-// ReadManifest loads a channel directory's manifest.
+// writeFileAtomic writes b to path via a temp file in the same directory
+// and a rename, so readers (and crash recovery) never observe a partial
+// file. The ".tmp-" prefix is what NewPublisher sweeps on resume.
+func writeFileAtomic(path string, b []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(b); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
+
+// ReadManifest loads and verifies a channel directory's manifest.
 func ReadManifest(dir string) (*Manifest, error) {
 	b, err := os.ReadFile(filepath.Join(dir, manifestName))
 	if err != nil {
 		return nil, err
 	}
-	m := &Manifest{}
-	if err := json.Unmarshal(b, m); err != nil {
+	m, err := DecodeManifest(b)
+	if err != nil {
 		return nil, fmt.Errorf("channel: %s: %w", dir, err)
 	}
 	return m, nil
 }
 
-func loadUpdate(dir, file string) (*core.Update, error) {
-	f, err := os.Open(filepath.Join(dir, file))
+// loadUpdate reads one tarball from a channel directory, verified against
+// its manifest entry.
+func loadUpdate(dir string, e Entry) (*core.Update, error) {
+	b, err := os.ReadFile(filepath.Join(dir, e.File))
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
-	return core.ReadTar(f)
-}
-
-// Subscribe applies every channel update the machine does not yet have,
-// in order, through mgr. applied is how many of the channel's updates the
-// machine already runs (its channel position). It returns the updates
-// applied this call.
-func Subscribe(dir string, mgr *core.Manager, applied int) ([]*core.Update, error) {
-	m, err := ReadManifest(dir)
+	u, err := core.ReadTarVerified(b, e.Sha256, e.Size)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("channel: %s: %w", e.Name, err)
 	}
-	if m.KernelVersion != mgr.K.Version {
-		return nil, fmt.Errorf("channel: serves %q, machine runs %q", m.KernelVersion, mgr.K.Version)
-	}
-	if applied > len(m.Updates) {
-		return nil, fmt.Errorf("channel: machine claims %d updates, channel has %d", applied, len(m.Updates))
-	}
-	var out []*core.Update
-	for _, e := range m.Updates[applied:] {
-		u, err := loadUpdate(dir, e.File)
-		if err != nil {
-			return out, err
-		}
-		if _, err := mgr.Apply(u, core.ApplyOptions{}); err != nil {
-			return out, fmt.Errorf("channel: applying %s: %w", e.Name, err)
-		}
-		out = append(out, u)
-	}
-	return out, nil
+	return u, nil
 }

@@ -44,7 +44,7 @@ func TestPublishAndSubscribe(t *testing.T) {
 		t.Fatal(err)
 	}
 	mgr := core.NewManager(k)
-	applied, err := Subscribe(dir, mgr, 0)
+	applied, err := SubscribeDir(dir, mgr, 0, SubscribeOptions{Apply: core.ApplyOptions{MaxAttempts: 6}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,7 +63,7 @@ func TestPublishAndSubscribe(t *testing.T) {
 	}
 
 	// A machine already at position N gets nothing new.
-	more, err := Subscribe(dir, mgr, len(cves))
+	more, err := SubscribeDir(dir, mgr, len(cves), SubscribeOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,7 +149,7 @@ func TestSubscribeErrors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Subscribe(dir, core.NewManager(k), 0); err == nil {
+	if _, err := SubscribeDir(dir, core.NewManager(k), 0, SubscribeOptions{}); err == nil {
 		t.Error("cross-release subscription accepted")
 	}
 	// Impossible position.
@@ -157,11 +157,11 @@ func TestSubscribeErrors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Subscribe(dir, core.NewManager(k2), 5); err == nil {
+	if _, err := SubscribeDir(dir, core.NewManager(k2), 5, SubscribeOptions{}); err == nil {
 		t.Error("position beyond channel accepted")
 	}
 	// Missing channel.
-	if _, err := Subscribe(t.TempDir(), core.NewManager(k2), 0); err == nil {
+	if _, err := SubscribeDir(t.TempDir(), core.NewManager(k2), 0, SubscribeOptions{}); err == nil {
 		t.Error("empty dir subscribed")
 	}
 }

@@ -1,0 +1,264 @@
+// Chaos soak: the whole 64-CVE corpus published into per-release
+// channels, served over HTTP through fault injectors, and subscribed by
+// a fleet of machines whose clients are themselves faulty. Every fault
+// class fires somewhere in the fleet; every machine either reaches the
+// channel head or stops at a clean position, and resumes to the head from
+// there. This file is the -race soak `make check` runs with -run
+// ChaosSoak.
+package channel_test
+
+import (
+	"bytes"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"gosplice/internal/channel"
+	"gosplice/internal/core"
+	"gosplice/internal/cvedb"
+	"gosplice/internal/faultinject"
+	"gosplice/internal/kernel"
+)
+
+// chaosProbe runs one CVE probe; it returns errors rather than failing
+// the test because it is called from fleet-member goroutines.
+func chaosProbe(k *kernel.Kernel, c *cvedb.CVE) (int64, error) {
+	var addr uint32
+	for _, s := range k.Syms.Lookup(c.Probe.Entry) {
+		if s.Func && s.Module == "" {
+			addr = s.Addr
+		}
+	}
+	if addr == 0 {
+		return 0, fmt.Errorf("%s: no probe symbol", c.ID)
+	}
+	task, err := k.SpawnAt("probe", addr, c.Probe.UID, c.Probe.Args...)
+	if err != nil {
+		return 0, err
+	}
+	if err := k.RunUntilExit(task, 50_000_000); err != nil {
+		return 0, fmt.Errorf("%s: %w", c.ID, err)
+	}
+	code := task.ExitCode
+	k.ReapExited()
+	return code, nil
+}
+
+// memberPlans builds the fault schedules for one fleet member. Member 0
+// of each release gets explicit server-side faults covering every class;
+// member 1 gets a hostile client (including a hard mid-channel Error the
+// transport cannot retry away, forcing the graceful-stop path). Seeded
+// extras differ per member.
+func memberPlans(release, member int) (server, client *faultinject.Plan) {
+	seed := int64(1000*release + member)
+	if member == 0 {
+		return faultinject.New(
+			faultinject.Fault{Op: 1, Kind: faultinject.Delay, Sleep: time.Millisecond},
+			faultinject.Fault{Op: 2, Kind: faultinject.Error},
+			faultinject.Fault{Op: 4, Kind: faultinject.Truncate, Offset: 200},
+			faultinject.Fault{Op: 6, Kind: faultinject.FlipBit, Offset: 80, Bit: 5},
+		), faultinject.New()
+	}
+	return faultinject.FromSeed(seed, 25, 0.25), faultinject.New(
+		faultinject.Fault{Op: 3, Kind: faultinject.FlipBit, Offset: 40, Bit: 1},
+		faultinject.Fault{Op: 7, Kind: faultinject.Error},
+	)
+}
+
+// TestChaosSoakHTTPFleet is the acceptance soak for the networked
+// channel: all four releases' channels, a faulty server and faulty
+// clients per machine, and machine-state invariants checked end to end.
+func TestChaosSoakHTTPFleet(t *testing.T) {
+	type memberResult struct {
+		name   string
+		stats  []faultinject.Stats
+		errmsg string
+	}
+	const membersPerRelease = 2
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		results []memberResult
+	)
+	for ri, version := range cvedb.Versions {
+		cves := cvedb.ForVersion(version)
+		dir := t.TempDir()
+		pub, err := channel.NewPublisher(dir, cvedb.Tree(version))
+		if err != nil {
+			t.Fatal(err)
+		}
+		published := map[string][]byte{} // entry name -> tarball bytes
+		for _, c := range cves {
+			if _, err := pub.Publish("ksplice-"+c.ID, c.ID, c.Patch()); err != nil {
+				t.Fatalf("%s: publish %s: %v", version, c.ID, err)
+			}
+		}
+		m, err := channel.ReadManifest(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(m.Updates) != len(cves) {
+			t.Fatalf("%s: %d of %d updates published", version, len(m.Updates), len(cves))
+		}
+		for _, e := range m.Updates {
+			b, err := os.ReadFile(filepath.Join(dir, e.File))
+			if err != nil {
+				t.Fatal(err)
+			}
+			published[e.Name] = b
+		}
+
+		for mi := 0; mi < membersPerRelease; mi++ {
+			wg.Add(1)
+			go func(ri, mi int, version, dir string, cves []*cvedb.CVE) {
+				defer wg.Done()
+				res := memberResult{name: fmt.Sprintf("%s/member%d", version, mi)}
+				fail := func(format string, args ...any) {
+					res.errmsg = fmt.Sprintf(format, args...)
+					mu.Lock()
+					results = append(results, res)
+					mu.Unlock()
+				}
+				serverPlan, clientPlan := memberPlans(ri, mi)
+				srv := httptest.NewServer(faultinject.Handler(channel.NewServer(dir), serverPlan))
+				defer srv.Close()
+
+				k, err := kernel.Boot(kernel.Config{Tree: cvedb.Tree(version)})
+				if err != nil {
+					fail("boot: %v", err)
+					return
+				}
+				mgr := core.NewManager(k)
+				tr := faultinject.WrapTransport(channel.NewHTTPTransport(srv.URL, channel.HTTPOptions{
+					Timeout:    10 * time.Second,
+					MaxRetries: 6,
+					Backoff:    time.Millisecond,
+					Seed:       int64(100*ri + mi + 1),
+				}), clientPlan)
+
+				var got [][]byte
+				var names []string
+				opts := channel.SubscribeOptions{
+					FetchRetries: 3,
+					OnApplied: func(e channel.Entry, b []byte) error {
+						got = append(got, append([]byte(nil), b...))
+						names = append(names, e.Name)
+						return nil
+					},
+				}
+				applied, err := channel.Subscribe(tr, mgr, 0, opts)
+				pos := len(applied)
+				if err != nil {
+					pe, ok := channel.IsPosition(err)
+					if !ok {
+						fail("subscribe failed un-gracefully: %v", err)
+						return
+					}
+					if pe.Position != pos {
+						fail("PositionError says %d, %d updates applied", pe.Position, pos)
+						return
+					}
+				}
+				// Invariant: no partially-applied update, ever. The manager's
+				// applied count is exactly the reported position, and the
+				// clean prefix of probes is fixed while the rest are still
+				// vulnerable.
+				if len(mgr.Applied()) != pos {
+					fail("manager runs %d updates at position %d", len(mgr.Applied()), pos)
+					return
+				}
+				for i, c := range cves {
+					want := c.Probe.VulnResult
+					if i < pos {
+						want = c.Probe.FixedResult
+					}
+					gotCode, err := chaosProbe(k, c)
+					if err != nil {
+						fail("probe %s: %v", c.ID, err)
+						return
+					}
+					if gotCode != want {
+						fail("position %d: probe %s = %d, want %d", pos, c.ID, gotCode, want)
+						return
+					}
+				}
+				if bad, err := k.Call("stress_main", 50); err != nil || bad != 0 {
+					fail("stress at position %d: %d, %v", pos, bad, err)
+					return
+				}
+				// Graceful stop: resume over a clean transport reaches the
+				// head. (The faulty run already proved the failure handling.)
+				if pos < len(cves) {
+					more, err := channel.SubscribeDir(dir, mgr, pos, channel.SubscribeOptions{OnApplied: opts.OnApplied})
+					if err != nil {
+						fail("resume from %d: %v", pos, err)
+						return
+					}
+					pos += len(more)
+				}
+				if pos != len(cves) {
+					fail("fleet member ended at %d of %d", pos, len(cves))
+					return
+				}
+				// Every byte the machine applied is identical to what the
+				// publisher wrote.
+				for i, b := range got {
+					if !bytes.Equal(b, published[names[i]]) {
+						fail("update %s applied from bytes that differ from the published tarball", names[i])
+						return
+					}
+				}
+				for _, c := range cves {
+					gotCode, err := chaosProbe(k, c)
+					if err != nil {
+						fail("probe %s: %v", c.ID, err)
+						return
+					}
+					if gotCode != c.Probe.FixedResult {
+						fail("at head: probe %s = %d, want fixed %d", c.ID, gotCode, c.Probe.FixedResult)
+						return
+					}
+				}
+				if bad, err := k.Call("stress_main", 100); err != nil || bad != 0 {
+					fail("stress at head: %d, %v", bad, err)
+					return
+				}
+				res.stats = []faultinject.Stats{serverPlan.Stats(), clientPlan.Stats()}
+				mu.Lock()
+				results = append(results, res)
+				mu.Unlock()
+			}(ri, mi, version, dir, cves)
+		}
+	}
+	wg.Wait()
+
+	var total faultinject.Stats
+	for _, r := range results {
+		if r.errmsg != "" {
+			t.Errorf("%s: %s", r.name, r.errmsg)
+			continue
+		}
+		for _, st := range r.stats {
+			total.Ops += st.Ops
+			for k := range st.Fired {
+				total.Fired[k] += st.Fired[k]
+			}
+		}
+	}
+	if t.Failed() {
+		return
+	}
+	// The soak must actually have exercised every fault class somewhere in
+	// the fleet, or it proves nothing.
+	for _, k := range []faultinject.Kind{faultinject.Error, faultinject.Truncate, faultinject.FlipBit, faultinject.Delay} {
+		if total.Injected(k) == 0 {
+			t.Errorf("fleet soak never injected a %v fault", k)
+		}
+	}
+	t.Logf("fleet of %d machines survived %d injected faults over %d operations",
+		len(results), total.Total(), total.Ops)
+}

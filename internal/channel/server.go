@@ -1,0 +1,93 @@
+package channel
+
+import (
+	"bytes"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+)
+
+// Server serves a channel directory over HTTP — the publisher side of
+// the section 8 proposal at fleet scale. Routes:
+//
+//	GET /channel.json      the manifest (with its self-digest)
+//	GET /updates/<file>    a tarball by manifest file name
+//	GET /blob/<sha256>     the same tarball content-addressed by digest
+//
+// Tarball responses support Range requests, so a subscriber whose
+// download was cut short resumes from the last good byte instead of
+// refetching the whole update. The manifest is re-read per request, so a
+// publisher appending to the directory is picked up immediately, and only
+// files the manifest names are ever served (no path traversal).
+type Server struct {
+	Dir string
+}
+
+// NewServer serves the channel directory dir.
+func NewServer(dir string) *Server {
+	return &Server{Dir: dir}
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	switch {
+	case r.URL.Path == "/"+manifestName || r.URL.Path == "/":
+		s.serveManifest(w, r)
+	case strings.HasPrefix(r.URL.Path, "/updates/"):
+		s.serveUpdate(w, r, strings.TrimPrefix(r.URL.Path, "/updates/"), "")
+	case strings.HasPrefix(r.URL.Path, "/blob/"):
+		s.serveUpdate(w, r, "", strings.TrimPrefix(r.URL.Path, "/blob/"))
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+func (s *Server) serveManifest(w http.ResponseWriter, r *http.Request) {
+	b, err := os.ReadFile(filepath.Join(s.Dir, manifestName))
+	if err != nil {
+		http.Error(w, "channel has no manifest", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	http.ServeContent(w, r, manifestName, time.Time{}, bytes.NewReader(b))
+}
+
+// serveUpdate serves one tarball addressed by manifest file name or by
+// content digest. The lookup goes through the manifest, never straight to
+// the filesystem.
+func (s *Server) serveUpdate(w http.ResponseWriter, r *http.Request, file, digest string) {
+	m, err := ReadManifest(s.Dir)
+	if err != nil {
+		http.Error(w, "channel has no manifest", http.StatusNotFound)
+		return
+	}
+	var entry *Entry
+	for i := range m.Updates {
+		e := &m.Updates[i]
+		if (file != "" && e.File == file) || (digest != "" && e.Sha256 == digest) {
+			entry = e
+			break
+		}
+	}
+	if entry == nil {
+		http.NotFound(w, r)
+		return
+	}
+	b, err := os.ReadFile(filepath.Join(s.Dir, filepath.Base(entry.File)))
+	if err != nil {
+		http.Error(w, "tarball missing from channel", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-tar")
+	if entry.Sha256 != "" {
+		w.Header().Set("ETag", `"`+entry.Sha256+`"`)
+	}
+	// bytes.Reader gives ServeContent a size and a Seek, which is what
+	// enables Range resume on the client side.
+	http.ServeContent(w, r, entry.File, time.Time{}, bytes.NewReader(b))
+}

@@ -1,0 +1,150 @@
+package channel
+
+import (
+	"errors"
+	"fmt"
+
+	"gosplice/internal/core"
+)
+
+// SubscribeOptions tunes Subscribe. The zero value is usable.
+type SubscribeOptions struct {
+	// Apply is passed through to core.Manager.Apply for every update, so
+	// a busy machine can raise MaxAttempts or stretch RetryDelay instead
+	// of inheriting hard-coded defaults.
+	Apply core.ApplyOptions
+	// FetchRetries bounds how many times one entry is re-fetched after
+	// an integrity failure — a digest or size mismatch, or a tarball
+	// that fails to parse (default 2, i.e. up to 3 fetches). Transport
+	// implementations retry transport-level failures internally; this
+	// guards the end-to-end check above them.
+	FetchRetries int
+	// OnApplied, when non-nil, is called after each update applies with
+	// its manifest entry and verified tarball bytes — the hook a
+	// subscriber uses to persist local copies for later replay.
+	OnApplied func(e Entry, b []byte) error
+}
+
+// PositionError reports a subscription that stopped before the channel
+// head — the channel became unreachable, an entry stayed corrupt through
+// every refetch, or an apply failed. The machine remains consistent:
+// exactly Position updates are applied (the original position plus
+// everything this call managed), no update is partially applied, and a
+// later Subscribe from Position resumes where this one stopped.
+type PositionError struct {
+	// Position is the machine's channel position after the partial
+	// subscribe.
+	Position int
+	// Entry names the update that could not be fetched or applied
+	// ("" when the manifest itself was unavailable).
+	Entry string
+	Err   error
+}
+
+func (e *PositionError) Error() string {
+	what := "manifest"
+	if e.Entry != "" {
+		what = e.Entry
+	}
+	return fmt.Sprintf("channel: stopped at position %d (%s): %v", e.Position, what, e.Err)
+}
+
+func (e *PositionError) Unwrap() error { return e.Err }
+
+// Subscribe applies every channel update the machine does not yet have,
+// in order, through mgr. applied is how many of the channel's updates the
+// machine already runs (its channel position). It returns the updates
+// applied this call.
+//
+// Every tarball is verified against its manifest digest and size before
+// it is parsed; corrupt bytes are re-fetched up to opts.FetchRetries
+// times and are never handed to Apply. If the channel becomes unreachable
+// or an entry stays bad, Subscribe degrades gracefully: the machine keeps
+// running at the position it reached, and the returned *PositionError
+// reports how far that is.
+func Subscribe(t Transport, mgr *core.Manager, applied int, opts SubscribeOptions) ([]*core.Update, error) {
+	if opts.FetchRetries <= 0 {
+		opts.FetchRetries = 2
+	}
+	m, err := t.Manifest()
+	if err != nil {
+		return nil, &PositionError{Position: applied, Err: err}
+	}
+	if m.KernelVersion != mgr.K.Version {
+		return nil, fmt.Errorf("channel: serves %q, machine runs %q", m.KernelVersion, mgr.K.Version)
+	}
+	if applied > len(m.Updates) {
+		return nil, fmt.Errorf("channel: machine claims %d updates, channel has %d", applied, len(m.Updates))
+	}
+	var out []*core.Update
+	pos := func() int { return applied + len(out) }
+	for _, e := range m.Updates[applied:] {
+		u, b, err := fetchVerified(t, e, opts.FetchRetries)
+		if err != nil {
+			return out, &PositionError{Position: pos(), Entry: e.Name, Err: err}
+		}
+		if _, err := mgr.Apply(u, opts.Apply); err != nil {
+			return out, &PositionError{Position: pos(), Entry: e.Name, Err: fmt.Errorf("applying: %w", err)}
+		}
+		out = append(out, u)
+		if opts.OnApplied != nil {
+			if err := opts.OnApplied(e, b); err != nil {
+				return out, &PositionError{Position: pos(), Entry: e.Name, Err: fmt.Errorf("on-applied hook: %w", err)}
+			}
+		}
+	}
+	return out, nil
+}
+
+// fetchVerified fetches one entry and verifies it end to end, re-fetching
+// on integrity failures. Transport errors are not retried here (the
+// transport already did); they surface immediately.
+func fetchVerified(t Transport, e Entry, retries int) (*core.Update, []byte, error) {
+	var lastErr error
+	for attempt := 0; attempt <= retries; attempt++ {
+		b, err := t.Fetch(e)
+		if err != nil {
+			return nil, nil, err
+		}
+		u, err := decodeVerified(b, e)
+		if err == nil {
+			return u, b, nil
+		}
+		// Digest mismatch or unparseable bytes: the transport delivered
+		// garbage. Fetch again; never interpret or apply what we have.
+		lastErr = err
+	}
+	return nil, nil, fmt.Errorf("corrupt after %d fetches: %w", retries+1, lastErr)
+}
+
+// decodeVerified turns fetched bytes into an update, enforcing the
+// manifest's digest and size. Entries published before digests existed
+// (empty Sha256) parse unverified.
+func decodeVerified(b []byte, e Entry) (*core.Update, error) {
+	if e.Sha256 == "" {
+		return core.ReadTarVerified(b, firstDigest(b), int64(len(b)))
+	}
+	return core.ReadTarVerified(b, e.Sha256, e.Size)
+}
+
+// firstDigest computes the digest of b itself — the degenerate check for
+// legacy entries that published none.
+func firstDigest(b []byte) string {
+	d, _ := core.TarDigest(b)
+	return d
+}
+
+// SubscribeDir is Subscribe over a local channel directory.
+func SubscribeDir(dir string, mgr *core.Manager, applied int, opts SubscribeOptions) ([]*core.Update, error) {
+	return Subscribe(NewDirTransport(dir), mgr, applied, opts)
+}
+
+// IsPosition reports whether err is a graceful partial-subscribe stop and
+// returns it when so.
+func IsPosition(err error) (*PositionError, bool) {
+	var pe *PositionError
+	if errors.As(err, &pe) {
+		return pe, true
+	}
+	return nil, false
+}

@@ -1,0 +1,237 @@
+package channel
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Transport fetches a channel's manifest and tarballs. Implementations
+// deliver raw bytes and may retry internally, but they make no integrity
+// promise — Subscribe verifies every tarball against its manifest entry
+// before the bytes are interpreted, so a Transport (or the network under
+// it) can be arbitrarily faulty without a corrupt update ever reaching
+// Apply.
+type Transport interface {
+	// Manifest fetches and decodes the channel manifest.
+	Manifest() (*Manifest, error)
+	// Fetch returns the raw tarball bytes for one manifest entry.
+	Fetch(e Entry) ([]byte, error)
+}
+
+// --- Local directory transport ---
+
+type dirTransport struct {
+	dir string
+}
+
+// NewDirTransport serves a channel straight from a local directory — the
+// degenerate transport a publisher-side machine uses.
+func NewDirTransport(dir string) Transport {
+	return &dirTransport{dir: dir}
+}
+
+func (t *dirTransport) Manifest() (*Manifest, error) {
+	return ReadManifest(t.dir)
+}
+
+func (t *dirTransport) Fetch(e Entry) ([]byte, error) {
+	return os.ReadFile(filepath.Join(t.dir, filepath.Base(e.File)))
+}
+
+// --- HTTP transport ---
+
+// HTTPOptions tunes NewHTTPTransport. The zero value is usable.
+type HTTPOptions struct {
+	// Timeout bounds each individual HTTP request (default 10s). A
+	// subscribe over many updates issues many requests; none of them may
+	// hang forever.
+	Timeout time.Duration
+	// MaxRetries bounds how many times one logical fetch is re-attempted
+	// after a transport error, a 5xx, or a truncated body (default 4).
+	MaxRetries int
+	// Backoff is the base delay before the first retry; it doubles per
+	// attempt, with up to 50% random jitter so a fleet of subscribers
+	// does not retry in lockstep (default 100ms).
+	Backoff time.Duration
+	// Seed makes the jitter deterministic for tests; 0 seeds from the
+	// current time.
+	Seed int64
+	// Client overrides the underlying *http.Client (its Timeout is
+	// ignored in favour of per-request contexts).
+	Client *http.Client
+}
+
+type httpTransport struct {
+	base   string
+	client *http.Client
+	opt    HTTPOptions
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewHTTPTransport subscribes to a channel served by Server at baseURL
+// (e.g. "http://updates.example.com/"). Every request carries a timeout;
+// failures are retried with exponential backoff and jitter; a truncated
+// tarball body is resumed from the byte where it broke off via a Range
+// request rather than refetched whole.
+func NewHTTPTransport(baseURL string, o HTTPOptions) Transport {
+	if o.Timeout <= 0 {
+		o.Timeout = 10 * time.Second
+	}
+	if o.MaxRetries <= 0 {
+		o.MaxRetries = 4
+	}
+	if o.Backoff <= 0 {
+		o.Backoff = 100 * time.Millisecond
+	}
+	seed := o.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	client := o.Client
+	if client == nil {
+		client = &http.Client{}
+	}
+	return &httpTransport{
+		base:   strings.TrimSuffix(baseURL, "/"),
+		client: client,
+		opt:    o,
+		rng:    rand.New(rand.NewSource(seed)),
+	}
+}
+
+// backoff sleeps before retry attempt (0-based), exponentially with
+// jitter.
+func (t *httpTransport) backoff(attempt int) {
+	d := t.opt.Backoff << uint(attempt)
+	t.mu.Lock()
+	jitter := time.Duration(t.rng.Int63n(int64(d)/2 + 1))
+	t.mu.Unlock()
+	time.Sleep(d + jitter)
+}
+
+// get issues one bounded GET. A Range header is added when offset > 0.
+// It returns the response with its body unread; the caller must close it.
+func (t *httpTransport) get(path string, offset int64) (*http.Response, context.CancelFunc, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), t.opt.Timeout)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, t.base+path, nil)
+	if err != nil {
+		cancel()
+		return nil, nil, err
+	}
+	if offset > 0 {
+		req.Header.Set("Range", fmt.Sprintf("bytes=%d-", offset))
+	}
+	resp, err := t.client.Do(req)
+	if err != nil {
+		cancel()
+		return nil, nil, err
+	}
+	return resp, cancel, nil
+}
+
+// retriableStatus reports server-side conditions worth retrying; 4xx
+// responses are permanent (the URL is simply wrong).
+func retriableStatus(code int) bool {
+	return code >= 500 || code == http.StatusTooManyRequests
+}
+
+func (t *httpTransport) Manifest() (*Manifest, error) {
+	var lastErr error
+	for attempt := 0; attempt <= t.opt.MaxRetries; attempt++ {
+		if attempt > 0 {
+			t.backoff(attempt - 1)
+		}
+		resp, cancel, err := t.get("/"+manifestName, 0)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		b, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		cancel()
+		switch {
+		case resp.StatusCode != http.StatusOK:
+			lastErr = fmt.Errorf("channel: manifest: server returned %s", resp.Status)
+			if !retriableStatus(resp.StatusCode) {
+				return nil, lastErr
+			}
+		case err != nil:
+			lastErr = fmt.Errorf("channel: manifest: reading body: %w", err)
+		default:
+			m, err := DecodeManifest(b)
+			if err != nil {
+				// Truncated or corrupted in flight; the self-digest or the
+				// JSON decoder caught it. Retry.
+				lastErr = err
+				continue
+			}
+			return m, nil
+		}
+	}
+	return nil, fmt.Errorf("channel: manifest unavailable after %d attempts: %w", t.opt.MaxRetries+1, lastErr)
+}
+
+// Fetch downloads one tarball, resuming from the last good byte when the
+// body is cut short. It returns the accumulated bytes unverified —
+// Subscribe owns the digest check.
+func (t *httpTransport) Fetch(e Entry) ([]byte, error) {
+	path := "/updates/" + e.File
+	var (
+		buf     []byte
+		lastErr error
+	)
+	for attempt := 0; attempt <= t.opt.MaxRetries; attempt++ {
+		if attempt > 0 {
+			t.backoff(attempt - 1)
+		}
+		offset := int64(len(buf))
+		resp, cancel, err := t.get(path, offset)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		switch {
+		case offset > 0 && resp.StatusCode == http.StatusPartialContent:
+			// Resuming where the last body broke off.
+		case resp.StatusCode == http.StatusOK:
+			// Full body (or the server ignored our Range): start over.
+			buf = buf[:0]
+		default:
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			cancel()
+			lastErr = fmt.Errorf("channel: %s: server returned %s", e.File, resp.Status)
+			if !retriableStatus(resp.StatusCode) {
+				return nil, lastErr
+			}
+			continue
+		}
+		b, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		cancel()
+		buf = append(buf, b...)
+		if err != nil {
+			// Truncated body: keep what arrived and resume from there.
+			lastErr = fmt.Errorf("channel: %s: body truncated at byte %d: %w", e.File, len(buf), err)
+			continue
+		}
+		if e.Size > 0 && int64(len(buf)) < e.Size {
+			// The connection closed cleanly but early (proxy cut, fault
+			// injection): same resume path.
+			lastErr = fmt.Errorf("channel: %s: got %d of %d bytes", e.File, len(buf), e.Size)
+			continue
+		}
+		return buf, nil
+	}
+	return nil, fmt.Errorf("channel: %s unavailable after %d attempts: %w", e.File, t.opt.MaxRetries+1, lastErr)
+}

@@ -3,6 +3,8 @@ package core
 import (
 	"archive/tar"
 	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -95,6 +97,56 @@ func (u *Update) WriteTar(w io.Writer) error {
 		}
 	}
 	return tw.Close()
+}
+
+// EncodeTar serializes the update and returns the tarball bytes together
+// with their hex sha256 digest and size — the integrity identity a
+// distribution channel publishes alongside the tarball. WriteTar is
+// deterministic, so the digest is stable for a given update.
+func (u *Update) EncodeTar() (b []byte, digest string, size int64, err error) {
+	var buf bytes.Buffer
+	if err := u.WriteTar(&buf); err != nil {
+		return nil, "", 0, err
+	}
+	digest, size = TarDigest(buf.Bytes())
+	return buf.Bytes(), digest, size, nil
+}
+
+// TarDigest returns the hex sha256 digest and size of tarball bytes.
+func TarDigest(b []byte) (string, int64) {
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), int64(len(b))
+}
+
+// IntegrityError reports tarball bytes that do not match their published
+// digest or size — a truncated download, a flipped bit, a corrupt file.
+// Callers that fetched the bytes over an unreliable path should treat it
+// as retriable; the bytes must never reach Apply.
+type IntegrityError struct {
+	WantDigest, GotDigest string
+	WantSize, GotSize     int64
+}
+
+func (e *IntegrityError) Error() string {
+	if e.WantSize != e.GotSize {
+		return fmt.Sprintf("core: tarball is %d bytes, expected %d", e.GotSize, e.WantSize)
+	}
+	return fmt.Sprintf("core: tarball digest %.12s…, expected %.12s…", e.GotDigest, e.WantDigest)
+}
+
+// ReadTarVerified checks b against its published digest and size before
+// parsing — the end-to-end integrity gate between a distribution channel
+// and Apply. A mismatch returns an *IntegrityError and the bytes are
+// never interpreted.
+func ReadTarVerified(b []byte, digest string, size int64) (*Update, error) {
+	gotDigest, gotSize := TarDigest(b)
+	if gotSize != size || gotDigest != digest {
+		return nil, &IntegrityError{
+			WantDigest: digest, GotDigest: gotDigest,
+			WantSize: size, GotSize: gotSize,
+		}
+	}
+	return ReadTar(bytes.NewReader(b))
 }
 
 // ReadTar deserializes an update tarball and validates it.

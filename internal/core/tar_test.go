@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
 )
@@ -79,4 +80,55 @@ func TestReadTarErrors(t *testing.T) {
 	if _, err := ReadTar(strings.NewReader("")); err == nil {
 		t.Error("empty input accepted")
 	}
+}
+
+// TestTarDigestVerification: the EncodeTar digest identifies the exact
+// bytes, and ReadTarVerified refuses anything that diverges from it —
+// truncation, bit flips, wrong size — with a typed IntegrityError, before
+// the bytes are ever parsed.
+func TestTarDigestVerification(t *testing.T) {
+	tree := testTree()
+	u, err := CreateUpdate(tree, setuidPatch, CreateOptions{Name: "ksplice-digest"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, digest, size, err := u.EncodeTar()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(b)) != size {
+		t.Fatalf("size %d, bytes %d", size, len(b))
+	}
+	if d, n := TarDigest(b); d != digest || n != size {
+		t.Fatalf("TarDigest disagrees with EncodeTar: %s/%d vs %s/%d", d, n, digest, size)
+	}
+
+	// Clean bytes verify and parse.
+	got, err := ReadTarVerified(b, digest, size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != u.Name {
+		t.Errorf("round trip name %q", got.Name)
+	}
+
+	var ie *IntegrityError
+	// Truncated download.
+	if _, err := ReadTarVerified(b[:len(b)-7], digest, size); !errorsAs(err, &ie) {
+		t.Errorf("truncation: err = %v, want IntegrityError", err)
+	}
+	// Flipped bit, size intact.
+	flipped := append([]byte(nil), b...)
+	flipped[len(flipped)/2] ^= 0x20
+	if _, err := ReadTarVerified(flipped, digest, size); !errorsAs(err, &ie) {
+		t.Errorf("bit flip: err = %v, want IntegrityError", err)
+	}
+	// Wrong expected size.
+	if _, err := ReadTarVerified(b, digest, size+1); !errorsAs(err, &ie) {
+		t.Errorf("size mismatch: err = %v, want IntegrityError", err)
+	}
+}
+
+func errorsAs(err error, target *(*IntegrityError)) bool {
+	return errors.As(err, target)
 }

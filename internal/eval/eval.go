@@ -189,6 +189,11 @@ type Options struct {
 	// KeepApplied leaves each update applied instead of undoing it (the
 	// "eliminate all reboots" stacking mode). Undo checks are skipped.
 	KeepApplied bool
+	// Apply is threaded through to core.Manager.Apply and Undo for every
+	// patch, so a run can tune quiescence retries (MaxAttempts,
+	// RetryDelay) instead of inheriting the hard-coded defaults. The
+	// zero value keeps them.
+	Apply core.ApplyOptions
 	// Workers bounds how many patches are evaluated concurrently. Zero
 	// or negative means runtime.NumCPU(). Stacking mode (KeepApplied) is
 	// order-dependent — run-pre matching binds against the previous
@@ -519,7 +524,7 @@ func evalOne(k *kernel.Kernel, mgr *core.Manager, tree *srctree.Tree, c *cvedb.C
 
 	// 3. ksplice-apply.
 	t0 = time.Now()
-	a, err := mgr.Apply(u, core.ApplyOptions{})
+	a, err := mgr.Apply(u, opts.Apply)
 	pr.Timings.Apply = time.Since(t0)
 	if err != nil {
 		return fail("apply: %v", err)
@@ -573,7 +578,7 @@ func evalOne(k *kernel.Kernel, mgr *core.Manager, tree *srctree.Tree, c *cvedb.C
 		return pr
 	}
 	t0 = time.Now()
-	err = mgr.Undo(core.ApplyOptions{})
+	err = mgr.Undo(opts.Apply)
 	pr.Timings.Undo = time.Since(t0)
 	if err != nil {
 		return fail("undo: %v", err)

@@ -110,12 +110,15 @@ func (st *State) Tree() (*srctree.Tree, error) {
 	return tree, nil
 }
 
-// Replay boots the machine and re-applies its updates, returning the
-// running kernel and its Ksplice manager. The boot goes through the
-// artifact store's cached build and link paths, so with a disk-backed
-// store (srctree.SetStore) a replay in a fresh process reuses the
-// compiled units and linked image an earlier tool run left behind.
-func (st *State) Replay() (*kernel.Kernel, *core.Manager, error) {
+// Replay boots the machine and re-applies its updates under apply,
+// returning the running kernel and its Ksplice manager. Callers thread
+// their own core.ApplyOptions through so a busy machine can tune
+// MaxAttempts/RetryDelay; the zero value keeps the defaults. The boot
+// goes through the artifact store's cached build and link paths, so with
+// a disk-backed store (srctree.SetStore) a replay in a fresh process
+// reuses the compiled units and linked image an earlier tool run left
+// behind.
+func (st *State) Replay(apply core.ApplyOptions) (*kernel.Kernel, *core.Manager, error) {
 	br, err := srctree.BuildCached(cvedb.Tree(st.Version), codegen.KernelBuild())
 	if err != nil {
 		return nil, nil, err
@@ -134,7 +137,7 @@ func (st *State) Replay() (*kernel.Kernel, *core.Manager, error) {
 		if err != nil {
 			return nil, nil, err
 		}
-		if _, err := mgr.Apply(u, core.ApplyOptions{}); err != nil {
+		if _, err := mgr.Apply(u, apply); err != nil {
 			return nil, nil, fmt.Errorf("simstate: replaying %s: %w", p, err)
 		}
 	}

@@ -83,8 +83,9 @@ func TestReplayLifecycle(t *testing.T) {
 	}
 	f.Close()
 
-	// ksplice-apply: replay then apply, persist.
-	k, mgr, err := st.Replay()
+	// ksplice-apply: replay then apply, persist. Non-default ApplyOptions
+	// thread through the replay untouched.
+	k, mgr, err := st.Replay(core.ApplyOptions{MaxAttempts: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,7 +103,7 @@ func TestReplayLifecycle(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	k2, mgr2, err := st2.Replay()
+	k2, mgr2, err := st2.Replay(core.ApplyOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -8,9 +8,13 @@
 //	<dir>/objects/ab/cdef...
 //
 // where ab/cdef... splits the hex key git-style. Disk entries are written
-// atomically (temp file + rename) and carry a checksum of the payload; a
-// truncated, bit-flipped, or otherwise unreadable entry is treated as a
-// miss — the artifact is recomputed, never served corrupt.
+// atomically (temp file + rename), flate-compressed when that shrinks
+// them (a format byte keeps old raw caches readable), and carry a
+// checksum of the stored body; a truncated, bit-flipped, or otherwise
+// unreadable entry is treated as a miss — the artifact is recomputed,
+// never served corrupt. GC sweeps the disk tier down to a byte budget,
+// oldest entries first, without ever evicting an entry the sweeping
+// process has itself read.
 //
 // Because keys are pure content hashes of the inputs (unit source plus
 // include closure plus codegen options; tree hash plus link base), the
@@ -25,15 +29,21 @@
 package store
 
 import (
+	"bytes"
+	"compress/flate"
 	"container/list"
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
 	"fmt"
+	"io"
 	"io/fs"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
 	"sync"
+	"time"
 )
 
 // DefaultMaxBytes is the in-memory tier's cap when Options.MaxBytes is
@@ -89,6 +99,13 @@ type Options struct {
 	MaxBytes int64
 	// Dir roots the on-disk tier; empty disables it.
 	Dir string
+	// ReadFault, when set, intercepts every disk-tier entry's raw bytes
+	// as they come off disk — the fault-injection hook (a
+	// faultinject.Plan's Apply fits it directly). It may corrupt,
+	// truncate, or fail the read; whatever it does, the store's
+	// verification demotes the entry to a miss rather than serving bad
+	// bytes.
+	ReadFault func(b []byte) ([]byte, error)
 }
 
 // Stats is a snapshot of store activity. The counters are monotonic;
@@ -123,8 +140,9 @@ type call struct {
 // Store is a two-tier content-addressed artifact cache. The zero value is
 // not usable; construct with New.
 type Store struct {
-	maxBytes int64
-	dir      string // "" = memory-only
+	maxBytes  int64
+	dir       string // "" = memory-only
+	readFault func(b []byte) ([]byte, error)
 
 	mu       sync.Mutex
 	items    map[string]*list.Element // key -> element holding *entry
@@ -132,6 +150,10 @@ type Store struct {
 	curBytes int64
 	inflight map[string]*call
 	stats    Stats
+	// touched records disk-tier keys this process read or wrote; GC
+	// never evicts them, so a sweep cannot pull an entry out from under
+	// the run that is using it.
+	touched map[string]bool
 }
 
 // New creates a store. When Options.Dir is set, the objects directory is
@@ -142,11 +164,13 @@ func New(o Options) (*Store, error) {
 		o.MaxBytes = DefaultMaxBytes
 	}
 	s := &Store{
-		maxBytes: o.MaxBytes,
-		dir:      o.Dir,
-		items:    map[string]*list.Element{},
-		lru:      list.New(),
-		inflight: map[string]*call{},
+		maxBytes:  o.MaxBytes,
+		dir:       o.Dir,
+		readFault: o.ReadFault,
+		items:     map[string]*list.Element{},
+		lru:       list.New(),
+		inflight:  map[string]*call{},
+		touched:   map[string]bool{},
 	}
 	if s.dir != "" {
 		if err := os.MkdirAll(filepath.Join(s.dir, "objects"), 0o755); err != nil {
@@ -297,38 +321,112 @@ func (s *Store) DiskUsage() (entries int, bytes int64) {
 
 // --- Disk tier ---
 //
-// Entry layout: 4-byte magic, sha256 of the payload, payload. The key is
-// a hash of the artifact's *inputs*, so it cannot authenticate the stored
-// bytes; the embedded payload digest does. Verification failures of any
-// sort (short file, flipped bit, bad magic) count as DiskErrors and fall
-// back to recomputation; the broken file is removed so it is rewritten.
+// Entry layout: 4-byte magic, a sha256, then the body. Two generations
+// coexist:
+//
+//	GSC1  sha256 is over the raw payload, which follows directly.
+//	GSC2  sha256 is over everything after the header: one format byte
+//	      (0 = raw, 1 = flate) then the possibly-compressed payload.
+//
+// New entries are written as GSC2 — SOF bytes are highly redundant, so
+// the flate layer shrinks the on-disk footprint several-fold — while
+// GSC1 entries from older caches stay readable in place. The key is a
+// hash of the artifact's *inputs*, so it cannot authenticate the stored
+// bytes; the embedded digest does. Verification failures of any sort
+// (short file, flipped bit, bad magic, undecompressible body) count as
+// DiskErrors and fall back to recomputation; the broken file is removed
+// so it is rewritten.
 
-var diskMagic = [4]byte{'G', 'S', 'C', '1'}
+var (
+	diskMagic  = [4]byte{'G', 'S', 'C', '1'}
+	diskMagic2 = [4]byte{'G', 'S', 'C', '2'}
+)
 
-const diskHeaderLen = 4 + sha256.Size
+const (
+	diskHeaderLen = 4 + sha256.Size
+
+	formatRaw   byte = 0
+	formatFlate byte = 1
+)
 
 func (s *Store) objectPath(key string) string {
 	return filepath.Join(s.dir, "objects", key[:2], key[2:])
 }
 
 func (s *Store) readDisk(key string) ([]byte, bool) {
-	b, err := os.ReadFile(s.objectPath(key))
+	path := s.objectPath(key)
+	b, err := os.ReadFile(path)
 	if err != nil {
 		if !os.IsNotExist(err) {
 			s.countDiskError()
 		}
 		return nil, false
 	}
-	if len(b) < diskHeaderLen || [4]byte(b[:4]) != diskMagic {
+	if s.readFault != nil {
+		if b, err = s.readFault(b); err != nil {
+			s.countDiskError()
+			return nil, false
+		}
+	}
+	if len(b) < diskHeaderLen {
 		s.dropDisk(key)
 		return nil, false
 	}
-	payload := b[diskHeaderLen:]
-	if sha256.Sum256(payload) != [sha256.Size]byte(b[4:diskHeaderLen]) {
+	sum := [sha256.Size]byte(b[4:diskHeaderLen])
+	body := b[diskHeaderLen:]
+	var payload []byte
+	switch [4]byte(b[:4]) {
+	case diskMagic: // legacy: raw payload, digest over it
+		if sha256.Sum256(body) != sum {
+			s.dropDisk(key)
+			return nil, false
+		}
+		payload = body
+	case diskMagic2: // format byte + body, digest over both
+		if len(body) < 1 || sha256.Sum256(body) != sum {
+			s.dropDisk(key)
+			return nil, false
+		}
+		switch body[0] {
+		case formatRaw:
+			payload = body[1:]
+		case formatFlate:
+			payload, err = inflate(body[1:])
+			if err != nil {
+				s.dropDisk(key)
+				return nil, false
+			}
+		default:
+			s.dropDisk(key)
+			return nil, false
+		}
+	default:
 		s.dropDisk(key)
 		return nil, false
 	}
+	s.touch(key, path)
 	return payload, true
+}
+
+// touch protects a disk entry from the GC sweep for the rest of this
+// process and (best effort) refreshes its mtime so age-based sweeps by
+// other processes see it as recently used.
+func (s *Store) touch(key, path string) {
+	s.mu.Lock()
+	s.touched[key] = true
+	s.mu.Unlock()
+	now := time.Now()
+	os.Chtimes(path, now, now)
+}
+
+// inflate decompresses a flate-framed disk body.
+func inflate(b []byte) ([]byte, error) {
+	r := flate.NewReader(bytes.NewReader(b))
+	out, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	return out, r.Close()
 }
 
 // dropDisk removes a corrupt entry (so a fresh artifact replaces it) and
@@ -344,10 +442,10 @@ func (s *Store) countDiskError() {
 	s.mu.Unlock()
 }
 
-// writeDisk persists a freshly filled artifact: encode, checksum, write
-// to a temp file in the final directory, rename into place. Failures are
-// counted but not returned — the store degrades to memory-only behaviour
-// rather than failing the build.
+// writeDisk persists a freshly filled artifact: encode, compress when
+// that shrinks it, checksum, write to a temp file in the final directory,
+// rename into place. Failures are counted but not returned — the store
+// degrades to memory-only behaviour rather than failing the build.
 func (s *Store) writeDisk(key string, v any, k Kind) {
 	if s.dir == "" || !k.diskable() {
 		return
@@ -362,11 +460,15 @@ func (s *Store) writeDisk(key string, v any, k Kind) {
 		s.countDiskError()
 		return
 	}
-	sum := sha256.Sum256(payload)
-	buf := make([]byte, 0, diskHeaderLen+len(payload))
-	buf = append(buf, diskMagic[:]...)
+	body := append([]byte{formatRaw}, payload...)
+	if comp, ok := deflate(payload); ok {
+		body = append([]byte{formatFlate}, comp...)
+	}
+	sum := sha256.Sum256(body)
+	buf := make([]byte, 0, diskHeaderLen+len(body))
+	buf = append(buf, diskMagic2[:]...)
 	buf = append(buf, sum[:]...)
-	buf = append(buf, payload...)
+	buf = append(buf, body...)
 	tmp, err := os.CreateTemp(dir, ".tmp-*")
 	if err != nil {
 		s.countDiskError()
@@ -390,6 +492,114 @@ func (s *Store) writeDisk(key string, v any, k Kind) {
 	}
 	s.mu.Lock()
 	s.stats.DiskWrites++
-	s.stats.DiskWriteBytes += uint64(len(payload))
+	s.stats.DiskWriteBytes += uint64(len(body))
+	s.touched[key] = true
 	s.mu.Unlock()
+}
+
+// deflate compresses b with flate, reporting false when compression does
+// not pay for itself.
+func deflate(b []byte) ([]byte, bool) {
+	var buf bytes.Buffer
+	w, err := flate.NewWriter(&buf, flate.BestSpeed)
+	if err != nil {
+		return nil, false
+	}
+	if _, err := w.Write(b); err != nil {
+		return nil, false
+	}
+	if err := w.Close(); err != nil {
+		return nil, false
+	}
+	if buf.Len() >= len(b) {
+		return nil, false
+	}
+	return buf.Bytes(), true
+}
+
+// --- Disk-tier garbage collection ---
+
+// GCResult summarizes one disk-tier sweep.
+type GCResult struct {
+	Scanned      int   // entries examined
+	ScannedBytes int64 // their total on-disk size
+	Removed      int   // entries deleted
+	FreedBytes   int64 // bytes those deletions reclaimed
+}
+
+// GC sweeps the disk tier down to maxBytes, deleting the oldest entries
+// (by modification time, which reads refresh) first — age- and size-based
+// eviction for long-lived shared cache directories, which otherwise grow
+// without bound. Entries this store has read or written since it opened
+// are never evicted, so a sweep running concurrently with cache traffic
+// cannot delete an entry out from under its reader; at worst a racing
+// reader refetches on its next use. Stray temp files from crashed writers
+// are cleaned up when more than an hour old. maxBytes <= 0 sweeps
+// everything unprotected.
+func (s *Store) GC(maxBytes int64) (GCResult, error) {
+	var res GCResult
+	if s.dir == "" {
+		return res, nil
+	}
+	type victim struct {
+		key, path string
+		size      int64
+		mtime     time.Time
+	}
+	var victims []victim
+	root := filepath.Join(s.dir, "objects")
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return nil
+		}
+		info, err := d.Info()
+		if err != nil {
+			return nil
+		}
+		if strings.HasPrefix(d.Name(), ".tmp-") {
+			if time.Since(info.ModTime()) > time.Hour {
+				os.Remove(path)
+			}
+			return nil
+		}
+		victims = append(victims, victim{
+			key:   filepath.Base(filepath.Dir(path)) + d.Name(),
+			path:  path,
+			size:  info.Size(),
+			mtime: info.ModTime(),
+		})
+		res.Scanned++
+		res.ScannedBytes += info.Size()
+		return nil
+	})
+	if err != nil {
+		return res, fmt.Errorf("store: gc: %w", err)
+	}
+	sort.Slice(victims, func(i, j int) bool {
+		if !victims[i].mtime.Equal(victims[j].mtime) {
+			return victims[i].mtime.Before(victims[j].mtime)
+		}
+		return victims[i].key < victims[j].key // deterministic tie-break
+	})
+	total := res.ScannedBytes
+	for _, v := range victims {
+		if total <= maxBytes {
+			break
+		}
+		// Re-check protection immediately before each removal: an entry
+		// read while the sweep runs is spared.
+		s.mu.Lock()
+		protected := s.touched[v.key]
+		s.mu.Unlock()
+		if protected {
+			continue
+		}
+		if err := os.Remove(v.path); err != nil {
+			continue
+		}
+		total -= v.size
+		res.Removed++
+		res.FreedBytes += v.size
+	}
+	return res, nil
 }

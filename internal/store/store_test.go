@@ -2,6 +2,7 @@ package store
 
 import (
 	"bytes"
+	"crypto/sha256"
 	"encoding/binary"
 	"fmt"
 	"os"
@@ -9,6 +10,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 // blobKind stores []byte values verbatim — the simplest round-trippable
@@ -442,5 +444,253 @@ func TestObjectLayout(t *testing.T) {
 	want := filepath.Join(dir, "objects", key[:2], key[2:])
 	if _, err := os.Stat(want); err != nil {
 		t.Errorf("entry not at %s: %v", want, err)
+	}
+}
+
+// TestDiskEntriesAreCompressed: redundant payloads land on disk as GSC2
+// flate entries smaller than the raw artifact, and round-trip
+// byte-identically.
+func TestDiskEntriesAreCompressed(t *testing.T) {
+	dir := t.TempDir()
+	s, err := New(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Highly redundant payload, like SOF bytes.
+	want := make([]byte, 4+8192)
+	binary.LittleEndian.PutUint32(want, 8192)
+	copy(want[4:], bytes.Repeat([]byte("section .text mov add ret "), 316))
+	var calls atomic.Int64
+	key := Key("comp")
+	if _, _, err := s.GetOrFill(key, blobKind, fillWith(want, &calls)); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(s.objectPath(key))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if [4]byte(raw[:4]) != diskMagic2 {
+		t.Fatalf("new entry has magic %q, want GSC2", raw[:4])
+	}
+	if raw[diskHeaderLen] != formatFlate {
+		t.Errorf("redundant payload stored with format %d, want flate", raw[diskHeaderLen])
+	}
+	if len(raw) >= len(want) {
+		t.Errorf("on-disk entry %d bytes >= raw payload %d: compression bought nothing", len(raw), len(want))
+	}
+	// Warm restart reads back the identical bytes.
+	s2, err := New(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, src, err := s2.GetOrFill(key, blobKind, fillWith(want, &calls))
+	if err != nil || src != Disk {
+		t.Fatalf("warm get: src=%v err=%v", src, err)
+	}
+	if !bytes.Equal(v.([]byte), want) {
+		t.Error("compressed round trip is not byte-identical")
+	}
+	if calls.Load() != 1 {
+		t.Errorf("fill ran %d times, want 1", calls.Load())
+	}
+}
+
+// TestLegacyRawEntriesStayReadable: a GSC1 entry written by an older
+// build (digest over the raw payload, no format byte) is still a disk
+// hit.
+func TestLegacyRawEntriesStayReadable(t *testing.T) {
+	dir := t.TempDir()
+	s, err := New(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := blob(8, 300)
+	key := Key("legacy")
+	sum := sha256.Sum256(want)
+	raw := append(append(append([]byte(nil), diskMagic[:]...), sum[:]...), want...)
+	path := s.objectPath(key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var calls atomic.Int64
+	v, src, err := s.GetOrFill(key, blobKind, fillWith(want, &calls))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src != Disk || calls.Load() != 0 {
+		t.Errorf("legacy entry: src=%v fills=%d, want a disk hit with no fill", src, calls.Load())
+	}
+	if !bytes.Equal(v.([]byte), want) {
+		t.Error("legacy entry round trip corrupted the value")
+	}
+}
+
+// TestGCSweepsOldestFirst: a sweep brings the disk tier under budget by
+// evicting the oldest entries, keeps newer ones, and cleans up stale
+// temp files.
+func TestGCSweepsOldestFirst(t *testing.T) {
+	dir := t.TempDir()
+	writer, err := New(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var calls atomic.Int64
+	var keys []string
+	for i := 0; i < 6; i++ {
+		key := Key(fmt.Sprint("gc", i))
+		keys = append(keys, key)
+		if _, _, err := writer.GetOrFill(key, blobKind, fillWith(blob(byte(i), 400), &calls)); err != nil {
+			t.Fatal(err)
+		}
+		// Stamp ascending ages: entry 0 is the oldest.
+		mt := time.Now().Add(time.Duration(i-10) * time.Hour)
+		if err := os.Chtimes(writer.objectPath(key), mt, mt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stale := filepath.Join(dir, "objects", "aa", ".tmp-stale")
+	os.MkdirAll(filepath.Dir(stale), 0o755)
+	os.WriteFile(stale, []byte("junk"), 0o644)
+	old := time.Now().Add(-2 * time.Hour)
+	os.Chtimes(stale, old, old)
+
+	// A fresh store (a separate process: nothing touched yet) sweeps down
+	// to roughly half the footprint.
+	sweeper, err := New(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, total := sweeper.DiskUsage()
+	res, err := sweeper.GC(total / 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Scanned != 6 || res.Removed == 0 {
+		t.Fatalf("gc = %+v, want 6 scanned and some removed", res)
+	}
+	if _, after := sweeper.DiskUsage(); after > total/2 {
+		t.Errorf("disk tier holds %d bytes after sweep, budget %d", after, total/2)
+	}
+	// Victims are the oldest prefix: if entry i survived, so did all
+	// younger entries.
+	gone := 0
+	for i, key := range keys {
+		_, err := os.Stat(sweeper.objectPath(key))
+		missing := os.IsNotExist(err)
+		if missing {
+			gone++
+			if i != gone-1 {
+				t.Errorf("entry %d evicted out of age order", i)
+			}
+		}
+	}
+	if gone != res.Removed {
+		t.Errorf("%d entries missing, gc reported %d removed", gone, res.Removed)
+	}
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Error("stale temp file survived the sweep")
+	}
+}
+
+// TestGCSparesTouchedEntries: an entry the sweeping store has read is
+// never evicted, no matter how old it looks — the sweep cannot pull an
+// artifact out from under the run using it.
+func TestGCSparesTouchedEntries(t *testing.T) {
+	dir := t.TempDir()
+	writer, err := New(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var calls atomic.Int64
+	oldKey, newKey := Key("old"), Key("new")
+	want := blob(9, 400)
+	for _, key := range []string{oldKey, newKey} {
+		if _, _, err := writer.GetOrFill(key, blobKind, fillWith(want, &calls)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ancient := time.Now().Add(-100 * time.Hour)
+	os.Chtimes(writer.objectPath(oldKey), ancient, ancient)
+
+	sweeper, err := New(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reading oldKey marks it touched (and refreshes its mtime); then a
+	// sweep to zero budget must spare it while evicting newKey.
+	if _, src, err := sweeper.GetOrFill(oldKey, blobKind, fillWith(want, &calls)); err != nil || src != Disk {
+		t.Fatalf("read before sweep: src=%v err=%v", src, err)
+	}
+	res, err := sweeper.GC(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(sweeper.objectPath(oldKey)); err != nil {
+		t.Error("sweep evicted an entry this store had read")
+	}
+	if _, err := os.Stat(sweeper.objectPath(newKey)); !os.IsNotExist(err) {
+		t.Error("sweep spared an untouched entry at zero budget")
+	}
+	if res.Removed != 1 {
+		t.Errorf("gc removed %d entries, want 1", res.Removed)
+	}
+}
+
+// TestGCConcurrentWithReads: sweeps racing cache traffic never produce a
+// wrong value or an error — at worst a refetch. This is the GC data-race
+// soak under make check's -race run.
+func TestGCConcurrentWithReads(t *testing.T) {
+	dir := t.TempDir()
+	s, err := New(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const keys = 6
+	vals := map[string][]byte{}
+	for i := 0; i < keys; i++ {
+		key := Key(fmt.Sprint("race", i))
+		vals[key] = blob(byte(i), 512)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, keys+1)
+	i := 0
+	for key, want := range vals {
+		wg.Add(1)
+		go func(w int, key string, want []byte) {
+			defer wg.Done()
+			for iter := 0; iter < 30; iter++ {
+				v, _, err := s.GetOrFill(key, blobKind, func() (any, error) {
+					return want, nil
+				})
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				if !bytes.Equal(v.([]byte), want) {
+					errs[w] = fmt.Errorf("key %d iter %d: wrong value", w, iter)
+					return
+				}
+			}
+		}(i, key, want)
+		i++
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for iter := 0; iter < 20; iter++ {
+			if _, err := s.GC(600); err != nil {
+				errs[keys] = err
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
 	}
 }
