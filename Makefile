@@ -9,18 +9,22 @@ test:
 	$(GO) test ./...
 
 # The strict gate: vet (including the incremental-build and benchjson
-# packages); the artifact-store, unit-cache, and parallel-build race
+# packages); the telemetry registry and tracer hammered under the race
+# detector; the artifact-store, unit-cache, and parallel-build race
 # tests plus both create determinism guards under the race detector;
 # the networked-channel chaos soak under the race detector (the whole
 # 64-CVE corpus served over faulty HTTP to a fleet of concurrent
-# subscribers, every fault class injected); the full test suite under
-# the race detector (the parallel evaluation pipeline is exercised
-# concurrently by TestConcurrentRunsAreIndependent); and a
-# cold-then-warm ksplice-create round trip through a shared -cache-dir
-# — the tarballs must be byte-identical and the warm process must
-# compile nothing.
+# subscribers, every fault class injected, with fleet-wide telemetry
+# conservation invariants); the full test suite under the race detector
+# (the parallel evaluation pipeline is exercised concurrently by
+# TestConcurrentRunsAreIndependent); a cold-then-warm ksplice-create
+# round trip through a shared -cache-dir — the tarballs must be
+# byte-identical and the warm process must compile nothing; and a live
+# observability smoke — a serving channel's /metrics scraped and its
+# exposition validated (store, channel, and eval families all present).
 check:
 	$(GO) vet ./...
+	$(GO) test -race ./internal/telemetry
 	$(GO) test -race -run 'UnitCache|CreateUpdateDeterministic|DiskWarmStart|EvictionUnderPressure|BuildParallel|Concurrent|Corrupt|GC' ./internal/srctree ./internal/core ./internal/store
 	$(GO) test -race -run 'ChaosSoak' ./internal/channel
 	$(GO) test -race ./...
@@ -31,14 +35,25 @@ check:
 	grep -q ' 0 compiled' $$tmp/warm.log && \
 	echo "check: cold/warm -cache-dir round trip OK (warm create compiled nothing)" && \
 	rm -rf $$tmp
+	@tmp=$$(mktemp -d); \
+	$(GO) build -o $$tmp/ksplice-channel ./cmd/ksplice-channel && \
+	$$tmp/ksplice-channel -publish -dir $$tmp/chan -version sim-2.6.16-deb >/dev/null && \
+	{ $$tmp/ksplice-channel -serve -dir $$tmp/chan -addr 127.0.0.1:0 -metrics-addr 127.0.0.1:0 >$$tmp/serve.log 2>&1 & echo $$! >$$tmp/pid; } && \
+	for i in $$(seq 1 50); do grep -q '^telemetry: serving ' $$tmp/serve.log && break; sleep 0.1; done; \
+	url=$$(sed -n 's#^telemetry: serving ##p' $$tmp/serve.log); \
+	if [ -n "$$url" ] && $$tmp/ksplice-channel -scrape "$$url"; then ok=1; else ok=0; cat $$tmp/serve.log; fi; \
+	kill $$(cat $$tmp/pid) 2>/dev/null; rm -rf $$tmp; \
+	[ $$ok -eq 1 ] && echo "check: live /metrics scrape on a serving channel OK"
 
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$'
 
 # Regenerate the perf trajectory record: the eval pipeline benchmarks
 # (cold vs incremental create, the full 64-CVE run with cache hit rates)
-# rendered as JSON. Commit BENCH_eval.json to track the trend across PRs.
+# rendered as JSON, with the bench process's telemetry snapshot embedded
+# so the record carries the counters behind the custom metrics. Commit
+# BENCH_eval.json to track the trend across PRs.
 bench-json:
-	$(GO) test -run '^$$' -bench 'BenchmarkEvalAll64|BenchmarkPrePostDiff|BenchmarkKernelBuild' -benchmem > BENCH_eval.txt
-	$(GO) run ./cmd/benchjson -in BENCH_eval.txt -out BENCH_eval.json
-	rm -f BENCH_eval.txt
+	GOSPLICE_TELEMETRY_OUT=$$(pwd)/BENCH_telemetry.json $(GO) test -run '^$$' -bench 'BenchmarkEvalAll64|BenchmarkPrePostDiff|BenchmarkKernelBuild' -benchmem > BENCH_eval.txt
+	$(GO) run ./cmd/benchjson -in BENCH_eval.txt -telemetry BENCH_telemetry.json -out BENCH_eval.json
+	rm -f BENCH_eval.txt BENCH_telemetry.json

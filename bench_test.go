@@ -14,6 +14,7 @@ package gosplice
 import (
 	"bytes"
 	"fmt"
+	"os"
 	"runtime"
 	"testing"
 	"time"
@@ -25,7 +26,32 @@ import (
 	"gosplice/internal/kernel"
 	"gosplice/internal/srctree"
 	"gosplice/internal/store"
+	"gosplice/internal/telemetry"
 )
+
+// TestMain exports the process-wide telemetry snapshot (every registry
+// GatherAll knows about, merged) to $GOSPLICE_TELEMETRY_OUT after the
+// benchmarks run; `make bench-json` feeds the file to benchjson so
+// BENCH_eval.json carries the counters behind the custom metrics.
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if path := os.Getenv("GOSPLICE_TELEMETRY_OUT"); path != "" {
+		f, err := os.Create(path)
+		if err == nil {
+			err = telemetry.WriteJSON(f, telemetry.GatherAll()...)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "telemetry out:", err)
+			if code == 0 {
+				code = 1
+			}
+		}
+	}
+	os.Exit(code)
+}
 
 // BenchmarkEvalAll64 regenerates the headline result (abstract, section
 // 6.3): all 64 significant vulnerabilities taken through the full

@@ -36,6 +36,11 @@ type benchFile struct {
 	Pkg        string      `json:"pkg,omitempty"`
 	CPU        string      `json:"cpu,omitempty"`
 	Benchmarks []benchLine `json:"benchmarks"`
+	// Telemetry is the benchmark process's merged metrics snapshot (the
+	// JSON the bench harness writes to $GOSPLICE_TELEMETRY_OUT), embedded
+	// verbatim via -telemetry so one record carries both the timings and
+	// the counters behind them.
+	Telemetry json.RawMessage `json:"telemetry,omitempty"`
 }
 
 func parse(r io.Reader) (*benchFile, error) {
@@ -112,6 +117,7 @@ func lastDash(s string) string {
 func main() {
 	in := flag.String("in", "", "benchmark log to read (default stdin)")
 	out := flag.String("out", "", "JSON file to write (default stdout)")
+	telem := flag.String("telemetry", "", "telemetry snapshot JSON to embed (as written to $GOSPLICE_TELEMETRY_OUT)")
 	flag.Parse()
 
 	var src io.Reader = os.Stdin
@@ -132,6 +138,18 @@ func main() {
 	if len(res.Benchmarks) == 0 {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found in input")
 		os.Exit(1)
+	}
+	if *telem != "" {
+		b, err := os.ReadFile(*telem)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		if !json.Valid(b) {
+			fmt.Fprintf(os.Stderr, "benchjson: %s is not valid JSON\n", *telem)
+			os.Exit(1)
+		}
+		res.Telemetry = json.RawMessage(b)
 	}
 	enc, err := json.MarshalIndent(res, "", "  ")
 	if err != nil {

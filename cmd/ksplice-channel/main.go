@@ -9,6 +9,11 @@
 //	ksplice-channel -serve -dir channel -addr :8940
 //	ksplice-channel -subscribe -dir channel -state machine.json
 //	ksplice-channel -subscribe -url http://updates.example:8940 -state machine.json
+//	ksplice-channel -scrape http://updates.example:8940/metrics
+//
+// A serving channel also exposes /metrics (Prometheus text) and
+// /debug/vars (JSON) for live introspection; -scrape fetches a running
+// server's exposition and validates it.
 //
 // Every tarball is published with its sha256 digest and size in the
 // manifest, and a subscriber verifies each download end to end before it
@@ -21,17 +26,22 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
+	"net"
 	"net/http"
 	"os"
 	"path/filepath"
+	"strings"
 	"time"
 
 	"gosplice/internal/channel"
 	"gosplice/internal/core"
 	"gosplice/internal/cvedb"
+	_ "gosplice/internal/eval" // expose the gosplice_eval_* families on /metrics
 	"gosplice/internal/simstate"
 	"gosplice/internal/srctree"
 	"gosplice/internal/store"
+	"gosplice/internal/telemetry"
 )
 
 func main() {
@@ -51,7 +61,21 @@ func main() {
 	cacheDir := flag.String("cache-dir", "", "persist build artifacts in this directory (shared across processes)")
 	cacheMax := flag.Int64("cache-max-bytes", store.DefaultMaxBytes, "in-memory artifact cache cap in bytes")
 	cacheGC := flag.Int64("cache-gc-bytes", 0, "sweep the on-disk artifact cache down to this many bytes before running (0 = no sweep)")
+	scrape := flag.String("scrape", "", "fetch this /metrics URL, validate the exposition, and summarise it")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /debug/vars on this extra address (host:0 picks a port); -serve exposes them on -addr regardless")
+	traceOut := flag.String("trace-out", "", "write recorded spans as a Chrome trace to this file on exit")
 	flag.Parse()
+
+	if bound, _, err := telemetry.ServeLoopback(*metricsAddr); err != nil {
+		fatal(err)
+	} else if bound != "" {
+		fmt.Fprintf(os.Stderr, "telemetry: serving http://%s/metrics\n", bound)
+	}
+	defer func() {
+		if err := telemetry.WriteChromeTraceFile(*traceOut, nil); err != nil {
+			fmt.Fprintln(os.Stderr, "ksplice-channel:", err)
+		}
+	}()
 
 	if *cacheDir != "" || *cacheMax != store.DefaultMaxBytes {
 		s, err := store.New(store.Options{Dir: *cacheDir, MaxBytes: *cacheMax})
@@ -74,8 +98,10 @@ func main() {
 		doServe(*dir, *addr)
 	case *subscribe:
 		doSubscribe(*dir, *url, *statePath, *timeout, *retries, apply)
+	case *scrape != "":
+		doScrape(*scrape, *timeout)
 	default:
-		fatal(fmt.Errorf("need -publish, -serve, or -subscribe"))
+		fatal(fmt.Errorf("need -publish, -serve, -subscribe, or -scrape"))
 	}
 }
 
@@ -116,10 +142,68 @@ func doServe(dir, addr string) {
 	if err != nil {
 		fatal(fmt.Errorf("cannot serve %s: %w", dir, err))
 	}
-	fmt.Printf("serving %s (%s, %d updates) on %s\n", dir, m.KernelVersion, len(m.Updates), addr)
-	if err := http.ListenAndServe(addr, channel.NewServer(dir)); err != nil {
+	// Listen before announcing, so :0 prints the port actually bound and
+	// a supervisor (or the make-check smoke test) can scrape immediately.
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
 		fatal(err)
 	}
+	fmt.Printf("serving %s (%s, %d updates) on %s\n", dir, m.KernelVersion, len(m.Updates), ln.Addr())
+	fmt.Printf("metrics on http://%s/metrics\n", ln.Addr())
+	if err := http.Serve(ln, channel.NewServer(dir)); err != nil {
+		fatal(err)
+	}
+}
+
+// doScrape fetches a serving channel's /metrics, validates the
+// exposition, and summarises the families it carries — the operator-side
+// check that a fleet's update server is observable.
+func doScrape(url string, timeout time.Duration) {
+	client := &http.Client{Timeout: timeout}
+	resp, err := client.Get(url)
+	if err != nil {
+		fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		fatal(fmt.Errorf("scrape %s: server returned %s", url, resp.Status))
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		fatal(err)
+	}
+	if err := telemetry.ValidateExposition(b); err != nil {
+		fatal(fmt.Errorf("scrape %s: invalid exposition: %w", url, err))
+	}
+	families := map[string]int{}
+	for _, line := range strings.Split(string(b), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name := line
+		if i := strings.IndexAny(line, "{ "); i >= 0 {
+			name = line[:i]
+		}
+		name = strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(name, "_bucket"), "_sum"), "_count")
+		families[name]++
+	}
+	var missing []string
+	for _, want := range []string{"gosplice_store_", "gosplice_channel_", "gosplice_eval_"} {
+		found := false
+		for name := range families {
+			if strings.HasPrefix(name, want) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			missing = append(missing, want+"*")
+		}
+	}
+	if len(missing) > 0 {
+		fatal(fmt.Errorf("scrape %s: exposition lacks %s", url, strings.Join(missing, ", ")))
+	}
+	fmt.Printf("scraped %s: valid exposition, %d families (store, channel, and eval all present)\n", url, len(families))
 }
 
 func doSubscribe(dir, url, statePath string, timeout time.Duration, retries int, apply core.ApplyOptions) {

@@ -31,6 +31,7 @@ import (
 	"gosplice/internal/simstate"
 	"gosplice/internal/srctree"
 	"gosplice/internal/store"
+	"gosplice/internal/telemetry"
 )
 
 func main() {
@@ -43,7 +44,20 @@ func main() {
 	cacheMax := flag.Int64("cache-max-bytes", store.DefaultMaxBytes, "in-memory artifact cache cap in bytes")
 	cacheStats := flag.Bool("cache-stats", false, "print artifact cache counters to stderr on exit")
 	cacheGC := flag.Int64("cache-gc-bytes", 0, "sweep the on-disk artifact cache down to this many bytes before running (0 = no sweep)")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /debug/vars on this address while running (host:0 picks a port)")
+	traceOut := flag.String("trace-out", "", "write recorded spans as a Chrome trace to this file on exit")
 	flag.Parse()
+
+	if bound, _, err := telemetry.ServeLoopback(*metricsAddr); err != nil {
+		fatal(err)
+	} else if bound != "" {
+		fmt.Fprintf(os.Stderr, "telemetry: serving http://%s/metrics\n", bound)
+	}
+	defer func() {
+		if err := telemetry.WriteChromeTraceFile(*traceOut, nil); err != nil {
+			fmt.Fprintln(os.Stderr, "ksplice-create:", err)
+		}
+	}()
 
 	if *cacheDir != "" || *cacheMax != store.DefaultMaxBytes {
 		s, err := store.New(store.Options{Dir: *cacheDir, MaxBytes: *cacheMax})

@@ -24,7 +24,12 @@ import (
 
 	"gosplice/internal/eval"
 	"gosplice/internal/store"
+	"gosplice/internal/telemetry"
 )
+
+// flushTrace exports -trace-out; fatal exit paths call it so a failed
+// run still leaves its trace behind.
+var flushTrace = func() {}
 
 func main() {
 	all := flag.Bool("all", false, "print every table and figure")
@@ -38,13 +43,26 @@ func main() {
 	cacheDir := flag.String("cache-dir", "", "persist build artifacts in this directory (shared across processes)")
 	cacheMax := flag.Int64("cache-max-bytes", store.DefaultMaxBytes, "in-memory artifact cache cap in bytes")
 	cacheGC := flag.Int64("cache-gc-bytes", 0, "sweep the on-disk artifact cache down to this many bytes before running (0 = no sweep)")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /debug/vars on this address while running (host:0 picks a port)")
+	traceOut := flag.String("trace-out", "", "write the run's spans as a Chrome trace (chrome://tracing) to this file on exit")
 	flag.Parse()
 
 	if !*all && *table == "" && *figure == 0 {
 		*all = true
 	}
+	if bound, _, err := telemetry.ServeLoopback(*metricsAddr); err != nil {
+		fmt.Fprintln(os.Stderr, "ksplice-eval:", err)
+		os.Exit(1)
+	} else if bound != "" {
+		fmt.Fprintf(os.Stderr, "telemetry: serving http://%s/metrics\n", bound)
+	}
+	flushTrace = func() {
+		if err := telemetry.WriteChromeTraceFile(*traceOut, nil); err != nil {
+			fmt.Fprintln(os.Stderr, "ksplice-eval:", err)
+		}
+	}
 
-	opts := eval.Options{StressRounds: *stress, KeepApplied: *stacked, Workers: *jobs}
+	opts := eval.Options{StressRounds: *stress, KeepApplied: *stacked, Workers: *jobs, Verbose: *verbose}
 	if *cacheDir != "" || *cacheMax != store.DefaultMaxBytes {
 		s, err := store.New(store.Options{Dir: *cacheDir, MaxBytes: *cacheMax})
 		if err != nil {
@@ -71,6 +89,7 @@ func main() {
 
 	res, err := eval.Run(opts)
 	if err != nil {
+		flushTrace()
 		fmt.Fprintln(os.Stderr, "ksplice-eval:", err)
 		os.Exit(1)
 	}
@@ -99,6 +118,7 @@ func main() {
 		os.Exit(2)
 	}
 
+	flushTrace()
 	failed := 0
 	for _, p := range res.Patches {
 		if !p.OK() {

@@ -12,14 +12,28 @@ import (
 
 	"gosplice/internal/core"
 	"gosplice/internal/simstate"
+	"gosplice/internal/telemetry"
 )
 
 func main() {
 	statePath := flag.String("state", "machine.json", "machine state file")
 	applyAttempts := flag.Int("apply-attempts", 0, "quiescence attempts (0 = default)")
 	applyDelay := flag.Duration("apply-retry-delay", 0, "delay between quiescence attempts (0 = default)")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /debug/vars on this address while running (host:0 picks a port)")
+	traceOut := flag.String("trace-out", "", "write recorded spans as a Chrome trace to this file on exit")
 	flag.Parse()
 	apply := core.ApplyOptions{MaxAttempts: *applyAttempts, RetryDelay: *applyDelay}
+
+	if bound, _, err := telemetry.ServeLoopback(*metricsAddr); err != nil {
+		fatal(err)
+	} else if bound != "" {
+		fmt.Fprintf(os.Stderr, "telemetry: serving http://%s/metrics\n", bound)
+	}
+	defer func() {
+		if err := telemetry.WriteChromeTraceFile(*traceOut, nil); err != nil {
+			fmt.Fprintln(os.Stderr, "ksplice-undo:", err)
+		}
+	}()
 
 	st, err := simstate.Load(*statePath)
 	if err != nil {

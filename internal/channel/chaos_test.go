@@ -22,6 +22,7 @@ import (
 	"gosplice/internal/cvedb"
 	"gosplice/internal/faultinject"
 	"gosplice/internal/kernel"
+	"gosplice/internal/telemetry"
 )
 
 // chaosProbe runs one CVE probe; it returns errors rather than failing
@@ -79,10 +80,12 @@ func TestChaosSoakHTTPFleet(t *testing.T) {
 		errmsg string
 	}
 	const membersPerRelease = 2
+	before := telemetry.Default().Snapshot()
 	var (
-		wg      sync.WaitGroup
-		mu      sync.Mutex
-		results []memberResult
+		wg              sync.WaitGroup
+		mu              sync.Mutex
+		results         []memberResult
+		expectedApplied uint64
 	)
 	for ri, version := range cvedb.Versions {
 		cves := cvedb.ForVersion(version)
@@ -113,6 +116,7 @@ func TestChaosSoakHTTPFleet(t *testing.T) {
 		}
 
 		for mi := 0; mi < membersPerRelease; mi++ {
+			expectedApplied += uint64(len(cves))
 			wg.Add(1)
 			go func(ri, mi int, version, dir string, cves []*cvedb.CVE) {
 				defer wg.Done()
@@ -259,6 +263,45 @@ func TestChaosSoakHTTPFleet(t *testing.T) {
 			t.Errorf("fleet soak never injected a %v fault", k)
 		}
 	}
-	t.Logf("fleet of %d machines survived %d injected faults over %d operations",
-		len(results), total.Total(), total.Ops)
+
+	// Telemetry invariants, as deltas over the process-wide registry.
+	// Every corruption that reaches a subscriber is caught by the
+	// integrity check exactly once, so refetches are bounded by the
+	// corrupting fault classes actually fired; retries and Range resumes
+	// must both have happened for the soak to have proven anything; and
+	// applies are conserved — every member ends at its channel head, so
+	// the fleet-wide applied counter moves by exactly the sum of channel
+	// lengths.
+	after := telemetry.Default().Snapshot()
+	delta := func(id string) uint64 { return after.Counter(id) - before.Counter(id) }
+	refetches := delta("gosplice_channel_integrity_refetches_total")
+	corruptions := uint64(total.Injected(faultinject.FlipBit) + total.Injected(faultinject.Truncate))
+	if refetches == 0 {
+		t.Errorf("telemetry: no integrity refetches recorded, but corrupting faults fired")
+	}
+	if refetches > corruptions {
+		t.Errorf("telemetry: %d integrity refetches exceed the %d corrupting faults fired", refetches, corruptions)
+	}
+	if delta("gosplice_channel_client_retries_total") == 0 {
+		t.Errorf("telemetry: no transport retries recorded despite injected errors")
+	}
+	if delta("gosplice_channel_client_resumes_total") == 0 {
+		t.Errorf("telemetry: no Range resumes recorded despite truncated bodies")
+	}
+	if got := delta("gosplice_channel_updates_applied_total"); got != expectedApplied {
+		t.Errorf("telemetry: applied counter moved %d, fleet applied %d updates", got, expectedApplied)
+	}
+	if delta("gosplice_channel_subscribe_degraded_total") < uint64(len(cvedb.Versions)) {
+		t.Errorf("telemetry: fewer graceful degradations than hostile-client members")
+	}
+	reqDelta := after.CounterFamily("gosplice_channel_requests_total") - before.CounterFamily("gosplice_channel_requests_total")
+	if reqDelta == 0 {
+		t.Errorf("telemetry: server request counters never moved")
+	}
+	if d := after.Counter(`gosplice_channel_requests_total{code="206",route="update"}`) -
+		before.Counter(`gosplice_channel_requests_total{code="206",route="update"}`); d == 0 {
+		t.Errorf("telemetry: no 206 responses counted despite Range resumes")
+	}
+	t.Logf("fleet of %d machines survived %d injected faults over %d operations (%d refetches, %d server requests)",
+		len(results), total.Total(), total.Ops, refetches, reqDelta)
 }

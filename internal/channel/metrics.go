@@ -1,0 +1,75 @@
+package channel
+
+import (
+	"strconv"
+
+	"gosplice/internal/telemetry"
+)
+
+// Channel telemetry, on the process-wide registry. Server-side families
+// count requests per route and status (206 = a Range resume served, 304
+// = an ETag revalidation) and time request handling; client-side
+// families count the transport's retry/backoff/resume behaviour and the
+// subscriber's end-to-end integrity enforcement. Everything here is
+// what the chaos soak asserts its invariants over.
+
+var (
+	cRequests = func() func(route string, code int) *telemetry.Counter {
+		d := telemetry.Default()
+		d.Help("gosplice_channel_requests_total", "server requests by route and HTTP status")
+		// Pre-create the taxonomy's steady-state children so a fresh
+		// server scrapes non-empty families.
+		for _, route := range []string{"manifest", "update", "blob"} {
+			d.Counter("gosplice_channel_requests_total",
+				telemetry.L("route", route), telemetry.L("code", "200"))
+		}
+		return func(route string, code int) *telemetry.Counter {
+			return d.Counter("gosplice_channel_requests_total",
+				telemetry.L("route", route), telemetry.L("code", strconv.Itoa(code)))
+		}
+	}()
+
+	hRequest = func() func(route string) *telemetry.Histogram {
+		d := telemetry.Default()
+		d.Help("gosplice_channel_request_seconds", "server request handling latency by route")
+		return func(route string) *telemetry.Histogram {
+			return d.Histogram("gosplice_channel_request_seconds", nil, telemetry.L("route", route))
+		}
+	}()
+
+	cClientRetries = func() *telemetry.Counter {
+		telemetry.Default().Help("gosplice_channel_client_retries_total",
+			"transport-level retries (one backoff sleep each)")
+		return telemetry.Default().Counter("gosplice_channel_client_retries_total")
+	}()
+
+	hClientBackoff = func() *telemetry.Histogram {
+		telemetry.Default().Help("gosplice_channel_client_backoff_seconds",
+			"time spent sleeping between retry attempts")
+		return telemetry.Default().Histogram("gosplice_channel_client_backoff_seconds", nil)
+	}()
+
+	cClientResumes = func() *telemetry.Counter {
+		telemetry.Default().Help("gosplice_channel_client_resumes_total",
+			"fetches resumed mid-body via a Range request (206 served)")
+		return telemetry.Default().Counter("gosplice_channel_client_resumes_total")
+	}()
+
+	cIntegrityRefetches = func() *telemetry.Counter {
+		telemetry.Default().Help("gosplice_channel_integrity_refetches_total",
+			"tarballs that failed the end-to-end digest/size/parse check and were refetched")
+		return telemetry.Default().Counter("gosplice_channel_integrity_refetches_total")
+	}()
+
+	cUpdatesApplied = func() *telemetry.Counter {
+		telemetry.Default().Help("gosplice_channel_updates_applied_total",
+			"channel updates verified and applied by subscribers in this process")
+		return telemetry.Default().Counter("gosplice_channel_updates_applied_total")
+	}()
+
+	cSubscribeDegraded = func() *telemetry.Counter {
+		telemetry.Default().Help("gosplice_channel_subscribe_degraded_total",
+			"subscribes that stopped before the channel head (PositionError)")
+		return telemetry.Default().Counter("gosplice_channel_subscribe_degraded_total")
+	}()
+)

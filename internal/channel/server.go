@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"strings"
 	"time"
+
+	"gosplice/internal/telemetry"
 )
 
 // Server serves a channel directory over HTTP — the publisher side of
@@ -15,12 +17,19 @@ import (
 //	GET /channel.json      the manifest (with its self-digest)
 //	GET /updates/<file>    a tarball by manifest file name
 //	GET /blob/<sha256>     the same tarball content-addressed by digest
+//	GET /metrics           Prometheus text exposition (live, process-wide)
+//	GET /debug/vars        JSON telemetry snapshot
 //
 // Tarball responses support Range requests, so a subscriber whose
 // download was cut short resumes from the last good byte instead of
 // refetching the whole update. The manifest is re-read per request, so a
 // publisher appending to the directory is picked up immediately, and only
 // files the manifest names are ever served (no path traversal).
+//
+// Every channel request counts into gosplice_channel_requests_total
+// (route x status, so Range resumes surface as 206s and ETag
+// revalidations as 304s) and times into
+// gosplice_channel_request_seconds.
 type Server struct {
 	Dir string
 }
@@ -31,20 +40,49 @@ func NewServer(dir string) *Server {
 }
 
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path == "/metrics" || strings.HasPrefix(r.URL.Path, "/debug/vars") {
+		// Introspection routes are served but never counted as channel
+		// traffic — a scraper polling /metrics must not move the request
+		// counters it is reading.
+		telemetry.HTTPHandler().ServeHTTP(w, r)
+		return
+	}
 	if r.Method != http.MethodGet && r.Method != http.MethodHead {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
 	}
+	var route string
+	start := time.Now()
+	sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
 	switch {
 	case r.URL.Path == "/"+manifestName || r.URL.Path == "/":
-		s.serveManifest(w, r)
+		route = "manifest"
+		s.serveManifest(sw, r)
 	case strings.HasPrefix(r.URL.Path, "/updates/"):
-		s.serveUpdate(w, r, strings.TrimPrefix(r.URL.Path, "/updates/"), "")
+		route = "update"
+		s.serveUpdate(sw, r, strings.TrimPrefix(r.URL.Path, "/updates/"), "")
 	case strings.HasPrefix(r.URL.Path, "/blob/"):
-		s.serveUpdate(w, r, "", strings.TrimPrefix(r.URL.Path, "/blob/"))
+		route = "blob"
+		s.serveUpdate(sw, r, "", strings.TrimPrefix(r.URL.Path, "/blob/"))
 	default:
-		http.NotFound(w, r)
+		route = "other"
+		http.NotFound(sw, r)
 	}
+	cRequests(route, sw.code).Inc()
+	hRequest(route).ObserveDuration(time.Since(start))
+}
+
+// statusWriter captures the status code actually sent, so the request
+// counter can distinguish full bodies (200) from Range resumes (206)
+// and ETag revalidations (304).
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
 }
 
 func (s *Server) serveManifest(w http.ResponseWriter, r *http.Request) {

@@ -68,6 +68,7 @@ func Subscribe(t Transport, mgr *core.Manager, applied int, opts SubscribeOption
 	}
 	m, err := t.Manifest()
 	if err != nil {
+		cSubscribeDegraded.Inc()
 		return nil, &PositionError{Position: applied, Err: err}
 	}
 	if m.KernelVersion != mgr.K.Version {
@@ -81,14 +82,18 @@ func Subscribe(t Transport, mgr *core.Manager, applied int, opts SubscribeOption
 	for _, e := range m.Updates[applied:] {
 		u, b, err := fetchVerified(t, e, opts.FetchRetries)
 		if err != nil {
+			cSubscribeDegraded.Inc()
 			return out, &PositionError{Position: pos(), Entry: e.Name, Err: err}
 		}
 		if _, err := mgr.Apply(u, opts.Apply); err != nil {
+			cSubscribeDegraded.Inc()
 			return out, &PositionError{Position: pos(), Entry: e.Name, Err: fmt.Errorf("applying: %w", err)}
 		}
+		cUpdatesApplied.Inc()
 		out = append(out, u)
 		if opts.OnApplied != nil {
 			if err := opts.OnApplied(e, b); err != nil {
+				cSubscribeDegraded.Inc()
 				return out, &PositionError{Position: pos(), Entry: e.Name, Err: fmt.Errorf("on-applied hook: %w", err)}
 			}
 		}
@@ -112,6 +117,7 @@ func fetchVerified(t Transport, e Entry, retries int) (*core.Update, []byte, err
 		}
 		// Digest mismatch or unparseable bytes: the transport delivered
 		// garbage. Fetch again; never interpret or apply what we have.
+		cIntegrityRefetches.Inc()
 		lastErr = err
 	}
 	return nil, nil, fmt.Errorf("corrupt after %d fetches: %w", retries+1, lastErr)

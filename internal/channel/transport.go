@@ -116,6 +116,8 @@ func (t *httpTransport) backoff(attempt int) {
 	t.mu.Lock()
 	jitter := time.Duration(t.rng.Int63n(int64(d)/2 + 1))
 	t.mu.Unlock()
+	cClientRetries.Inc()
+	hClientBackoff.ObserveDuration(d + jitter)
 	time.Sleep(d + jitter)
 }
 
@@ -203,6 +205,7 @@ func (t *httpTransport) Fetch(e Entry) ([]byte, error) {
 		switch {
 		case offset > 0 && resp.StatusCode == http.StatusPartialContent:
 			// Resuming where the last body broke off.
+			cClientResumes.Inc()
 		case resp.StatusCode == http.StatusOK:
 			// Full body (or the server ignored our Range): start over.
 			buf = buf[:0]

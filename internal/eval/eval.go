@@ -13,6 +13,7 @@ import (
 	"io"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gosplice/internal/codegen"
@@ -21,6 +22,7 @@ import (
 	"gosplice/internal/kernel"
 	"gosplice/internal/srctree"
 	"gosplice/internal/store"
+	"gosplice/internal/telemetry"
 )
 
 // StageTimings records wall-clock time spent in each pipeline stage.
@@ -210,6 +212,16 @@ type Options struct {
 	// Because the store is process-wide, concurrent Runs should either
 	// share one Store or leave this nil.
 	Store *store.Store
+	// Tracer receives the run's span tree: one root "patch" span per
+	// vulnerability with a child span per stage (clone, create, run_pre,
+	// apply, stress, undo), plus per-release "build" and "boot" spans.
+	// Nil means telemetry.DefaultTracer(), which the cmd tools' -trace-out
+	// flag exports on exit.
+	Tracer *telemetry.Tracer
+	// Verbose additionally streams one Log line per completed stage span
+	// (ksplice-eval -v's stage-progress feed). It has no effect when Log
+	// is nil.
+	Verbose bool
 }
 
 func (o *Options) logf(format string, args ...any) {
@@ -229,7 +241,7 @@ type bootEntry struct {
 	err         error
 }
 
-func (e *bootEntry) get(version string) (*kernel.Kernel, error) {
+func (e *bootEntry) get(tr *telemetry.Tracer, version string) (*kernel.Kernel, error) {
 	e.once.Do(func() {
 		t0 := time.Now()
 		tree := cvedb.Tree(version)
@@ -244,6 +256,8 @@ func (e *bootEntry) get(version string) (*kernel.Kernel, error) {
 			return
 		}
 		e.build = time.Since(t0)
+		tr.Record(nil, "build", t0, time.Now(), telemetry.A("version", version))
+		observeStage("build", e.build)
 		t0 = time.Now()
 		k, err := kernel.BootImage(br, im, 0)
 		if err != nil {
@@ -251,6 +265,8 @@ func (e *bootEntry) get(version string) (*kernel.Kernel, error) {
 			return
 		}
 		e.boot = time.Since(t0)
+		tr.Record(nil, "boot", t0, time.Now(), telemetry.A("version", version))
+		observeStage("boot", e.boot)
 		e.k = k
 	})
 	return e.k, e.err
@@ -269,6 +285,9 @@ func Run(opts Options) (*Result, error) {
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.NumCPU()
+	}
+	if opts.Tracer == nil {
+		opts.Tracer = telemetry.DefaultTracer()
 	}
 	if opts.Store != nil {
 		defer srctree.SetStore(srctree.SetStore(opts.Store))
@@ -320,6 +339,11 @@ func Run(opts Options) (*Result, error) {
 	}
 	var logMu sync.Mutex
 	logResult := func(j job, pr *PatchResult) {
+		if pr.OK() {
+			cPatchOK.Inc()
+		} else {
+			cPatchFail.Inc()
+		}
 		status := "ok"
 		if !pr.OK() {
 			status = "FAIL: " + pr.Err
@@ -328,6 +352,32 @@ func Run(opts Options) (*Result, error) {
 		opts.logf("%-14s %-18s loc=%-3d newcode=%-2d %s", j.c.ID, j.version, pr.PatchLoC, pr.NewCodeLines, status)
 		logMu.Unlock()
 	}
+	if opts.Verbose && opts.Log != nil {
+		// Stage-progress lines are fed by span events, not by extra
+		// instrumentation: every eval span carries a cve or version
+		// attribute, so the hook prints exactly the pipeline's stages.
+		opts.Tracer.SetOnEnd(func(rec telemetry.SpanRecord) {
+			who := rec.Attr("cve")
+			if who == "" {
+				who = rec.Attr("version")
+			}
+			if who == "" {
+				return
+			}
+			logMu.Lock()
+			opts.logf("  %-8s %-18s %10.3fms", rec.Name, who, float64(rec.Duration().Nanoseconds())/1e6)
+			logMu.Unlock()
+		})
+		defer opts.Tracer.SetOnEnd(nil)
+	}
+	// The queue-depth gauge counts jobs handed to the run and not yet
+	// finished; the deferred correction drains whatever an aborted run
+	// leaves behind so the gauge returns to its resting level.
+	var pending atomic.Int64
+	pending.Store(int64(len(jobs)))
+	gQueue.Add(int64(len(jobs)))
+	jobDone := func() { pending.Add(-1); gQueue.Add(-1) }
+	defer func() { gQueue.Add(-pending.Load()) }()
 
 	if opts.KeepApplied {
 		// Stacking mode: one kernel per release accumulates every fix,
@@ -335,20 +385,26 @@ func Run(opts Options) (*Result, error) {
 		kernels := map[string]*kernel.Kernel{}
 		mgrs := map[string]*core.Manager{}
 		for i, j := range jobs {
+			patch := opts.Tracer.Start("patch", telemetry.A("cve", j.c.ID), telemetry.A("version", j.version))
 			k := kernels[j.version]
 			if k == nil {
-				tmpl, err := boots[j.version].get(j.version)
+				tmpl, err := boots[j.version].get(opts.Tracer, j.version)
 				if err != nil {
 					return nil, err
 				}
+				cs := patch.Child("clone", telemetry.A("cve", j.c.ID))
 				k, err = tmpl.Clone()
+				cs.End()
 				if err != nil {
 					return nil, fmt.Errorf("eval: cloning %s kernel: %w", j.version, err)
 				}
+				observeStage("clone", cs.Duration())
 				kernels[j.version] = k
 				mgrs[j.version] = core.NewManager(k)
 			}
-			results[i] = evalOne(k, mgrs[j.version], cvedb.Tree(j.version), j.c, &opts)
+			results[i] = evalOne(k, mgrs[j.version], cvedb.Tree(j.version), j.c, &opts, patch)
+			patch.End()
+			jobDone()
 			logResult(j, &results[i])
 		}
 	} else {
@@ -359,22 +415,31 @@ func Run(opts Options) (*Result, error) {
 			go func() {
 				defer wg.Done()
 				for i := range jobCh {
-					if failed() {
-						continue
-					}
-					j := jobs[i]
-					tmpl, err := boots[j.version].get(j.version)
-					if err != nil {
-						setErr(err)
-						continue
-					}
-					k, err := tmpl.Clone()
-					if err != nil {
-						setErr(fmt.Errorf("eval: cloning %s kernel: %w", j.version, err))
-						continue
-					}
-					results[i] = evalOne(k, core.NewManager(k), cvedb.Tree(j.version), j.c, &opts)
-					logResult(j, &results[i])
+					func(i int) {
+						defer jobDone()
+						if failed() {
+							return
+						}
+						j := jobs[i]
+						tmpl, err := boots[j.version].get(opts.Tracer, j.version)
+						if err != nil {
+							setErr(err)
+							return
+						}
+						patch := opts.Tracer.Start("patch", telemetry.A("cve", j.c.ID), telemetry.A("version", j.version))
+						cs := patch.Child("clone", telemetry.A("cve", j.c.ID))
+						k, err := tmpl.Clone()
+						cs.End()
+						if err != nil {
+							patch.End()
+							setErr(fmt.Errorf("eval: cloning %s kernel: %w", j.version, err))
+							return
+						}
+						observeStage("clone", cs.Duration())
+						results[i] = evalOne(k, core.NewManager(k), cvedb.Tree(j.version), j.c, &opts, patch)
+						patch.End()
+						logResult(j, &results[i])
+					}(i)
 				}
 			}()
 		}
@@ -406,7 +471,7 @@ func Run(opts Options) (*Result, error) {
 	}
 	// The kallsyms census comes from the first evaluated release's
 	// template (which no patch ever touches).
-	if k, err := boots[jobs[0].version].get(jobs[0].version); err == nil {
+	if k, err := boots[jobs[0].version].get(opts.Tracer, jobs[0].version); err == nil {
 		res.Ambiguity = k.Syms.Ambiguity()
 	}
 	res.Cache = cacheSnapshot().sub(cache0)
@@ -473,7 +538,7 @@ func runExploit(k *kernel.Kernel, e *cvedb.Exploit) (int64, int, error) {
 	return code, uid, nil
 }
 
-func evalOne(k *kernel.Kernel, mgr *core.Manager, tree *srctree.Tree, c *cvedb.CVE, opts *Options) PatchResult {
+func evalOne(k *kernel.Kernel, mgr *core.Manager, tree *srctree.Tree, c *cvedb.CVE, opts *Options, patch *telemetry.Span) PatchResult {
 	pr := PatchResult{
 		ID: c.ID, Class: c.Class, Version: c.Version,
 		PatchLoC:     c.PatchLoC(),
@@ -515,24 +580,36 @@ func evalOne(k *kernel.Kernel, mgr *core.Manager, tree *srctree.Tree, c *cvedb.C
 
 	// 2. ksplice-create. The build cache is sound here: tree builds are
 	// deterministic, so every patch of a release shares one pre build.
-	t0 := time.Now()
+	// Each stage runs under a span; StageTimings reads the span
+	// durations, so the report table and the trace agree by construction.
+	sp := patch.Child("create", telemetry.A("cve", c.ID))
 	u, err := core.CreateUpdate(tree, c.Patch(), core.CreateOptions{Name: "ksplice-" + c.ID, BuildCache: true})
-	pr.Timings.Create = time.Since(t0)
+	sp.End()
+	pr.Timings.Create = sp.Duration()
+	observeStage("create", pr.Timings.Create)
 	if err != nil {
 		return fail("create: %v", err)
 	}
 
 	// 3. ksplice-apply.
-	t0 = time.Now()
+	t0 := time.Now()
+	sp = patch.Child("apply", telemetry.A("cve", c.ID))
 	a, err := mgr.Apply(u, opts.Apply)
-	pr.Timings.Apply = time.Since(t0)
+	sp.End()
 	if err != nil {
+		pr.Timings.Apply = sp.Duration()
+		observeStage("apply", pr.Timings.Apply)
 		return fail("apply: %v", err)
 	}
 	// Report run-pre matching separately from the rest of apply, so the
-	// stages stay disjoint and sum to the wall-clock total.
+	// stages stay disjoint and sum to the wall-clock total. The lower
+	// layer reports its duration rather than its interval, so the span is
+	// recorded pre-measured, nested under apply at apply's start.
+	opts.Tracer.Record(sp, "run_pre", t0, t0.Add(a.MatchDuration), telemetry.A("cve", c.ID))
 	pr.Timings.RunPre = a.MatchDuration
-	pr.Timings.Apply -= a.MatchDuration
+	pr.Timings.Apply = sp.Duration() - a.MatchDuration
+	observeStage("run_pre", pr.Timings.RunPre)
+	observeStage("apply", pr.Timings.Apply)
 	pr.Applied = true
 	pr.Attempts = a.Attempts
 	pr.Pause = a.Pause
@@ -561,9 +638,11 @@ func evalOne(k *kernel.Kernel, mgr *core.Manager, tree *srctree.Tree, c *cvedb.C
 	}
 
 	// 5. The kernel still works.
-	t0 = time.Now()
+	sp = patch.Child("stress", telemetry.A("cve", c.ID))
 	stress, err := k.Call("stress_main", int64(opts.StressRounds))
-	pr.Timings.Stress = time.Since(t0)
+	sp.End()
+	pr.Timings.Stress = sp.Duration()
+	observeStage("stress", pr.Timings.Stress)
 	if err != nil {
 		return fail("stress: %v", err)
 	}
@@ -577,9 +656,11 @@ func evalOne(k *kernel.Kernel, mgr *core.Manager, tree *srctree.Tree, c *cvedb.C
 		pr.UndoOK = true
 		return pr
 	}
-	t0 = time.Now()
+	sp = patch.Child("undo", telemetry.A("cve", c.ID))
 	err = mgr.Undo(opts.Apply)
-	pr.Timings.Undo = time.Since(t0)
+	sp.End()
+	pr.Timings.Undo = sp.Duration()
+	observeStage("undo", pr.Timings.Undo)
 	if err != nil {
 		return fail("undo: %v", err)
 	}

@@ -9,19 +9,23 @@ import (
 	"gosplice/internal/cvedb"
 	"gosplice/internal/kernel"
 	"gosplice/internal/obj"
+	"gosplice/internal/telemetry"
 )
 
 // The full run is shared across tests: it exercises all 64 updates once.
+// It records into its own tracer so the trace-coverage test can assert
+// over the span tree without other tests' spans mixed in.
 var (
-	fullOnce sync.Once
-	fullRes  *Result
-	fullErr  error
+	fullOnce   sync.Once
+	fullRes    *Result
+	fullErr    error
+	fullTracer = telemetry.NewTracer(0)
 )
 
 func fullRun(t *testing.T) *Result {
 	t.Helper()
 	fullOnce.Do(func() {
-		fullRes, fullErr = Run(Options{StressRounds: 30})
+		fullRes, fullErr = Run(Options{StressRounds: 30, Tracer: fullTracer})
 	})
 	if fullErr != nil {
 		t.Fatalf("eval run: %v", fullErr)

@@ -1,0 +1,44 @@
+package eval
+
+import (
+	"time"
+
+	"gosplice/internal/telemetry"
+)
+
+// Process-wide eval metrics, created at package init so any process that
+// links the evaluator (ksplice-eval, ksplice-channel, the benchmarks)
+// exposes the full gosplice_eval_* taxonomy from its first scrape, even
+// before a run starts.
+var (
+	cPatchOK   *telemetry.Counter
+	cPatchFail *telemetry.Counter
+	gQueue     *telemetry.Gauge
+	hStage     map[string]*telemetry.Histogram
+)
+
+// stageNames lists the pipeline stages in execution order; they label
+// both the gosplice_eval_stage_seconds histogram and the per-patch span
+// names (run_pre is recorded from apply's MatchDuration rather than
+// measured around a call).
+var stageNames = []string{"build", "boot", "clone", "create", "run_pre", "apply", "stress", "undo"}
+
+func init() {
+	r := telemetry.Default()
+	r.Help("gosplice_eval_patches_total", "Corpus vulnerabilities evaluated, by success-criteria outcome.")
+	r.Help("gosplice_eval_stage_seconds", "Wall-clock time spent per pipeline stage.")
+	r.Help("gosplice_eval_queue_depth", "Patches handed to the eval worker pool and not yet finished.")
+	cPatchOK = r.Counter("gosplice_eval_patches_total", telemetry.L("outcome", "ok"))
+	cPatchFail = r.Counter("gosplice_eval_patches_total", telemetry.L("outcome", "fail"))
+	gQueue = r.Gauge("gosplice_eval_queue_depth")
+	hStage = make(map[string]*telemetry.Histogram, len(stageNames))
+	for _, s := range stageNames {
+		hStage[s] = r.Histogram("gosplice_eval_stage_seconds", nil, telemetry.L("stage", s))
+	}
+}
+
+func observeStage(stage string, d time.Duration) {
+	if h := hStage[stage]; h != nil {
+		h.ObserveDuration(d)
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"gosplice/internal/channel"
+	"gosplice/internal/telemetry"
 )
 
 // Kind is a fault class.
@@ -61,7 +62,8 @@ type Fault struct {
 	Sleep  time.Duration // Delay
 }
 
-// Stats counts what a plan actually did.
+// Stats counts what a plan actually did. It is a thin view over the
+// plan's telemetry registry (see Plan.Metrics).
 type Stats struct {
 	// Ops is how many operations passed through the plan.
 	Ops int
@@ -85,15 +87,37 @@ func (s Stats) Total() int {
 // operations. It is safe for concurrent use; concurrent operations are
 // serialized onto the schedule in arrival order.
 type Plan struct {
-	mu    sync.Mutex
-	op    int
-	byOp  map[int][]Fault
-	stats Stats
+	mu   sync.Mutex
+	op   int
+	byOp map[int][]Fault
+
+	met    *telemetry.Registry
+	cOps   *telemetry.Counter
+	cFired [numKinds]*telemetry.Counter
 }
+
+// Process-wide mirrors: every plan's fired faults also count here, so a
+// fleet-level scrape (or the chaos soak) sees total injected faults
+// without enumerating plans.
+var defaultFired = func() [numKinds]*telemetry.Counter {
+	d := telemetry.Default()
+	d.Help("gosplice_faultinject_fired_total", "injected faults by class, summed across all plans")
+	var cs [numKinds]*telemetry.Counter
+	for k := Kind(0); k < numKinds; k++ {
+		cs[k] = d.Counter("gosplice_faultinject_fired_total", telemetry.L("kind", k.String()))
+	}
+	return cs
+}()
 
 // New builds a plan from explicit faults.
 func New(faults ...Fault) *Plan {
-	p := &Plan{byOp: map[int][]Fault{}}
+	p := &Plan{byOp: map[int][]Fault{}, met: telemetry.NewRegistry()}
+	p.met.Help("gosplice_faultinject_ops_total", "operations that passed through this plan")
+	p.met.Help("gosplice_faultinject_fired_total", "injected faults by class")
+	p.cOps = p.met.Counter("gosplice_faultinject_ops_total")
+	for k := Kind(0); k < numKinds; k++ {
+		p.cFired[k] = p.met.Counter("gosplice_faultinject_fired_total", telemetry.L("kind", k.String()))
+	}
 	for _, f := range faults {
 		p.byOp[f.Op] = append(p.byOp[f.Op], f)
 	}
@@ -138,7 +162,8 @@ func (p *Plan) Apply(b []byte) ([]byte, error) {
 	var sleep time.Duration
 	var failErr error
 	for _, f := range faults {
-		p.stats.Fired[f.Kind]++
+		p.cFired[f.Kind].Inc()
+		defaultFired[f.Kind].Inc()
 		switch f.Kind {
 		case Error:
 			failErr = fmt.Errorf("faultinject: planned error on op %d", p.op)
@@ -156,7 +181,7 @@ func (p *Plan) Apply(b []byte) ([]byte, error) {
 			sleep += f.Sleep
 		}
 	}
-	p.stats.Ops++
+	p.cOps.Inc()
 	p.mu.Unlock()
 	if sleep > 0 {
 		time.Sleep(sleep)
@@ -167,12 +192,18 @@ func (p *Plan) Apply(b []byte) ([]byte, error) {
 	return b, nil
 }
 
-// Stats snapshots the plan's activity.
+// Stats snapshots the plan's activity from its telemetry counters.
 func (p *Plan) Stats() Stats {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.stats
+	var s Stats
+	s.Ops = int(p.cOps.Value())
+	for k := Kind(0); k < numKinds; k++ {
+		s.Fired[k] = int(p.cFired[k].Value())
+	}
+	return s
 }
+
+// Metrics returns the plan's telemetry registry.
+func (p *Plan) Metrics() *telemetry.Registry { return p.met }
 
 // --- channel.Transport wrapper ---
 

@@ -23,6 +23,7 @@ import (
 	"gosplice/internal/isa"
 	"gosplice/internal/obj"
 	"gosplice/internal/srctree"
+	"gosplice/internal/telemetry"
 	"gosplice/internal/vm"
 )
 
@@ -144,10 +145,43 @@ type Kernel struct {
 	}
 	cpuWG sync.WaitGroup
 
-	// StopMachine statistics.
-	stopCalls  int
+	// StopMachine statistics. The call count and a pause histogram live
+	// on the kernel's telemetry registry (see Metrics); the exact pause
+	// durations are also retained under mu because StopMachineStats
+	// callers render full-precision pause tables.
+	met        *telemetry.Registry
+	cStops     *telemetry.Counter
+	hPause     *telemetry.Histogram
 	stopPauses []time.Duration
 }
+
+// Process-wide mirrors: every kernel instance's stop_machine activity
+// also counts here, so one scrape aggregates across the per-patch
+// kernels an evaluation boots.
+var (
+	defStops = func() *telemetry.Counter {
+		telemetry.Default().Help("gosplice_kernel_stop_machine_total",
+			"stop_machine invocations, summed across all kernel instances")
+		return telemetry.Default().Counter("gosplice_kernel_stop_machine_total")
+	}()
+	defPause = func() *telemetry.Histogram {
+		telemetry.Default().Help("gosplice_kernel_stop_machine_pause_seconds",
+			"stop_machine pause durations, summed across all kernel instances")
+		return telemetry.Default().Histogram("gosplice_kernel_stop_machine_pause_seconds", nil)
+	}()
+)
+
+// initMetrics gives a kernel its private telemetry registry.
+func (k *Kernel) initMetrics() {
+	k.met = telemetry.NewRegistry()
+	k.met.Help("gosplice_kernel_stop_machine_total", "stop_machine invocations")
+	k.met.Help("gosplice_kernel_stop_machine_pause_seconds", "stop_machine pause durations")
+	k.cStops = k.met.Counter("gosplice_kernel_stop_machine_total")
+	k.hPause = k.met.Histogram("gosplice_kernel_stop_machine_pause_seconds", nil)
+}
+
+// Metrics returns the kernel's telemetry registry.
+func (k *Kernel) Metrics() *telemetry.Registry { return k.met }
 
 // Config configures Boot.
 type Config struct {
@@ -207,6 +241,7 @@ func BootImage(br *srctree.BuildResult, im *obj.Image, memSize int) (*Kernel, er
 		stackCur: uint32(memSize),
 		bootedAt: time.Now(),
 	}
+	k.initMetrics()
 	k.stop.cond = sync.NewCond(&k.stop.mu)
 	k.M.LowGuard = LowGuard
 	copy(k.M.Mem[KernelBase:], im.Bytes)
@@ -272,6 +307,7 @@ func (k *Kernel) Clone() (*Kernel, error) {
 	}
 	n.console.Write(k.console.Bytes())
 	n.reports = append([]int64(nil), k.reports...)
+	n.initMetrics()
 	n.stop.cond = sync.NewCond(&n.stop.mu)
 	n.M.LowGuard = k.M.LowGuard
 	copy(n.M.Mem, k.M.Mem)

@@ -351,8 +351,11 @@ func (k *Kernel) StopMachine(fn func() error) error {
 	k.stop.cond.Broadcast()
 	k.stop.mu.Unlock()
 
+	k.cStops.Inc()
+	k.hPause.ObserveDuration(pause)
+	defStops.Inc()
+	defPause.ObserveDuration(pause)
 	k.mu.Lock()
-	k.stopCalls++
 	k.stopPauses = append(k.stopPauses, pause)
 	k.mu.Unlock()
 	return err
@@ -362,9 +365,10 @@ func (k *Kernel) StopMachine(fn func() error) error {
 // durations (the interval during which no thread could be scheduled —
 // the paper's ~0.7 ms).
 func (k *Kernel) StopMachineStats() (calls int, pauses []time.Duration) {
+	calls = int(k.cStops.Value())
 	k.mu.Lock()
 	defer k.mu.Unlock()
-	return k.stopCalls, append([]time.Duration(nil), k.stopPauses...)
+	return calls, append([]time.Duration(nil), k.stopPauses...)
 }
 
 // ReadMem copies size bytes at addr under the machine lock.

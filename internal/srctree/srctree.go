@@ -242,7 +242,7 @@ func BuildCached(t *Tree, opts codegen.Options) (*BuildResult, error) {
 	v, src, err := ActiveStore().GetOrFill(key, buildKind, func() (any, error) {
 		return Build(t, opts)
 	})
-	count(src, &buildHits, &buildHits, &buildMisses)
+	count(src, buildHits, buildHits, buildMisses)
 	if err != nil {
 		return nil, err
 	}
@@ -258,7 +258,7 @@ func LinkKernelCached(br *BuildResult, base uint32) (*obj.Image, error) {
 	v, src, err := ActiveStore().GetOrFill(key, imageKind, func() (any, error) {
 		return LinkKernel(br, base)
 	})
-	count(src, &linkHits, &linkDiskHits, &linkMisses)
+	count(src, linkHits, linkDiskHits, linkMisses)
 	if err != nil {
 		return nil, err
 	}

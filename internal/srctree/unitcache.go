@@ -10,6 +10,7 @@ import (
 	"gosplice/internal/codegen"
 	"gosplice/internal/obj"
 	"gosplice/internal/store"
+	"gosplice/internal/telemetry"
 )
 
 // The build artifact caches.
@@ -49,14 +50,33 @@ var (
 	// BuildCached/LinkKernelCached, so they need no gate.
 	unitCacheOn atomic.Bool
 
-	unitHits, unitDiskHits, unitMisses atomic.Uint64
-	buildHits, buildMisses             atomic.Uint64
-	linkHits, linkDiskHits, linkMisses atomic.Uint64
+	// Build cache outcome counters, one family per cache split by tier,
+	// on the process-wide telemetry registry.
+	unitHits     = buildCounter("unit", "mem")
+	unitDiskHits = buildCounter("unit", "disk")
+	unitMisses   = buildCounter("unit", "miss")
+	buildHits    = buildCounter("build", "mem")
+	buildMisses  = buildCounter("build", "miss")
+	linkHits     = buildCounter("link", "mem")
+	linkDiskHits = buildCounter("link", "disk")
+	linkMisses   = buildCounter("link", "miss")
 )
+
+func buildCounter(kind, tier string) *telemetry.Counter {
+	return telemetry.Default().Counter("gosplice_build_cache_total",
+		telemetry.L("kind", kind), telemetry.L("tier", tier))
+}
 
 func init() {
 	unitCacheOn.Store(true)
 	artifacts.Store(store.MustNew(store.Options{}))
+	telemetry.Default().Help("gosplice_build_cache_total",
+		"build cache outcomes by cache kind (unit, build, link) and serving tier (mem, disk, miss)")
+	// Fold the active artifact store's registry into process-wide
+	// scrapes, so /metrics and -metrics-addr see the store tiers live.
+	telemetry.RegisterGatherSource(func() []*telemetry.Registry {
+		return []*telemetry.Registry{ActiveStore().Metrics()}
+	})
 }
 
 // SetStore installs the artifact store behind every srctree cache and
@@ -95,22 +115,22 @@ type CacheCounters struct {
 // Counters returns the current cache activity snapshot.
 func Counters() CacheCounters {
 	return CacheCounters{
-		UnitHits: unitHits.Load(), UnitDiskHits: unitDiskHits.Load(), UnitMisses: unitMisses.Load(),
-		BuildHits: buildHits.Load(), BuildMisses: buildMisses.Load(),
-		LinkHits: linkHits.Load(), LinkDiskHits: linkDiskHits.Load(), LinkMisses: linkMisses.Load(),
+		UnitHits: unitHits.Value(), UnitDiskHits: unitDiskHits.Value(), UnitMisses: unitMisses.Value(),
+		BuildHits: buildHits.Value(), BuildMisses: buildMisses.Value(),
+		LinkHits: linkHits.Value(), LinkDiskHits: linkDiskHits.Value(), LinkMisses: linkMisses.Value(),
 		Store: ActiveStore().Stats(),
 	}
 }
 
 // count records one store outcome into a (mem, disk, miss) counter trio.
-func count(src store.Source, mem, disk, miss *atomic.Uint64) {
+func count(src store.Source, mem, disk, miss *telemetry.Counter) {
 	switch src {
 	case store.Mem:
-		mem.Add(1)
+		mem.Inc()
 	case store.Disk:
-		disk.Add(1)
+		disk.Inc()
 	default:
-		miss.Add(1)
+		miss.Inc()
 	}
 }
 
@@ -247,7 +267,7 @@ func compileUnit(t *Tree, path string, opts codegen.Options) (*obj.File, error) 
 	v, src, err := ActiveStore().GetOrFill(key, unitKind, func() (any, error) {
 		return buildUnit(t, path, opts)
 	})
-	count(src, &unitHits, &unitDiskHits, &unitMisses)
+	count(src, unitHits, unitDiskHits, unitMisses)
 	if err != nil {
 		return nil, err
 	}

@@ -44,6 +44,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"gosplice/internal/telemetry"
 )
 
 // DefaultMaxBytes is the in-memory tier's cap when Options.MaxBytes is
@@ -106,11 +108,19 @@ type Options struct {
 	// verification demotes the entry to a miss rather than serving bad
 	// bytes.
 	ReadFault func(b []byte) ([]byte, error)
+	// Metrics is the telemetry registry the store reports into; nil gives
+	// the store a private registry (reachable via Metrics()), so multiple
+	// stores in one process never mix their counters.
+	Metrics *telemetry.Registry
 }
 
 // Stats is a snapshot of store activity. The counters are monotonic;
 // callers diff two snapshots to attribute activity to a run. MemBytes and
 // MemEntries are gauges of the in-memory tier at snapshot time.
+//
+// Stats is a thin view over the store's telemetry registry (see
+// Metrics()); the registry is the source of truth and is what /metrics
+// scrapes expose live.
 type Stats struct {
 	MemHits  uint64 // served from memory (including joined in-flight fills)
 	DiskHits uint64 // deserialized from the disk tier
@@ -149,11 +159,28 @@ type Store struct {
 	lru      *list.List               // front = most recently used
 	curBytes int64
 	inflight map[string]*call
-	stats    Stats
 	// touched records disk-tier keys this process read or wrote; GC
 	// never evicts them, so a sweep cannot pull an entry out from under
 	// the run that is using it.
 	touched map[string]bool
+
+	// Telemetry. Counters are created eagerly in New so a scrape of a
+	// fresh store exposes the full family taxonomy at zero.
+	met             *telemetry.Registry
+	cMemHits        *telemetry.Counter
+	cDiskHits       *telemetry.Counter
+	cMisses         *telemetry.Counter
+	cJoins          *telemetry.Counter
+	cEvictions      *telemetry.Counter
+	cDiskWrites     *telemetry.Counter
+	cDiskWriteBytes *telemetry.Counter
+	cDiskErrors     *telemetry.Counter
+	cGCSweeps       *telemetry.Counter
+	cGCRemoved      *telemetry.Counter
+	cGCFreedBytes   *telemetry.Counter
+	gMemBytes       *telemetry.Gauge
+	gMemEntries     *telemetry.Gauge
+	hFill           *telemetry.Histogram
 }
 
 // New creates a store. When Options.Dir is set, the objects directory is
@@ -163,6 +190,10 @@ func New(o Options) (*Store, error) {
 	if o.MaxBytes <= 0 {
 		o.MaxBytes = DefaultMaxBytes
 	}
+	met := o.Metrics
+	if met == nil {
+		met = telemetry.NewRegistry()
+	}
 	s := &Store{
 		maxBytes:  o.MaxBytes,
 		dir:       o.Dir,
@@ -171,7 +202,34 @@ func New(o Options) (*Store, error) {
 		lru:       list.New(),
 		inflight:  map[string]*call{},
 		touched:   map[string]bool{},
+		met:       met,
 	}
+	met.Help("gosplice_store_gets_total", "artifact lookups by outcome (mem_hit includes singleflight joins)")
+	met.Help("gosplice_store_singleflight_joins_total", "lookups that joined another caller's in-flight fill")
+	met.Help("gosplice_store_evictions_total", "in-memory entries dropped by the LRU byte cap")
+	met.Help("gosplice_store_disk_writes_total", "artifacts persisted to the disk tier")
+	met.Help("gosplice_store_disk_write_bytes_total", "payload bytes persisted to the disk tier")
+	met.Help("gosplice_store_disk_errors_total", "corrupt or unreadable disk entries demoted to misses")
+	met.Help("gosplice_store_gc_sweeps_total", "disk-tier GC sweeps run")
+	met.Help("gosplice_store_gc_removed_entries_total", "disk entries deleted by GC")
+	met.Help("gosplice_store_gc_freed_bytes_total", "disk bytes reclaimed by GC")
+	met.Help("gosplice_store_mem_bytes", "in-memory tier size in accounted bytes")
+	met.Help("gosplice_store_mem_entries", "in-memory tier entry count")
+	met.Help("gosplice_store_fill_seconds", "latency of running an artifact's fill function on a true miss")
+	s.cMemHits = met.Counter("gosplice_store_gets_total", telemetry.L("outcome", "mem_hit"))
+	s.cDiskHits = met.Counter("gosplice_store_gets_total", telemetry.L("outcome", "disk_hit"))
+	s.cMisses = met.Counter("gosplice_store_gets_total", telemetry.L("outcome", "miss"))
+	s.cJoins = met.Counter("gosplice_store_singleflight_joins_total")
+	s.cEvictions = met.Counter("gosplice_store_evictions_total")
+	s.cDiskWrites = met.Counter("gosplice_store_disk_writes_total")
+	s.cDiskWriteBytes = met.Counter("gosplice_store_disk_write_bytes_total")
+	s.cDiskErrors = met.Counter("gosplice_store_disk_errors_total")
+	s.cGCSweeps = met.Counter("gosplice_store_gc_sweeps_total")
+	s.cGCRemoved = met.Counter("gosplice_store_gc_removed_entries_total")
+	s.cGCFreedBytes = met.Counter("gosplice_store_gc_freed_bytes_total")
+	s.gMemBytes = met.Gauge("gosplice_store_mem_bytes")
+	s.gMemEntries = met.Gauge("gosplice_store_mem_entries")
+	s.hFill = met.Histogram("gosplice_store_fill_seconds", nil)
 	if s.dir != "" {
 		if err := os.MkdirAll(filepath.Join(s.dir, "objects"), 0o755); err != nil {
 			return nil, fmt.Errorf("store: %w", err)
@@ -211,15 +269,16 @@ func (s *Store) GetOrFill(key string, k Kind, fill func() (any, error)) (any, So
 	s.mu.Lock()
 	if el, ok := s.items[key]; ok {
 		s.lru.MoveToFront(el)
-		s.stats.MemHits++
 		v := el.Value.(*entry).val
 		s.mu.Unlock()
+		s.cMemHits.Inc()
 		return v, Mem, nil
 	}
 	if c, ok := s.inflight[key]; ok {
 		// Join the in-flight fill: one compile, many consumers.
-		s.stats.MemHits++
 		s.mu.Unlock()
+		s.cMemHits.Inc()
+		s.cJoins.Inc()
 		c.wg.Wait()
 		return c.val, Mem, c.err
 	}
@@ -233,12 +292,12 @@ func (s *Store) GetOrFill(key string, k Kind, fill func() (any, error)) (any, So
 	s.mu.Lock()
 	switch {
 	case err != nil:
-		s.stats.Misses++
+		s.cMisses.Inc()
 	case src == Disk:
-		s.stats.DiskHits++
+		s.cDiskHits.Inc()
 		s.insertLocked(key, v, k)
 	default:
-		s.stats.Misses++
+		s.cMisses.Inc()
 		s.insertLocked(key, v, k)
 	}
 	delete(s.inflight, key)
@@ -265,7 +324,9 @@ func (s *Store) lookupOrFill(key string, k Kind, fill func() (any, error)) (any,
 			s.dropDisk(key)
 		}
 	}
+	t0 := time.Now()
 	v, err := fill()
+	s.hFill.ObserveDuration(time.Since(t0))
 	return v, Filled, err
 }
 
@@ -283,19 +344,35 @@ func (s *Store) insertLocked(key string, v any, k Kind) {
 		s.lru.Remove(back)
 		delete(s.items, old.key)
 		s.curBytes -= old.size
-		s.stats.Evictions++
+		s.cEvictions.Inc()
+	}
+	s.gMemBytes.Set(s.curBytes)
+	s.gMemEntries.Set(int64(s.lru.Len()))
+}
+
+// Stats returns a snapshot of the counters and memory-tier gauges, read
+// from the store's telemetry registry.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	mem := uint64(s.curBytes)
+	entries := uint64(s.lru.Len())
+	s.mu.Unlock()
+	return Stats{
+		MemHits:        s.cMemHits.Value(),
+		DiskHits:       s.cDiskHits.Value(),
+		Misses:         s.cMisses.Value(),
+		Evictions:      s.cEvictions.Value(),
+		DiskWrites:     s.cDiskWrites.Value(),
+		DiskWriteBytes: s.cDiskWriteBytes.Value(),
+		DiskErrors:     s.cDiskErrors.Value(),
+		MemBytes:       mem,
+		MemEntries:     entries,
 	}
 }
 
-// Stats returns a snapshot of the counters and memory-tier gauges.
-func (s *Store) Stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	st := s.stats
-	st.MemBytes = uint64(s.curBytes)
-	st.MemEntries = uint64(s.lru.Len())
-	return st
-}
+// Metrics returns the store's telemetry registry, for folding into a
+// live /metrics scrape alongside the process-wide default registry.
+func (s *Store) Metrics() *telemetry.Registry { return s.met }
 
 // Dir returns the disk tier's root directory ("" when memory-only).
 func (s *Store) Dir() string { return s.dir }
@@ -436,11 +513,7 @@ func (s *Store) dropDisk(key string) {
 	s.countDiskError()
 }
 
-func (s *Store) countDiskError() {
-	s.mu.Lock()
-	s.stats.DiskErrors++
-	s.mu.Unlock()
-}
+func (s *Store) countDiskError() { s.cDiskErrors.Inc() }
 
 // writeDisk persists a freshly filled artifact: encode, compress when
 // that shrinks it, checksum, write to a temp file in the final directory,
@@ -490,9 +563,9 @@ func (s *Store) writeDisk(key string, v any, k Kind) {
 		s.countDiskError()
 		return
 	}
+	s.cDiskWrites.Inc()
+	s.cDiskWriteBytes.Add(uint64(len(body)))
 	s.mu.Lock()
-	s.stats.DiskWrites++
-	s.stats.DiskWriteBytes += uint64(len(body))
 	s.touched[key] = true
 	s.mu.Unlock()
 }
@@ -601,5 +674,8 @@ func (s *Store) GC(maxBytes int64) (GCResult, error) {
 		res.Removed++
 		res.FreedBytes += v.size
 	}
+	s.cGCSweeps.Inc()
+	s.cGCRemoved.Add(uint64(res.Removed))
+	s.cGCFreedBytes.Add(uint64(res.FreedBytes))
 	return res, nil
 }

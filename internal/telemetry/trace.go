@@ -1,0 +1,366 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+	"time"
+)
+
+// The span tracer: hierarchical spans with start/end times and string
+// attributes, recorded into a bounded in-memory ring when they end, and
+// exportable as JSONL (one span per line, for ad-hoc analysis) or as
+// Chrome trace_event JSON (load chrome://tracing or ui.perfetto.dev on
+// the -trace-out file to see the eval pipeline's per-patch stages laid
+// out on parallel tracks).
+//
+// The tracer is deliberately lightweight: starting a span is a mutex-
+// free pointer allocation plus one atomic id; ending it takes the ring
+// lock once. Spans record wall-clock time — like StageTimings before
+// them they are measurements, not results, and never feed the
+// deterministic tables.
+
+// Attr is one span attribute.
+type Attr struct {
+	Key, Value string
+}
+
+// A is shorthand for constructing an Attr.
+func A(key, value string) Attr { return Attr{Key: key, Value: value} }
+
+// SpanRecord is a completed span as stored in the ring.
+type SpanRecord struct {
+	ID     uint64
+	Parent uint64 // 0 for root spans
+	Root   uint64 // top-level ancestor (its own ID for roots); the Chrome trace lane
+	Name   string
+	Start  time.Time
+	End    time.Time
+	Attrs  []Attr
+}
+
+// Duration is the span's wall-clock extent.
+func (r SpanRecord) Duration() time.Duration { return r.End.Sub(r.Start) }
+
+// Attr returns the value of the named attribute ("" when absent).
+func (r SpanRecord) Attr(key string) string {
+	for _, a := range r.Attrs {
+		if a.Key == key {
+			return a.Value
+		}
+	}
+	return ""
+}
+
+// Span is a live span. End it exactly once; Child spans may outlive
+// their parent's End. Spans are safe for use from the goroutine that
+// created them; attribute mutation is mutex-guarded so an OnEnd hook
+// reading a record never races a late SetAttr.
+type Span struct {
+	t      *Tracer
+	id     uint64
+	parent uint64
+	root   uint64
+	name   string
+	start  time.Time
+
+	mu    sync.Mutex
+	attrs []Attr
+	ended bool
+	rec   SpanRecord // valid after End
+}
+
+// Tracer records spans into a fixed-capacity ring (oldest evicted
+// first). The zero value is not usable; construct with NewTracer.
+type Tracer struct {
+	mu    sync.Mutex
+	ring  []SpanRecord
+	next  int // ring write cursor
+	full  bool
+	ids   uint64
+	onEnd func(SpanRecord)
+}
+
+// DefaultCapacity bounds the default tracer ring: enough for a full
+// 64-CVE evaluation (64 patches x ~7 stage spans plus per-release
+// build/boot spans) with generous headroom.
+const DefaultCapacity = 16384
+
+// NewTracer creates a tracer whose ring holds capacity completed spans
+// (<= 0 means DefaultCapacity).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Tracer{ring: make([]SpanRecord, 0, capacity)}
+}
+
+var defaultTracer = NewTracer(0)
+
+// DefaultTracer is the process-wide tracer; the cmd tools' -trace-out
+// flag exports it on exit.
+func DefaultTracer() *Tracer { return defaultTracer }
+
+// SetOnEnd installs a hook invoked (outside the ring lock) with each
+// span record as it ends — the span-event feed behind ksplice-eval's
+// -v stage-progress lines. Pass nil to remove.
+func (t *Tracer) SetOnEnd(f func(SpanRecord)) {
+	t.mu.Lock()
+	t.onEnd = f
+	t.mu.Unlock()
+}
+
+func (t *Tracer) nextID() uint64 {
+	t.mu.Lock()
+	t.ids++
+	id := t.ids
+	t.mu.Unlock()
+	return id
+}
+
+// Start opens a root span.
+func (t *Tracer) Start(name string, attrs ...Attr) *Span {
+	id := t.nextID()
+	return &Span{t: t, id: id, root: id, name: name, start: time.Now(), attrs: attrs}
+}
+
+// Child opens a span nested under s.
+func (s *Span) Child(name string, attrs ...Attr) *Span {
+	return &Span{t: s.t, id: s.t.nextID(), parent: s.id, root: s.root, name: name, start: time.Now(), attrs: attrs}
+}
+
+// SetAttr adds or replaces an attribute. After End it is a no-op.
+func (s *Span) SetAttr(key, value string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ended {
+		return
+	}
+	for i := range s.attrs {
+		if s.attrs[i].Key == key {
+			s.attrs[i].Value = value
+			return
+		}
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+}
+
+// End closes the span at time.Now and commits it to the ring. Multiple
+// Ends are idempotent.
+func (s *Span) End() { s.endAt(time.Now()) }
+
+func (s *Span) endAt(end time.Time) {
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	s.rec = SpanRecord{
+		ID: s.id, Parent: s.parent, Root: s.root, Name: s.name,
+		Start: s.start, End: end,
+		Attrs: append([]Attr(nil), s.attrs...),
+	}
+	rec := s.rec
+	s.mu.Unlock()
+	s.t.commit(rec)
+}
+
+// Record commits a pre-measured interval as a child of parent (nil for
+// a root span) — for stages whose duration is reported by a lower
+// layer rather than measured around a call, like run-pre matching
+// inside apply.
+func (t *Tracer) Record(parent *Span, name string, start, end time.Time, attrs ...Attr) SpanRecord {
+	rec := SpanRecord{
+		ID: t.nextID(), Name: name, Start: start, End: end,
+		Attrs: append([]Attr(nil), attrs...),
+	}
+	if parent != nil {
+		rec.Parent = parent.id
+		rec.Root = parent.root
+	} else {
+		rec.Root = rec.ID
+	}
+	t.commit(rec)
+	return rec
+}
+
+// Duration returns the span's extent (zero until End).
+func (s *Span) Duration() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.ended {
+		return 0
+	}
+	return s.rec.Duration()
+}
+
+func (t *Tracer) commit(rec SpanRecord) {
+	t.mu.Lock()
+	if cap(t.ring) == 0 {
+		t.mu.Unlock()
+		return
+	}
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, rec)
+	} else {
+		t.ring[t.next] = rec
+		t.full = true
+	}
+	t.next = (t.next + 1) % cap(t.ring)
+	hook := t.onEnd
+	t.mu.Unlock()
+	if hook != nil {
+		hook(rec)
+	}
+}
+
+// Snapshot returns the completed spans, oldest first.
+func (t *Tracer) Snapshot() []SpanRecord {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.full {
+		return append([]SpanRecord(nil), t.ring...)
+	}
+	out := make([]SpanRecord, 0, len(t.ring))
+	out = append(out, t.ring[t.next:]...)
+	out = append(out, t.ring[:t.next]...)
+	return out
+}
+
+// Reset drops every recorded span (live spans still End into the ring
+// afterwards).
+func (t *Tracer) Reset() {
+	t.mu.Lock()
+	t.ring = t.ring[:0]
+	t.next = 0
+	t.full = false
+	t.mu.Unlock()
+}
+
+// --- Export ---
+
+// jsonlSpan is the JSONL export schema.
+type jsonlSpan struct {
+	ID     uint64            `json:"id"`
+	Parent uint64            `json:"parent,omitempty"`
+	Root   uint64            `json:"root"`
+	Name   string            `json:"name"`
+	Start  time.Time         `json:"start"`
+	End    time.Time         `json:"end"`
+	DurNS  int64             `json:"dur_ns"`
+	Attrs  map[string]string `json:"attrs,omitempty"`
+}
+
+// WriteJSONL writes one JSON object per completed span, oldest first.
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, rec := range t.Snapshot() {
+		js := jsonlSpan{
+			ID: rec.ID, Parent: rec.Parent, Root: rec.Root, Name: rec.Name,
+			Start: rec.Start, End: rec.End, DurNS: int64(rec.Duration()),
+		}
+		if len(rec.Attrs) > 0 {
+			js.Attrs = make(map[string]string, len(rec.Attrs))
+			for _, a := range rec.Attrs {
+				js.Attrs[a.Key] = a.Value
+			}
+		}
+		if err := enc.Encode(js); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// chromeTraceEvent is one trace_event in the Chrome trace JSON schema:
+// a complete ("ph":"X") event with microsecond timestamp and duration.
+type chromeTraceEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"`
+	Dur  float64           `json:"dur"`
+	Pid  int               `json:"pid"`
+	Tid  uint64            `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+type chromeTraceFile struct {
+	TraceEvents     []chromeTraceEvent `json:"traceEvents"`
+	DisplayTimeUnit string             `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace renders the completed spans in Chrome trace_event
+// format. Each root span's tree shares a tid, so concurrent patches
+// render as parallel tracks; timestamps are microseconds relative to
+// the earliest span.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	recs := t.Snapshot()
+	var epoch time.Time
+	for _, r := range recs {
+		if epoch.IsZero() || r.Start.Before(epoch) {
+			epoch = r.Start
+		}
+	}
+	out := chromeTraceFile{TraceEvents: []chromeTraceEvent{}, DisplayTimeUnit: "ms"}
+	for _, r := range recs {
+		ev := chromeTraceEvent{
+			Name: r.Name,
+			Cat:  "gosplice",
+			Ph:   "X",
+			Ts:   float64(r.Start.Sub(epoch).Nanoseconds()) / 1e3,
+			Dur:  float64(r.Duration().Nanoseconds()) / 1e3,
+			Pid:  1,
+			Tid:  r.Root,
+		}
+		if len(r.Attrs) > 0 {
+			ev.Args = make(map[string]string, len(r.Attrs))
+			for _, a := range r.Attrs {
+				ev.Args[a.Key] = a.Value
+			}
+		}
+		out.TraceEvents = append(out.TraceEvents, ev)
+	}
+	// Stable export order: by start time, then id.
+	sort.Slice(out.TraceEvents, func(i, j int) bool {
+		if out.TraceEvents[i].Ts != out.TraceEvents[j].Ts {
+			return out.TraceEvents[i].Ts < out.TraceEvents[j].Ts
+		}
+		return out.TraceEvents[i].Tid < out.TraceEvents[j].Tid
+	})
+	b, err := json.MarshalIndent(out, "", " ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// WriteChromeTraceFile exports tracer t (DefaultTracer when nil) to
+// path, or does nothing when path is empty — the -trace-out flag's
+// exit hook.
+func WriteChromeTraceFile(path string, t *Tracer) error {
+	if path == "" {
+		return nil
+	}
+	if t == nil {
+		t = DefaultTracer()
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("telemetry: trace out: %w", err)
+	}
+	if err := t.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return fmt.Errorf("telemetry: trace out: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("telemetry: trace out: %w", err)
+	}
+	return nil
+}
