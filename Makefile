@@ -19,9 +19,13 @@ test:
 # (the parallel evaluation pipeline is exercised concurrently by
 # TestConcurrentRunsAreIndependent); a cold-then-warm ksplice-create
 # round trip through a shared -cache-dir — the tarballs must be
-# byte-identical and the warm process must compile nothing; and a live
+# byte-identical and the warm process must compile nothing; a live
 # observability smoke — a serving channel's /metrics scraped and its
-# exposition validated (store, channel, and eval families all present).
+# exposition validated (store, channel, and eval families all present);
+# and a parallel-determinism smoke — the full 64-CVE evaluation run
+# serially and with 8 workers, with the deterministic tables (headline
+# and Table 1) required byte-identical: worker scheduling over the
+# copy-on-write kernel clones must never leak into results.
 check:
 	$(GO) vet ./...
 	$(GO) test -race ./internal/telemetry
@@ -44,6 +48,16 @@ check:
 	if [ -n "$$url" ] && $$tmp/ksplice-channel -scrape "$$url"; then ok=1; else ok=0; cat $$tmp/serve.log; fi; \
 	kill $$(cat $$tmp/pid) 2>/dev/null; rm -rf $$tmp; \
 	[ $$ok -eq 1 ] && echo "check: live /metrics scrape on a serving channel OK"
+	@tmp=$$(mktemp -d) && \
+	$(GO) build -o $$tmp/ksplice-eval ./cmd/ksplice-eval && \
+	$$tmp/ksplice-eval -j 1 -table 1 > $$tmp/serial-t1.out && \
+	$$tmp/ksplice-eval -j 8 -table 1 > $$tmp/parallel-t1.out && \
+	cmp $$tmp/serial-t1.out $$tmp/parallel-t1.out && \
+	$$tmp/ksplice-eval -j 1 -table headline > $$tmp/serial-head.out && \
+	$$tmp/ksplice-eval -j 8 -table headline > $$tmp/parallel-head.out && \
+	cmp $$tmp/serial-head.out $$tmp/parallel-head.out && \
+	echo "check: parallel eval (-j 8) byte-identical to serial across all 64 CVEs" && \
+	rm -rf $$tmp
 
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$'

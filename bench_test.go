@@ -63,12 +63,20 @@ func BenchmarkEvalAll64(b *testing.B) {
 }
 
 // BenchmarkEvalAll64Parallel runs the same evaluation with one worker
-// per CPU: every patch gets its own kernel cloned from the per-release
-// boot cache, so the pipeline parallelizes across patches. Compare
-// against BenchmarkEvalAll64 for the speedup.
+// per CPU: every patch gets its own kernel cloned copy-on-write from the
+// per-release boot cache, so the pipeline parallelizes across patches.
+// Compare against BenchmarkEvalAll64 for the speedup.
 func BenchmarkEvalAll64Parallel(b *testing.B) {
 	benchEvalAll64(b, runtime.NumCPU())
 }
+
+// BenchmarkEvalAll64J2/J4/J8 pin the worker count, recording the speedup
+// curve (`make bench-json` stores each as its own stanza in
+// BENCH_eval.json). The interesting ratio is each stanza's ns/op against
+// the serial BenchmarkEvalAll64.
+func BenchmarkEvalAll64J2(b *testing.B) { benchEvalAll64(b, 2) }
+func BenchmarkEvalAll64J4(b *testing.B) { benchEvalAll64(b, 4) }
+func BenchmarkEvalAll64J8(b *testing.B) { benchEvalAll64(b, 8) }
 
 func benchEvalAll64(b *testing.B, workers int) {
 	for i := 0; i < b.N; i++ {

@@ -13,6 +13,13 @@
 // what a previous run left behind, visible in `-table cache`.
 //
 //	ksplice-eval -cache-dir ~/.cache/gosplice -table cache
+//
+// For performance work, -cpuprofile and -mutexprofile write pprof
+// profiles of the run, and -trace-out exports the span tracer's Chrome
+// trace; together they attribute wall-clock to stages and contention to
+// locks.
+//
+//	ksplice-eval -j 8 -cpuprofile cpu.pb.gz -mutexprofile mutex.pb.gz -trace-out trace.json
 package main
 
 import (
@@ -20,6 +27,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"gosplice/internal/eval"
@@ -45,6 +53,8 @@ func main() {
 	cacheGC := flag.Int64("cache-gc-bytes", 0, "sweep the on-disk artifact cache down to this many bytes before running (0 = no sweep)")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /debug/vars on this address while running (host:0 picks a port)")
 	traceOut := flag.String("trace-out", "", "write the run's spans as a Chrome trace (chrome://tracing) to this file on exit")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	mutexProfile := flag.String("mutexprofile", "", "write a pprof mutex-contention profile of the run to this file")
 	flag.Parse()
 
 	if !*all && *table == "" && *figure == 0 {
@@ -60,6 +70,11 @@ func main() {
 		if err := telemetry.WriteChromeTraceFile(*traceOut, nil); err != nil {
 			fmt.Fprintln(os.Stderr, "ksplice-eval:", err)
 		}
+	}
+	stopProfiles, err := startProfiles(*cpuProfile, *mutexProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ksplice-eval:", err)
+		os.Exit(1)
 	}
 
 	opts := eval.Options{StressRounds: *stress, KeepApplied: *stacked, Workers: *jobs, Verbose: *verbose}
@@ -90,6 +105,7 @@ func main() {
 	res, err := eval.Run(opts)
 	if err != nil {
 		flushTrace()
+		stopProfiles()
 		fmt.Fprintln(os.Stderr, "ksplice-eval:", err)
 		os.Exit(1)
 	}
@@ -119,6 +135,7 @@ func main() {
 	}
 
 	flushTrace()
+	stopProfiles()
 	failed := 0
 	for _, p := range res.Patches {
 		if !p.OK() {
@@ -129,4 +146,47 @@ func main() {
 	if failed > 0 {
 		os.Exit(1)
 	}
+}
+
+// startProfiles turns on the requested pprof profiles and returns a
+// flush-and-close function. Mutex profiling samples every contention
+// event (fraction 1): the eval run is short and the point of the profile
+// is to see create-stage and store contention at all, not to sample it.
+func startProfiles(cpuPath, mutexPath string) (stop func(), err error) {
+	var cpuF *os.File
+	if cpuPath != "" {
+		cpuF, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuF); err != nil {
+			cpuF.Close()
+			return nil, err
+		}
+	}
+	if mutexPath != "" {
+		runtime.SetMutexProfileFraction(1)
+	}
+	done := false
+	return func() {
+		if done {
+			return
+		}
+		done = true
+		if cpuF != nil {
+			pprof.StopCPUProfile()
+			cpuF.Close()
+		}
+		if mutexPath != "" {
+			f, err := os.Create(mutexPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "ksplice-eval:", err)
+				return
+			}
+			if err := pprof.Lookup("mutex").WriteTo(f, 0); err != nil {
+				fmt.Fprintln(os.Stderr, "ksplice-eval:", err)
+			}
+			f.Close()
+		}
+	}, nil
 }

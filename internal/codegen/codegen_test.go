@@ -50,7 +50,7 @@ func load(t *testing.T, fs []*obj.File) (*vm.Machine, *vm.Thread, *obj.Image) {
 		t.Fatalf("link: %v", err)
 	}
 	m := vm.New(1 << 20)
-	copy(m.Mem[im.Base:], im.Bytes)
+	m.Mem.WriteAt(im.Base, im.Bytes)
 	th := &vm.Thread{}
 	th.SetSP(1 << 20)
 	return m, th, im
@@ -80,8 +80,8 @@ func callFunc(t *testing.T, m *vm.Machine, th *vm.Thread, im *obj.Image, name st
 		stub = isa.ADDI64(stub, isa.SP, 8*n)
 	}
 	stub = isa.HLT(stub)
-	copy(m.Mem[stubAddr:], stub)
-	isa.PatchRel32(m.Mem, stubAddr+callOff+1, int32(fn.Addr)-int32(stubAddr+callOff+5))
+	m.Mem.WriteAt(stubAddr, stub)
+	m.Mem.StoreLE(uint32(stubAddr+callOff+1), 4, uint64(uint32(int32(fn.Addr)-int32(stubAddr+callOff+5))))
 
 	th.IP = stubAddr
 	th.Halted = false

@@ -42,11 +42,7 @@ int use(void) { return square(bump()); }
 		t.Errorf("use = %d", got)
 	}
 	eff, _ := im.LookupOne("effects")
-	var v uint32
-	for i := 0; i < 4; i++ {
-		v |= uint32(m.Mem[eff.Addr+uint32(i)]) << (8 * i)
-	}
-	if v != 1 {
+	if v := uint32(m.Mem.LoadLE(eff.Addr, 4)); v != 1 {
 		t.Errorf("effects = %d, want 1", v)
 	}
 }
@@ -70,8 +66,8 @@ int use(void) { return always7(bump()); }
 		t.Errorf("use = %d", got)
 	}
 	eff, _ := im.LookupOne("effects")
-	if m.Mem[eff.Addr] != 1 {
-		t.Errorf("effects = %d, want 1", m.Mem[eff.Addr])
+	if m.Mem.Byte(eff.Addr) != 1 {
+		t.Errorf("effects = %d, want 1", m.Mem.Byte(eff.Addr))
 	}
 }
 

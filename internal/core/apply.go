@@ -240,8 +240,8 @@ func (m *Manager) Apply(u *Update, opts ApplyOptions) (*Applied, error) {
 			mem := m.K.LockedMem()
 			for i := range a.Trampolines {
 				tr := &a.Trampolines[i]
-				tr.Saved = append([]byte(nil), mem[tr.Addr:tr.Addr+isa.TrampolineLen]...)
-				copy(mem[tr.Addr:], isa.Trampoline(tr.Addr, tr.Target))
+				tr.Saved = mem.ReadBytes(tr.Addr, isa.TrampolineLen)
+				mem.WriteAt(tr.Addr, isa.Trampoline(tr.Addr, tr.Target))
 			}
 			m.K.Unlock()
 			// ksplice_apply hooks run with the machine stopped.
@@ -251,7 +251,7 @@ func (m *Manager) Apply(u *Update, opts ApplyOptions) (*Applied, error) {
 					m.K.Lock()
 					for i := range a.Trampolines {
 						tr := &a.Trampolines[i]
-						copy(m.K.LockedMem()[tr.Addr:], tr.Saved)
+						m.K.LockedMem().WriteAt(tr.Addr, tr.Saved)
 					}
 					m.K.Unlock()
 					return fmt.Errorf("core: apply hook failed: %w", err)
@@ -355,7 +355,7 @@ func (m *Manager) safetyCheck(ranges [][2]uint32) error {
 		}
 		sp := t.Th.SP() &^ 7
 		for addr := sp; addr+8 <= t.StackHi; addr += 8 {
-			word := uint32(readLE(mem, addr, 8))
+			word := uint32(mem.LoadLE(addr, 8))
 			if inRange(word) {
 				return fmt.Errorf("%w: task %d (%s) stack slot %#x holds %#x", errBusy, t.ID, t.Name, addr, word)
 			}
@@ -482,7 +482,7 @@ func (m *Manager) Undo(opts ApplyOptions) error {
 			m.K.Lock()
 			mem := m.K.LockedMem()
 			for _, tr := range a.Trampolines {
-				copy(mem[tr.Addr:], tr.Saved)
+				mem.WriteAt(tr.Addr, tr.Saved)
 			}
 			m.K.Unlock()
 			for _, h := range hooks[".ksplice.reverse"] {

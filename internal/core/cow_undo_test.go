@@ -1,0 +1,82 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"gosplice/internal/kernel"
+)
+
+// TestUndoOnCOWCloneRestoresExactly: applying and undoing an update on a
+// copy-on-write clone of a booted kernel must leave the clone's text and
+// module region byte-identical to its pre-apply state, and must never
+// disturb the template it was cloned from — the eval pipeline's whole
+// correctness story rests on clone writes staying private and Undo
+// restoring the trampoline sites exactly.
+func TestUndoOnCOWCloneRestoresExactly(t *testing.T) {
+	tree := testTree()
+	tmpl := boot(t, tree)
+	k, err := tmpl.Clone()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The whole code region: kernel text through the end of module space.
+	region := int(kernel.HeapBase - kernel.KernelBase)
+	before, err := k.ReadMem(kernel.KernelBase, region)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmplBefore, err := tmpl.ReadMem(kernel.KernelBase, region)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, tmplBefore) {
+		t.Fatal("fresh clone's memory differs from the template")
+	}
+
+	u, err := CreateUpdate(tree, setuidPatch, CreateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewManager(k)
+	if _, err := m.Apply(u, ApplyOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	during, err := k.ReadMem(kernel.KernelBase, region)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(during, before) {
+		t.Fatal("apply left no trace in the code region; the comparison proves nothing")
+	}
+	// The applied update dirtied clone pages only; the template is
+	// untouched.
+	if got, _ := tmpl.ReadMem(kernel.KernelBase, region); !bytes.Equal(got, tmplBefore) {
+		t.Fatal("apply on the clone leaked into the template")
+	}
+
+	if err := m.Undo(ApplyOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	after, err := k.ReadMem(kernel.KernelBase, region)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(after, before) {
+		for i := range after {
+			if after[i] != before[i] {
+				t.Fatalf("undo did not restore exactly: first difference at %#x (%#x -> %#x)",
+					kernel.KernelBase+uint32(i), before[i], after[i])
+			}
+		}
+	}
+	// The clone still works after the round trip.
+	if got, err := k.Call("read_secret"); err != nil || got != 4242 {
+		t.Errorf("post-undo read_secret = %d, %v", got, err)
+	}
+	// And the template boots tasks as if nothing happened.
+	if got, err := tmpl.Call("read_secret"); err != nil || got != 4242 {
+		t.Errorf("template read_secret = %d, %v", got, err)
+	}
+}

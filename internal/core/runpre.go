@@ -1,7 +1,6 @@
 package core
 
 import (
-	"bytes"
 	"errors"
 	"fmt"
 	"sort"
@@ -10,6 +9,7 @@ import (
 	"gosplice/internal/isa"
 	"gosplice/internal/kernel"
 	"gosplice/internal/obj"
+	"gosplice/internal/vm"
 )
 
 // ErrRunPreMismatch is wrapped by every matching failure: the running
@@ -107,14 +107,14 @@ func (tr *trialInference) commit() {
 // unit; any inconsistency returns an ErrRunPreMismatch-wrapped error.
 // MatchUnit uses identity canonicalization; stacked updates go through
 // MatchUnitCanon.
-func MatchUnit(mem []byte, symtab *kernel.SymTab, preF *obj.File) (*MatchResult, error) {
+func MatchUnit(mem *vm.Memory, symtab *kernel.SymTab, preF *obj.File) (*MatchResult, error) {
 	return MatchUnitCanon(mem, symtab, preF, nil)
 }
 
 // MatchUnitCanon is MatchUnit with an address canonicalizer that follows
 // already-applied trampolines, required when matching against a
 // previously-patched kernel.
-func MatchUnitCanon(mem []byte, symtab *kernel.SymTab, preF *obj.File, canon func(uint32) uint32) (*MatchResult, error) {
+func MatchUnitCanon(mem *vm.Memory, symtab *kernel.SymTab, preF *obj.File, canon func(uint32) uint32) (*MatchResult, error) {
 	res := &MatchResult{
 		Unit:    preF.SourcePath,
 		Vals:    map[string]uint32{},
@@ -220,10 +220,10 @@ func MatchUnitCanon(mem []byte, symtab *kernel.SymTab, preF *obj.File, canon fun
 			return nil, fmt.Errorf("%w: rodata %q extends past its pre section (%d..%d of %d bytes)",
 				ErrRunPreMismatch, sym.Name, lo, hi, len(sec.Data))
 		}
-		if int(addr)+hi-lo > len(mem) {
+		if int(addr)+hi-lo > mem.Len() {
 			return nil, fmt.Errorf("%w: rodata %q inferred at %#x outside memory", ErrRunPreMismatch, sym.Name, addr)
 		}
-		if !bytes.Equal(sec.Data[lo:hi], mem[addr:int(addr)+hi-lo]) {
+		if !mem.EqualAt(sec.Data[lo:hi], addr) {
 			return nil, fmt.Errorf("%w: rodata %q at %#x differs from pre contents", ErrRunPreMismatch, sym.Name, addr)
 		}
 	}
@@ -325,7 +325,7 @@ func scanPre(sec *obj.Section, preF *obj.File) (*preScan, error) {
 // instruction lengths plus the PC-relative instruction table let the
 // matcher verify that short- and near-encoded branches point at
 // corresponding locations even though their offsets (and lengths) differ.
-func matchFunc(mem []byte, runAddr uint32, scan *preScan, inf *trialInference) (int, error) {
+func matchFunc(mem *vm.Memory, runAddr uint32, scan *preScan, inf *trialInference) (int, error) {
 	pre := scan.data
 
 	// corr maps pre offsets (at instruction boundaries, after no-op
@@ -341,13 +341,13 @@ func matchFunc(mem []byte, runAddr uint32, scan *preScan, inf *trialInference) (
 	r := runAddr
 	for _, st := range scan.steps {
 		p, preIn := st.off, st.in
-		if int(r) >= len(mem) {
+		if int(r) >= mem.Len() {
 			return 0, mismatch(p, r, "run cursor out of memory")
 		}
-		r = uint32(isa.SkipNops(mem, int(r)))
+		r = uint32(mem.SkipNops(int(r)))
 		corr[p] = r
 
-		runIn, err := isa.Decode(mem, int(r))
+		runIn, err := mem.DecodeAt(int(r))
 		if err != nil {
 			return 0, mismatch(p, r, "run decode: %v", err)
 		}
@@ -364,7 +364,7 @@ func matchFunc(mem []byte, runAddr uint32, scan *preScan, inf *trialInference) (
 				// instruction (and the relocated field within it) must
 				// still lie wholly inside memory: run code near the end of
 				// a truncated machine is a mismatch, never a crash.
-				if int(r)+preIn.Len > len(mem) {
+				if int(r)+preIn.Len > mem.Len() {
 					return 0, mismatch(p, r, "run instruction truncated by end of memory")
 				}
 				// All bytes outside the relocated field must agree.
@@ -372,11 +372,11 @@ func matchFunc(mem []byte, runAddr uint32, scan *preScan, inf *trialInference) (
 					if i >= fieldOff && i < fieldOff+size {
 						continue
 					}
-					if pre[p+i] != mem[r+i] {
+					if pre[p+i] != mem.Byte(r+i) {
 						return 0, mismatch(p, r, "byte %d differs outside relocation field", i)
 					}
 				}
-				val := readLE(mem, r+fieldOff, int(size))
+				val := mem.LoadLE(r+fieldOff, int(size))
 				// field = S + A  =>  S = val - A.
 				s := uint32(val) - uint32(rel.Addend)
 				if err := inf.record(st.sym, s); err != nil {
@@ -407,7 +407,7 @@ func matchFunc(mem []byte, runAddr uint32, scan *preScan, inf *trialInference) (
 
 		// No relocation: bytes must be identical, or the instructions
 		// must be equivalent branch encodings with corresponding targets.
-		if int(r)+preIn.Len <= len(mem) && bytes.Equal(pre[p:p+uint32(preIn.Len)], mem[r:r+uint32(preIn.Len)]) {
+		if int(r)+preIn.Len <= mem.Len() && mem.EqualAt(pre[p:p+uint32(preIn.Len)], r) {
 			r += uint32(preIn.Len)
 			continue
 		}
@@ -445,12 +445,4 @@ func matchFunc(mem []byte, runAddr uint32, scan *preScan, inf *trialInference) (
 		}
 	}
 	return len(pre), nil
-}
-
-func readLE(b []byte, off uint32, n int) uint64 {
-	var v uint64
-	for i := 0; i < n; i++ {
-		v |= uint64(b[off+uint32(i)]) << (8 * i)
-	}
-	return v
 }

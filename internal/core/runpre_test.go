@@ -584,11 +584,11 @@ func TestRunPreTruncatedMemoryNeverPanics(t *testing.T) {
 		// legitimately cut. Find that boundary.
 		needEnd := int(s.Addr)
 		for off := int(s.Addr); off < int(s.Addr+s.Size); {
-			if n := isa.SkipNops(mem, off); n != off {
+			if n := mem.SkipNops(off); n != off {
 				off = n
 				continue
 			}
-			in, err := isa.Decode(mem, off)
+			in, err := mem.DecodeAt(off)
 			if err != nil {
 				break
 			}
@@ -601,7 +601,7 @@ func TestRunPreTruncatedMemoryNeverPanics(t *testing.T) {
 		// Any cut strictly inside the needed bytes leaves the function
 		// unmatchable; every cut in the padded tail must still be clean.
 		for cut := s.Addr + 1; cut <= s.Addr+s.Size; cut++ {
-			_, err := MatchUnit(mem[:cut], k.Syms, helper)
+			_, err := MatchUnit(mem.Truncate(int(cut)), k.Syms, helper)
 			if err == nil {
 				if int(cut) < needEnd {
 					t.Fatalf("%s truncated at %#x (needs bytes to %#x): match succeeded", s.Name, cut, needEnd)

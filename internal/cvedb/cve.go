@@ -231,10 +231,16 @@ var (
 // patch on whichever release it applied to). Assembly is memoized per
 // release; callers get an independent clone, so mutating a returned tree
 // never leaks into later calls.
+//
+// The lock covers only the cache lookup and insert; the per-caller
+// Clone — a deep copy of the whole file map — runs outside it. Every
+// patch of a parallel eval run calls Tree, so cloning under the lock
+// serialized the create stage across workers.
 func Tree(version string) *srctree.Tree {
 	treeCacheMu.Lock()
-	defer treeCacheMu.Unlock()
-	if t, ok := treeCache[version]; ok {
+	t, ok := treeCache[version]
+	treeCacheMu.Unlock()
+	if ok {
 		return t.Clone()
 	}
 	files := baseFiles()
@@ -246,8 +252,16 @@ func Tree(version string) *srctree.Tree {
 			files[p] = s
 		}
 	}
-	t := srctree.New(version, files)
-	treeCache[version] = t
+	t = srctree.New(version, files)
+	treeCacheMu.Lock()
+	// A racing caller may have assembled the same release concurrently;
+	// keep the first insert so every caller clones one canonical tree.
+	if prev, ok := treeCache[version]; ok {
+		t = prev
+	} else {
+		treeCache[version] = t
+	}
+	treeCacheMu.Unlock()
 	return t.Clone()
 }
 

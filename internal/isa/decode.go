@@ -54,8 +54,8 @@ func Decode(code []byte, off int) (Insn, error) {
 		return Insn{}, fmt.Errorf("isa: decode offset %#x out of range", off)
 	}
 	op := Op(code[off])
-	info, ok := opInfos[op]
-	if !ok {
+	info := &opInfos[op]
+	if info.name == "" {
 		return Insn{}, fmt.Errorf("isa: undefined opcode %#02x at offset %#x", byte(op), off)
 	}
 	n := layoutLen[info.layout]

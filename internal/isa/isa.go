@@ -214,7 +214,7 @@ const (
 	layImm16                  // opcode + imm16
 )
 
-var layoutLen = map[layout]int{
+var layoutLen = [...]int{
 	layNone:     1,
 	layPad1:     2,
 	layPad2:     3,
@@ -250,7 +250,10 @@ type opInfo struct {
 	branch BranchClass
 }
 
-var opInfos = map[Op]opInfo{
+// opInfos is indexed directly by the opcode byte: instruction decode runs
+// once per emulated instruction, and a table lookup keeps the hot path
+// free of map hashing. An undefined opcode has an empty name.
+var opInfos = [256]opInfo{
 	OpNOP:  {"nop", layNone, BranchNone},
 	OpNOP2: {"nop2", layPad1, BranchNone},
 	OpNOP3: {"nop3", layPad2, BranchNone},
@@ -340,13 +343,12 @@ var opInfos = map[Op]opInfo{
 
 // Valid reports whether op is a defined SIM32 opcode.
 func (op Op) Valid() bool {
-	_, ok := opInfos[op]
-	return ok
+	return opInfos[op].name != ""
 }
 
 // Name returns the mnemonic for op, or a hex placeholder if undefined.
 func (op Op) Name() string {
-	if in, ok := opInfos[op]; ok {
+	if in := &opInfos[op]; in.name != "" {
 		return in.name
 	}
 	return fmt.Sprintf("op?%02x", byte(op))
@@ -356,8 +358,8 @@ func (op Op) Name() string {
 // op, or 0 if op is not a defined opcode. SIM32 instruction length is
 // determined entirely by the opcode byte.
 func (op Op) Len() int {
-	in, ok := opInfos[op]
-	if !ok {
+	in := &opInfos[op]
+	if in.name == "" {
 		return 0
 	}
 	return layoutLen[in.layout]

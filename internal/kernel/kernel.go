@@ -244,11 +244,11 @@ func BootImage(br *srctree.BuildResult, im *obj.Image, memSize int) (*Kernel, er
 	k.initMetrics()
 	k.stop.cond = sync.NewCond(&k.stop.mu)
 	k.M.LowGuard = LowGuard
-	copy(k.M.Mem[KernelBase:], im.Bytes)
+	k.M.Mem.WriteAt(KernelBase, im.Bytes)
 	// Exit stub: TRAP exit; HLT as a backstop.
 	stub := isa.TRAP(nil, TrapExit)
 	stub = isa.HLT(stub)
-	copy(k.M.Mem[ExitStub:], stub)
+	k.M.Mem.WriteAt(ExitStub, stub)
 
 	k.moduleCursor = (im.End() + 0xFFF) &^ 0xFFF
 	k.heap = newHeap(HeapBase, HeapEnd)
@@ -283,7 +283,7 @@ func (k *Kernel) Clone() (*Kernel, error) {
 		return nil, fmt.Errorf("kernel: cannot clone with %d live tasks", n)
 	}
 	n := &Kernel{
-		M:            vm.New(len(k.M.Mem)),
+		M:            k.M.Clone(),
 		Image:        k.Image,
 		Syms:         k.Syms.Clone(),
 		Build:        k.Build,
@@ -309,8 +309,8 @@ func (k *Kernel) Clone() (*Kernel, error) {
 	n.reports = append([]int64(nil), k.reports...)
 	n.initMetrics()
 	n.stop.cond = sync.NewCond(&n.stop.mu)
-	n.M.LowGuard = k.M.LowGuard
-	copy(n.M.Mem, k.M.Mem)
+	// n.M shares k's memory copy-on-write: both sides fault pages private
+	// on write, so neither can observe the other's mutations.
 	n.installTraps()
 	return n, nil
 }
@@ -336,10 +336,7 @@ func (k *Kernel) installTraps() {
 		addr := k.heap.alloc(uint32(t.R[isa.R0]))
 		if addr != 0 {
 			// Zero the block, like kzalloc; deterministic guest state.
-			size := k.heap.live[addr]
-			for i := uint32(0); i < size; i++ {
-				k.M.Mem[addr+i] = 0
-			}
+			k.M.Mem.ZeroRange(addr, k.heap.live[addr])
 		}
 		t.R[isa.R0] = uint64(addr)
 		return nil
@@ -399,10 +396,7 @@ func (k *Kernel) installTraps() {
 		}
 		addr := k.heap.alloc(uint32(t.R[isa.R2]))
 		if addr != 0 {
-			size := k.heap.live[addr]
-			for i := uint32(0); i < size; i++ {
-				k.M.Mem[addr+i] = 0
-			}
+			k.M.Mem.ZeroRange(addr, k.heap.live[addr])
 			k.shadows[key] = addr
 		}
 		t.R[isa.R0] = uint64(addr)

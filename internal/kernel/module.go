@@ -41,7 +41,7 @@ func (k *Kernel) loadModuleLocked(name string, files []*obj.File, resolve Resolv
 	if im.End() >= HeapBase {
 		return nil, fmt.Errorf("kernel: module %q does not fit below the heap", name)
 	}
-	copy(k.M.Mem[base:], im.Bytes)
+	k.M.Mem.WriteAt(base, im.Bytes)
 	k.moduleCursor = im.End()
 
 	mod := &Module{
@@ -65,9 +65,7 @@ func (k *Kernel) UnloadModule(name string) error {
 	}
 	delete(k.modules, name)
 	k.Syms.RemoveModule(name)
-	for i := uint32(0); i < mod.Size; i++ {
-		k.M.Mem[mod.Base+i] = 0
-	}
+	k.M.Mem.ZeroRange(mod.Base, mod.Size)
 	// Reclaim trailing address space: the allocation cursor falls back to
 	// the highest extent still in use. In the common case — Ksplice undo
 	// removing the most recently loaded primary — repeated apply/undo

@@ -3,6 +3,8 @@ package kernel
 import (
 	"fmt"
 	"time"
+
+	"gosplice/internal/vm"
 )
 
 // Quantum is the number of instructions a task runs before the scheduler
@@ -375,12 +377,10 @@ func (k *Kernel) StopMachineStats() (calls int, pauses []time.Duration) {
 func (k *Kernel) ReadMem(addr uint32, size int) ([]byte, error) {
 	k.mu.Lock()
 	defer k.mu.Unlock()
-	if int64(addr)+int64(size) > int64(len(k.M.Mem)) {
+	if int64(addr)+int64(size) > int64(k.M.Mem.Len()) {
 		return nil, fmt.Errorf("kernel: read %#x+%d out of range", addr, size)
 	}
-	out := make([]byte, size)
-	copy(out, k.M.Mem[addr:])
-	return out, nil
+	return k.M.Mem.ReadBytes(addr, size), nil
 }
 
 // ReadWord reads a 4-byte little-endian word.
@@ -398,10 +398,10 @@ func (k *Kernel) ReadWord(addr uint32) (uint32, error) {
 func (k *Kernel) WriteMem(addr uint32, data []byte) error {
 	k.mu.Lock()
 	defer k.mu.Unlock()
-	if int64(addr)+int64(len(data)) > int64(len(k.M.Mem)) {
+	if int64(addr)+int64(len(data)) > int64(k.M.Mem.Len()) {
 		return fmt.Errorf("kernel: write %#x+%d out of range", addr, len(data))
 	}
-	copy(k.M.Mem[addr:], data)
+	k.M.Mem.WriteAt(addr, data)
 	return nil
 }
 
@@ -412,7 +412,7 @@ func (k *Kernel) Lock()   { k.mu.Lock() }
 func (k *Kernel) Unlock() { k.mu.Unlock() }
 
 // LockedMem exposes machine memory to callers that hold the lock.
-func (k *Kernel) LockedMem() []byte { return k.M.Mem }
+func (k *Kernel) LockedMem() *vm.Memory { return k.M.Mem }
 
 // LockedTasks exposes the task list to callers that hold the lock.
 func (k *Kernel) LockedTasks() []*Task { return k.tasks }

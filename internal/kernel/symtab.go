@@ -72,16 +72,49 @@ func (st *SymTab) AddModule(module string, im *obj.Image) {
 	}
 }
 
-// RemoveModule drops all symbols belonging to module.
+// RemoveModule drops all symbols belonging to module. Modules are
+// registered append-only, so unloading the most recently loaded module —
+// the common case: apply/undo pairs nest — removes a suffix of the
+// table, which is handled by truncation instead of rebuilding the name
+// index (an every-undo allocation hot spot in the eval pipeline).
 func (st *SymTab) RemoveModule(module string) {
-	var kept []Sym
+	first := len(st.syms)
+	for first > 0 && st.syms[first-1].Module == module {
+		first--
+	}
+	onlySuffix := true
+	for _, s := range st.syms[:first] {
+		if s.Module == module {
+			onlySuffix = false
+			break
+		}
+	}
+	if onlySuffix {
+		// Pop each suffix symbol from its name's index list back to front;
+		// index lists are append-ordered, so ours is always the tail entry.
+		for j := len(st.syms) - 1; j >= first; j-- {
+			name := st.syms[j].Name
+			idxs := st.byName[name]
+			if n := len(idxs); n > 0 && idxs[n-1] == j {
+				if n == 1 {
+					delete(st.byName, name)
+				} else {
+					st.byName[name] = idxs[:n-1]
+				}
+			}
+		}
+		st.syms = st.syms[:first]
+		return
+	}
+	// Interleaved loads: filter in place and rebuild the index.
+	kept := st.syms[:0]
 	for _, s := range st.syms {
 		if s.Module != module {
 			kept = append(kept, s)
 		}
 	}
 	st.syms = kept
-	st.byName = map[string][]int{}
+	st.byName = make(map[string][]int, len(kept))
 	for i, s := range st.syms {
 		st.byName[s.Name] = append(st.byName[s.Name], i)
 	}

@@ -1,0 +1,168 @@
+package store
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestMemHitFastPathTakesNoLock: a resident entry must be served while
+// the store's mutex is held by someone else. If the hit path ever grows a
+// mutex acquisition again, this test hangs (and fails via the timeout)
+// rather than silently reintroducing the contention that flattened the
+// parallel eval speedup.
+func TestMemHitFastPathTakesNoLock(t *testing.T) {
+	s := MustNew(Options{})
+	var calls atomic.Int64
+	key := Key("resident")
+	want := blob(1, 64)
+	if _, _, err := s.GetOrFill(key, memKind, fillWith(want, &calls)); err != nil {
+		t.Fatal(err)
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	done := make(chan Source, 1)
+	go func() {
+		_, src, _ := s.GetOrFill(key, memKind, fillWith(want, &calls))
+		done <- src
+	}()
+	select {
+	case src := <-done:
+		if src != Mem {
+			t.Errorf("hit under held lock served from %v, want Mem", src)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("mem-tier hit blocked on the store mutex: the fast path takes a lock")
+	}
+	if calls.Load() != 1 {
+		t.Errorf("fill ran %d times, want 1", calls.Load())
+	}
+}
+
+// TestJoinCountsOnlyAsJoin pins the singleflight join path's counters: a
+// caller that joins another caller's in-flight fill increments joins —
+// and ONLY joins. It must not count as a mem hit (the memory tier served
+// nothing) and must not count as a second miss (only the winner's fill
+// ran).
+func TestJoinCountsOnlyAsJoin(t *testing.T) {
+	s := MustNew(Options{})
+	key := Key("joined")
+	want := blob(2, 32)
+
+	inFill := make(chan struct{})
+	release := make(chan struct{})
+	var calls atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		s.GetOrFill(key, memKind, func() (any, error) {
+			calls.Add(1)
+			close(inFill)
+			<-release
+			return want, nil
+		})
+	}()
+	<-inFill // the winner is inside fill; the key is in-flight
+
+	const joiners = 4
+	for i := 0; i < joiners; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, src, err := s.GetOrFill(key, memKind, fillWith(want, &calls))
+			if err != nil || src != Mem {
+				t.Errorf("joiner: src=%v err=%v", src, err)
+			}
+			if v == nil {
+				t.Error("joiner got nil value")
+			}
+		}()
+	}
+	// Joiners must be parked on the in-flight call before the release;
+	// poll the join counter rather than sleeping blind.
+	for i := 0; i < 1000 && s.cJoins.Value() < joiners; i++ {
+		runtime.Gosched()
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+
+	st := s.Stats()
+	if got := s.cJoins.Value(); got != joiners {
+		t.Errorf("joins = %d, want %d", got, joiners)
+	}
+	if st.MemHits != 0 {
+		t.Errorf("mem hits = %d, want 0: joins must not be double-counted as hits", st.MemHits)
+	}
+	if st.Misses != 1 {
+		t.Errorf("misses = %d, want 1 (the single winner)", st.Misses)
+	}
+	if calls.Load() != 1 {
+		t.Errorf("fill ran %d times, want 1", calls.Load())
+	}
+
+	// After the fill lands, the entry is resident: the next get is a real
+	// mem hit.
+	if _, src, _ := s.GetOrFill(key, memKind, fillWith(want, &calls)); src != Mem {
+		t.Errorf("post-fill get served from %v, want Mem", src)
+	}
+	if st := s.Stats(); st.MemHits != 1 {
+		t.Errorf("mem hits after resident get = %d, want 1", st.MemHits)
+	}
+}
+
+// TestConcurrentMemHitsScale is the -race soak for the lock-free read
+// path: many goroutines hammering the same resident keys, with a
+// concurrent filler inserting fresh keys (exercising insert/evict against
+// racing reads).
+func TestConcurrentMemHitsScale(t *testing.T) {
+	s := MustNew(Options{MaxBytes: 1 << 20})
+	var calls atomic.Int64
+	const hot = 4
+	keys := make([]string, hot)
+	vals := make([][]byte, hot)
+	for i := range keys {
+		keys[i] = Key("hot", string(rune('a'+i)))
+		vals[i] = blob(byte(i), 128)
+		if _, _, err := s.GetOrFill(keys[i], memKind, fillWith(vals[i], &calls)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var readers, filler sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 8; w++ {
+		readers.Add(1)
+		go func(w int) {
+			defer readers.Done()
+			for i := 0; i < 5000; i++ {
+				ki := (w + i) % hot
+				v, src, err := s.GetOrFill(keys[ki], memKind, fillWith(vals[ki], &calls))
+				if err != nil || src != Mem || len(v.([]byte)) != len(vals[ki]) {
+					t.Errorf("reader %d iter %d: src=%v err=%v", w, i, src, err)
+					return
+				}
+			}
+		}(w)
+	}
+	filler.Add(1)
+	go func() {
+		defer filler.Done()
+		var n atomic.Int64
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			key := Key("cold", string(rune(i)))
+			s.GetOrFill(key, memKind, fillWith(blob(byte(i%200), 64), &n))
+		}
+	}()
+	readers.Wait()
+	close(stop)
+	filler.Wait()
+}

@@ -1,9 +1,13 @@
 // Package store is the content-addressed artifact store under the build
 // pipeline: a two-tier cache keyed by sha256 content hashes.
 //
-// The front tier is an in-memory LRU with a configurable byte cap. Behind
-// it sits an optional on-disk tier that persists serialized artifacts
-// (SOF object bytes, linked kernel images) under
+// The front tier is an in-memory cache with a configurable byte cap and
+// approximate-LRU eviction. Reads of resident entries are lock-free —
+// the eval pipeline's workers hit this tier hundreds of thousands of
+// times per run, so the hit path takes no mutex; only fills, inserts and
+// eviction serialize. Behind it sits an optional on-disk tier that
+// persists serialized artifacts (SOF object bytes, linked kernel images)
+// under
 //
 //	<dir>/objects/ab/cdef...
 //
@@ -31,7 +35,6 @@ package store
 import (
 	"bytes"
 	"compress/flate"
-	"container/list"
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
@@ -43,6 +46,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gosplice/internal/telemetry"
@@ -122,7 +126,7 @@ type Options struct {
 // Metrics()); the registry is the source of truth and is what /metrics
 // scrapes expose live.
 type Stats struct {
-	MemHits  uint64 // served from memory (including joined in-flight fills)
+	MemHits  uint64 // served by the memory tier's lock-free fast path
 	DiskHits uint64 // deserialized from the disk tier
 	Misses   uint64 // fill function ran
 
@@ -139,6 +143,11 @@ type entry struct {
 	key  string
 	val  any
 	size int64
+	// atime is the entry's recency stamp, drawn from the store's shared
+	// clock on every hit. Eviction sorts by it; a stale stamp at worst
+	// evicts a slightly-wrong victim (approximate LRU), never a wrong
+	// value.
+	atime atomic.Int64
 }
 
 type call struct {
@@ -154,10 +163,18 @@ type Store struct {
 	dir       string // "" = memory-only
 	readFault func(b []byte) ([]byte, error)
 
+	// entries is the memory tier: key -> *entry. Resident-entry reads go
+	// straight through it with no locking; all mutation (insert, evict)
+	// happens under mu. A reader racing an eviction may still be handed
+	// the evicted value — harmless, artifacts are immutable.
+	entries sync.Map
+	// clock issues recency stamps for approximate LRU. Monotonic,
+	// incremented on every hit and insert.
+	clock atomic.Int64
+
 	mu       sync.Mutex
-	items    map[string]*list.Element // key -> element holding *entry
-	lru      *list.List               // front = most recently used
 	curBytes int64
+	memCount int64
 	inflight map[string]*call
 	// touched records disk-tier keys this process read or wrote; GC
 	// never evicts them, so a sweep cannot pull an entry out from under
@@ -198,13 +215,11 @@ func New(o Options) (*Store, error) {
 		maxBytes:  o.MaxBytes,
 		dir:       o.Dir,
 		readFault: o.ReadFault,
-		items:     map[string]*list.Element{},
-		lru:       list.New(),
 		inflight:  map[string]*call{},
 		touched:   map[string]bool{},
 		met:       met,
 	}
-	met.Help("gosplice_store_gets_total", "artifact lookups by outcome (mem_hit includes singleflight joins)")
+	met.Help("gosplice_store_gets_total", "artifact lookups by outcome (singleflight joins are counted only in singleflight_joins_total)")
 	met.Help("gosplice_store_singleflight_joins_total", "lookups that joined another caller's in-flight fill")
 	met.Help("gosplice_store_evictions_total", "in-memory entries dropped by the LRU byte cap")
 	met.Help("gosplice_store_disk_writes_total", "artifacts persisted to the disk tier")
@@ -266,18 +281,32 @@ func Key(parts ...string) string {
 // joiner. Fill errors are returned but never cached — a later call
 // retries. The returned value is shared and must not be mutated.
 func (s *Store) GetOrFill(key string, k Kind, fill func() (any, error)) (any, Source, error) {
-	s.mu.Lock()
-	if el, ok := s.items[key]; ok {
-		s.lru.MoveToFront(el)
-		v := el.Value.(*entry).val
-		s.mu.Unlock()
+	// Fast path: a resident entry is served with no lock at all. Counters
+	// and the recency stamp are atomics, so concurrent readers of a hot
+	// key (the dominant access pattern of a parallel eval run) never
+	// contend with each other or with unrelated fills.
+	if v, ok := s.entries.Load(key); ok {
+		e := v.(*entry)
+		e.atime.Store(s.clock.Add(1))
 		s.cMemHits.Inc()
-		return v, Mem, nil
+		return e.val, Mem, nil
+	}
+	s.mu.Lock()
+	// Re-check under the lock: a fill may have completed between the
+	// fast-path miss and acquiring mu.
+	if v, ok := s.entries.Load(key); ok {
+		s.mu.Unlock()
+		e := v.(*entry)
+		e.atime.Store(s.clock.Add(1))
+		s.cMemHits.Inc()
+		return e.val, Mem, nil
 	}
 	if c, ok := s.inflight[key]; ok {
-		// Join the in-flight fill: one compile, many consumers.
+		// Join the in-flight fill: one compile, many consumers. Joins are
+		// counted only as joins — the joined result was not served by the
+		// memory tier, so counting it as a mem hit would inflate hit-rate
+		// telemetry.
 		s.mu.Unlock()
-		s.cMemHits.Inc()
 		s.cJoins.Inc()
 		c.wg.Wait()
 		return c.val, Mem, c.err
@@ -331,23 +360,43 @@ func (s *Store) lookupOrFill(key string, k Kind, fill func() (any, error)) (any,
 }
 
 func (s *Store) insertLocked(key string, v any, k Kind) {
-	if _, ok := s.items[key]; ok {
+	if _, ok := s.entries.Load(key); ok {
 		return // a racing disk hit and fill can both insert; keep the first
 	}
-	size := k.Size(v)
-	e := &entry{key: key, val: v, size: size}
-	s.items[key] = s.lru.PushFront(e)
-	s.curBytes += size
-	for s.curBytes > s.maxBytes && s.lru.Len() > 0 {
-		back := s.lru.Back()
-		old := back.Value.(*entry)
-		s.lru.Remove(back)
-		delete(s.items, old.key)
-		s.curBytes -= old.size
-		s.cEvictions.Inc()
+	e := &entry{key: key, val: v, size: k.Size(v)}
+	e.atime.Store(s.clock.Add(1))
+	s.entries.Store(key, e)
+	s.memCount++
+	s.curBytes += e.size
+	if s.curBytes > s.maxBytes {
+		s.evictLocked()
 	}
 	s.gMemBytes.Set(s.curBytes)
-	s.gMemEntries.Set(int64(s.lru.Len()))
+	s.gMemEntries.Set(s.memCount)
+}
+
+// evictLocked brings the memory tier back under its byte cap by dropping
+// the entries with the oldest recency stamps first. It runs only when an
+// insert pushes the tier over the cap, so the O(n log n) collect-and-sort
+// is paid on the rare pressure path, never on hits. Fast-path readers
+// racing an eviction may still be handed the dropped value; that is fine,
+// artifacts are immutable and the next lookup refills.
+func (s *Store) evictLocked() {
+	var all []*entry
+	s.entries.Range(func(_, v any) bool {
+		all = append(all, v.(*entry))
+		return true
+	})
+	sort.Slice(all, func(i, j int) bool { return all[i].atime.Load() < all[j].atime.Load() })
+	for _, e := range all {
+		if s.curBytes <= s.maxBytes || s.memCount == 0 {
+			break
+		}
+		s.entries.Delete(e.key)
+		s.memCount--
+		s.curBytes -= e.size
+		s.cEvictions.Inc()
+	}
 }
 
 // Stats returns a snapshot of the counters and memory-tier gauges, read
@@ -355,7 +404,7 @@ func (s *Store) insertLocked(key string, v any, k Kind) {
 func (s *Store) Stats() Stats {
 	s.mu.Lock()
 	mem := uint64(s.curBytes)
-	entries := uint64(s.lru.Len())
+	entries := uint64(s.memCount)
 	s.mu.Unlock()
 	return Stats{
 		MemHits:        s.cMemHits.Value(),

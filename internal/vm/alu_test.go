@@ -182,17 +182,13 @@ func TestIndirectJumpAndCall(t *testing.T) {
 	fn = isa.RET(fn)
 
 	m, th := load(code, 0x100)
-	copy(m.Mem[fnAddr:], fn)
+	m.Mem.WriteAt(fnAddr, fn)
 	// The JMPR lands at fn; its RET pops garbage unless we prime the
 	// stack: push a HLT address first.
 	const hltAddr = 0x400
-	m.Mem[hltAddr] = byte(isa.OpHLT)
-	th.SetSP(uint32(len(m.Mem)) - 8)
-	for i := 0; i < 8; i++ {
-		m.Mem[len(m.Mem)-8+i] = 0
-	}
-	m.Mem[len(m.Mem)-8] = byte(hltAddr & 0xff)
-	m.Mem[len(m.Mem)-7] = byte(hltAddr >> 8)
+	m.Mem.SetByte(hltAddr, byte(isa.OpHLT))
+	th.SetSP(uint32(m.Mem.Len()) - 8)
+	m.Mem.StoreLE(uint32(m.Mem.Len()-8), 8, hltAddr)
 
 	if _, err := m.Run(th, 100); err != nil {
 		t.Fatal(err)
@@ -230,7 +226,7 @@ func TestLowGuardFaults(t *testing.T) {
 	}
 	// Execution below the guard also faults.
 	th2 := &Thread{IP: 0x10}
-	th2.SetSP(uint32(len(m.Mem)))
+	th2.SetSP(uint32(m.Mem.Len()))
 	if err := m.Step(th2); err == nil {
 		t.Error("guard-page execution succeeded")
 	}

@@ -1,0 +1,461 @@
+package vm
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+
+	"gosplice/internal/isa"
+)
+
+// Machine memory is paged so that kernels can be cloned copy-on-write:
+// a clone shares every page with its parent and copies a page privately
+// only when someone writes it. The evaluation pipeline clones one booted
+// template kernel per patch; before paging, each clone paid a full
+// memory copy (16 MB) up front — the dominant cost of the whole parallel
+// run. With COW a clone costs one page-table copy (~100 KB of slice
+// headers) and thereafter only the pages it actually dirties.
+const (
+	// PageShift selects 4 KiB pages: small enough that a patch's dirty
+	// set (a few stacks, some heap, the module area) stays in the tens
+	// of pages, large enough that the page table is trivial.
+	PageShift = 12
+	PageSize  = 1 << PageShift
+	pageMask  = PageSize - 1
+)
+
+// zeroPage backs every never-written page of a fresh Memory. It is
+// shared by all machines in the process and must never be written —
+// pages referencing it are always marked shared, so writes fault into a
+// private copy first.
+var zeroPage = make([]byte, PageSize)
+
+// maxInsnWindow bounds the byte window instruction decoding needs: the
+// longest SIM32 encoding is 10 bytes (opcode + reg + 8-byte immediate).
+const maxInsnWindow = 16
+
+// Memory is byte-addressed machine memory as an array of pages with
+// copy-on-write semantics. The zero value is not usable; construct with
+// NewMemory or MemoryOver.
+//
+// Memory performs no internal locking: like the rest of Machine, callers
+// serialize access (the kernel's machine lock). The one cross-instance
+// invariant is that a page marked shared (priv[i] == false) is never
+// written in place by anyone — writers first copy it — so two clones may
+// read the same underlying page concurrently without synchronization.
+type Memory struct {
+	size  int
+	pages [][]byte
+	priv  []bool // priv[i]: pages[i] is exclusively ours, writable in place
+
+	// arena suballocates freshly faulted pages in chunks so a boot or a
+	// busy clone does not pay one make() per 4 KiB page.
+	arena []byte
+
+	// Decoded-instruction cache. dc is a direct-mapped cache of decoded
+	// instructions keyed by offset; gen holds a per-page write generation
+	// so any write to a page exactly invalidates that page's cached
+	// decodes (self-modifying code — trampoline splice and undo — stays
+	// correct). Both are allocated lazily on the first DecodeAt, so
+	// memories that never execute (build artifacts, match views) pay
+	// nothing. noCache disables the cache for aliased memories
+	// (MemoryOver), whose backing bytes can change without going through
+	// a Memory writer.
+	gen     []uint32
+	dc      []dcEntry
+	noCache bool
+}
+
+// The decode cache is direct-mapped by the low offset bits: hot loops
+// are small, and a conflict costs only a re-decode.
+const (
+	dcSize = 2048
+	dcMask = dcSize - 1
+)
+
+type dcEntry struct {
+	off int32 // instruction offset (entries with in.Len == 0 are empty)
+	gen uint32
+	in  isa.Insn
+}
+
+// NewMemory creates an all-zero memory of the given size. No backing
+// bytes are allocated up front: every page starts as a reference to the
+// shared zero page and is materialized on first write, so a large,
+// mostly-untouched machine costs only its page table.
+func NewMemory(size int) *Memory {
+	n := (size + PageSize - 1) >> PageShift
+	m := &Memory{
+		size:  size,
+		pages: make([][]byte, n),
+		priv:  make([]bool, n),
+	}
+	for i := range m.pages {
+		m.pages[i] = zeroPage[:m.pageLen(i)]
+	}
+	return m
+}
+
+// MemoryOver wraps an existing byte slice as a Memory without copying:
+// pages alias directly into b, so writes through the Memory mutate b and
+// vice versa. It exists for callers that already hold a flat image
+// (tests, run-pre matching over synthetic memories) and supports
+// arbitrary, non-page-multiple lengths.
+func MemoryOver(b []byte) *Memory {
+	n := (len(b) + PageSize - 1) >> PageShift
+	m := &Memory{
+		size:  len(b),
+		pages: make([][]byte, n),
+		priv:  make([]bool, n),
+	}
+	for i := range m.pages {
+		lo := i << PageShift
+		m.pages[i] = b[lo : lo+m.pageLen(i)]
+		m.priv[i] = true
+	}
+	m.noCache = true
+	return m
+}
+
+// pageLen is the logical length of page i (the last page may be short).
+func (m *Memory) pageLen(i int) int {
+	if rem := m.size - i<<PageShift; rem < PageSize {
+		return rem
+	}
+	return PageSize
+}
+
+// Len returns the memory size in bytes.
+func (m *Memory) Len() int { return m.size }
+
+// Clone returns a copy-on-write snapshot. Every page becomes shared
+// between parent and clone (including by the parent: its next write to a
+// page also faults a private copy, so the snapshot is immutable from
+// both sides). Cost is one page-table copy, independent of memory size.
+func (m *Memory) Clone() *Memory {
+	for i := range m.priv {
+		m.priv[i] = false
+	}
+	return &Memory{
+		size:    m.size,
+		pages:   append([][]byte(nil), m.pages...),
+		priv:    make([]bool, len(m.pages)),
+		noCache: m.noCache,
+	}
+}
+
+// Truncate returns a read-oriented view of the first n bytes, sharing
+// pages copy-on-write like Clone. Run-pre matching tests use it to model
+// a machine whose memory ends mid-function.
+func (m *Memory) Truncate(n int) *Memory {
+	if n < 0 || n > m.size {
+		panic(fmt.Sprintf("vm: Truncate(%d) outside memory of %d bytes", n, m.size))
+	}
+	for i := range m.priv {
+		m.priv[i] = false
+	}
+	np := (n + PageSize - 1) >> PageShift
+	t := &Memory{
+		size:    n,
+		pages:   append([][]byte(nil), m.pages[:np]...),
+		priv:    make([]bool, np),
+		noCache: m.noCache,
+	}
+	if np > 0 {
+		// The last page of the view may be shorter than the source page.
+		if last := t.pageLen(np - 1); last < len(t.pages[np-1]) {
+			t.pages[np-1] = t.pages[np-1][:last]
+		}
+	}
+	return t
+}
+
+// writable returns page i as a private, in-place-writable slice,
+// faulting a copy if the page is currently shared.
+func (m *Memory) writable(i int) []byte {
+	if m.priv[i] {
+		return m.pages[i]
+	}
+	n := m.pageLen(i)
+	if len(m.arena) < n {
+		// Chunked allocation: 32 pages at a time keeps fault cost low
+		// without over-committing for lightly-dirtied clones.
+		m.arena = make([]byte, 32*PageSize)
+	}
+	p := m.arena[:n:n]
+	m.arena = m.arena[n:]
+	copy(p, m.pages[i])
+	m.pages[i] = p
+	m.priv[i] = true
+	return p
+}
+
+// bump records a write to page i for decode-cache invalidation. gen is
+// only materialized alongside the cache, so memories that never execute
+// skip the bookkeeping entirely.
+func (m *Memory) bump(i int) {
+	if m.gen != nil {
+		m.gen[i]++
+	}
+}
+
+// Byte reads one byte. Callers are expected to have bounds-checked;
+// out-of-range addresses panic like a slice index would.
+func (m *Memory) Byte(addr uint32) byte {
+	if int(addr) >= m.size {
+		panic(fmt.Sprintf("vm: Byte(%#x) outside memory of %d bytes", addr, m.size))
+	}
+	return m.pages[addr>>PageShift][addr&pageMask]
+}
+
+// SetByte writes one byte, faulting the page private if shared.
+func (m *Memory) SetByte(addr uint32, v byte) {
+	if int(addr) >= m.size {
+		panic(fmt.Sprintf("vm: SetByte(%#x) outside memory of %d bytes", addr, m.size))
+	}
+	i := int(addr >> PageShift)
+	m.writable(i)[addr&pageMask] = v
+	m.bump(i)
+}
+
+// ReadAt fills dst with the bytes at addr. The range must lie inside
+// memory.
+func (m *Memory) ReadAt(dst []byte, addr uint32) {
+	if int64(addr)+int64(len(dst)) > int64(m.size) {
+		panic(fmt.Sprintf("vm: ReadAt(%#x, %d) outside memory of %d bytes", addr, len(dst), m.size))
+	}
+	for len(dst) > 0 {
+		pg := m.pages[addr>>PageShift]
+		off := int(addr & pageMask)
+		n := copy(dst, pg[off:])
+		dst = dst[n:]
+		addr += uint32(n)
+	}
+}
+
+// ReadBytes is ReadAt into a fresh slice.
+func (m *Memory) ReadBytes(addr uint32, n int) []byte {
+	out := make([]byte, n)
+	m.ReadAt(out, addr)
+	return out
+}
+
+// WriteAt copies src into memory at addr, faulting pages private as
+// needed. The range must lie inside memory.
+func (m *Memory) WriteAt(addr uint32, src []byte) {
+	if int64(addr)+int64(len(src)) > int64(m.size) {
+		panic(fmt.Sprintf("vm: WriteAt(%#x, %d) outside memory of %d bytes", addr, len(src), m.size))
+	}
+	for len(src) > 0 {
+		i := int(addr >> PageShift)
+		pg := m.writable(i)
+		m.bump(i)
+		off := int(addr & pageMask)
+		n := copy(pg[off:], src)
+		src = src[n:]
+		addr += uint32(n)
+	}
+}
+
+// ZeroRange zeroes n bytes at addr. Pages wholly covered by the range
+// are re-pointed at the shared zero page instead of being scrubbed, so
+// zeroing large extents (module unload, kzalloc of big blocks) is
+// O(pages), and a clone's zeroed pages cost no private memory at all.
+func (m *Memory) ZeroRange(addr uint32, n uint32) {
+	if int64(addr)+int64(n) > int64(m.size) {
+		panic(fmt.Sprintf("vm: ZeroRange(%#x, %d) outside memory of %d bytes", addr, n, m.size))
+	}
+	for n > 0 {
+		i := int(addr >> PageShift)
+		off := int(addr & pageMask)
+		if off == 0 && int(n) >= m.pageLen(i) {
+			// Whole page: drop the backing store, share the zero page.
+			step := m.pageLen(i)
+			m.pages[i] = zeroPage[:step]
+			m.priv[i] = false
+			m.bump(i)
+			addr += uint32(step)
+			n -= uint32(step)
+			continue
+		}
+		pg := m.writable(i)
+		m.bump(i)
+		end := off + int(n)
+		if end > len(pg) {
+			end = len(pg)
+		}
+		for j := off; j < end; j++ {
+			pg[j] = 0
+		}
+		step := uint32(end - off)
+		addr += step
+		n -= step
+	}
+}
+
+// LoadLE reads size bytes (1..8) at addr as a little-endian unsigned
+// value. The range must lie inside memory.
+func (m *Memory) LoadLE(addr uint32, size int) uint64 {
+	off := int(addr & pageMask)
+	pg := m.pages[addr>>PageShift]
+	if off+size <= len(pg) {
+		switch size {
+		case 1:
+			return uint64(pg[off])
+		case 2:
+			return uint64(binary.LittleEndian.Uint16(pg[off:]))
+		case 4:
+			return uint64(binary.LittleEndian.Uint32(pg[off:]))
+		case 8:
+			return binary.LittleEndian.Uint64(pg[off:])
+		}
+	}
+	// Page-straddling (or odd-size) access: assemble byte-wise.
+	var v uint64
+	for i := 0; i < size; i++ {
+		v |= uint64(m.Byte(addr+uint32(i))) << (8 * i)
+	}
+	return v
+}
+
+// StoreLE writes the low size bytes (1..8) of v at addr, little-endian.
+func (m *Memory) StoreLE(addr uint32, size int, v uint64) {
+	off := int(addr & pageMask)
+	if i := int(addr >> PageShift); off+size <= m.pageLen(i) {
+		pg := m.writable(i)
+		m.bump(i)
+		switch size {
+		case 1:
+			pg[off] = byte(v)
+			return
+		case 2:
+			binary.LittleEndian.PutUint16(pg[off:], uint16(v))
+			return
+		case 4:
+			binary.LittleEndian.PutUint32(pg[off:], uint32(v))
+			return
+		case 8:
+			binary.LittleEndian.PutUint64(pg[off:], v)
+			return
+		}
+	}
+	for i := 0; i < size; i++ {
+		m.SetByte(addr+uint32(i), byte(v>>(8*i)))
+	}
+}
+
+// EqualAt reports whether memory at addr equals b. The range must lie
+// inside memory.
+func (m *Memory) EqualAt(b []byte, addr uint32) bool {
+	if int64(addr)+int64(len(b)) > int64(m.size) {
+		panic(fmt.Sprintf("vm: EqualAt(%#x, %d) outside memory of %d bytes", addr, len(b), m.size))
+	}
+	for len(b) > 0 {
+		pg := m.pages[addr>>PageShift]
+		off := int(addr & pageMask)
+		n := len(pg) - off
+		if n > len(b) {
+			n = len(b)
+		}
+		if !bytes.Equal(b[:n], pg[off:off+n]) {
+			return false
+		}
+		b = b[n:]
+		addr += uint32(n)
+	}
+	return true
+}
+
+// window returns up to len(buf) bytes starting at off for instruction
+// decoding: a zero-copy in-page slice when possible, otherwise a gather
+// into buf across the page boundary. off must be within memory.
+func (m *Memory) window(off int, buf []byte) []byte {
+	i := off >> PageShift
+	po := off & pageMask
+	pg := m.pages[i]
+	if len(pg)-po >= len(buf) || i == len(m.pages)-1 {
+		// Enough in-page bytes, or the page ends where memory ends (so
+		// the short window is the truth, not an artifact of paging).
+		return pg[po:]
+	}
+	n := m.size - off
+	if n > len(buf) {
+		n = len(buf)
+	}
+	for j := 0; j < n; {
+		pg := m.pages[(off+j)>>PageShift]
+		o := (off + j) & pageMask
+		j += copy(buf[j:n], pg[o:])
+	}
+	return buf[:n]
+}
+
+// DecodeAt decodes the instruction at off, reading across page
+// boundaries as needed. Decodes of in-page instructions are served from
+// the direct-mapped cache when the page has not been written since the
+// entry was filled; the interpreter re-decodes every instruction it
+// steps, so this is its hottest read path. Like every other method,
+// DecodeAt assumes a single owner: it mutates the cache.
+func (m *Memory) DecodeAt(off int) (isa.Insn, error) {
+	if off < 0 || off >= m.size {
+		return isa.Insn{}, fmt.Errorf("isa: decode offset %#x out of range", off)
+	}
+	if m.dc == nil {
+		if m.noCache {
+			var buf [maxInsnWindow]byte
+			return isa.Decode(m.window(off, buf[:]), 0)
+		}
+		m.gen = make([]uint32, len(m.pages))
+		m.dc = make([]dcEntry, dcSize)
+	}
+	pg := off >> PageShift
+	g := m.gen[pg]
+	e := &m.dc[off&dcMask]
+	if e.off == int32(off) && e.gen == g && e.in.Len > 0 {
+		return e.in, nil
+	}
+	var buf [maxInsnWindow]byte
+	in, err := isa.Decode(m.window(off, buf[:]), 0)
+	if err == nil && (off&pageMask)+in.Len <= len(m.pages[pg]) {
+		// Cache only instructions wholly inside one page, so a single
+		// page generation covers the entry's validity.
+		*e = dcEntry{off: int32(off), gen: g, in: in}
+	}
+	return in, err
+}
+
+// SkipNops returns the offset of the first non-no-op byte at or after
+// off, mirroring isa.SkipNops over paged memory.
+func (m *Memory) SkipNops(off int) int {
+	for off >= 0 && off < m.size {
+		var buf [4]byte
+		n := isa.NopLen(m.window(off, buf[:]), 0)
+		if n == 0 {
+			return off
+		}
+		off += n
+	}
+	return off
+}
+
+// Bytes returns a flat copy of the whole memory. It is O(size) — a
+// diagnostic and test affordance, not a data path.
+func (m *Memory) Bytes() []byte {
+	out := make([]byte, m.size)
+	for i, pg := range m.pages {
+		copy(out[i<<PageShift:], pg)
+	}
+	return out
+}
+
+// PrivatePages reports how many pages are private (materialized) rather
+// than shared — the clone's real memory footprint in pages.
+func (m *Memory) PrivatePages() int {
+	n := 0
+	for _, p := range m.priv {
+		if p {
+			n++
+		}
+	}
+	return n
+}

@@ -11,7 +11,6 @@
 package vm
 
 import (
-	"encoding/binary"
 	"fmt"
 
 	"gosplice/internal/isa"
@@ -59,11 +58,11 @@ func (t *Thread) SetFP(v uint32) { t.R[isa.FP] = uint64(v) }
 // faults the thread.
 type TrapFunc func(t *Thread) error
 
-// Machine is a flat physical memory plus the trap table shared by all
+// Machine is paged physical memory plus the trap table shared by all
 // threads. Scheduling lives above this package; Machine itself performs no
 // synchronization.
 type Machine struct {
-	Mem []byte
+	Mem *Memory
 	// LowGuard makes addresses below it fault on access or execution,
 	// emulating an unmapped page at NULL so pointer bugs trap instead of
 	// silently reading memory.
@@ -74,8 +73,19 @@ type Machine struct {
 // New creates a machine with the given memory size.
 func New(memSize int) *Machine {
 	return &Machine{
-		Mem:   make([]byte, memSize),
+		Mem:   NewMemory(memSize),
 		traps: make(map[uint16]TrapFunc),
+	}
+}
+
+// Clone returns a machine sharing this one's memory copy-on-write. Trap
+// handlers are not carried over (they close over the owning kernel);
+// callers re-register handlers on the clone.
+func (m *Machine) Clone() *Machine {
+	return &Machine{
+		Mem:      m.Mem.Clone(),
+		LowGuard: m.LowGuard,
+		traps:    make(map[uint16]TrapFunc),
 	}
 }
 
@@ -92,7 +102,7 @@ func (m *Machine) check(ip, addr uint32, size int) error {
 	if addr < m.LowGuard {
 		return m.fault(ip, "memory access %#x+%d in guard page (null dereference)", addr, size)
 	}
-	if int64(addr)+int64(size) > int64(len(m.Mem)) {
+	if int64(addr)+int64(size) > int64(m.Mem.Len()) {
 		return m.fault(ip, "memory access %#x+%d out of range", addr, size)
 	}
 	return nil
@@ -103,16 +113,9 @@ func (m *Machine) Load(ip, addr uint32, size int) (uint64, error) {
 	if err := m.check(ip, addr, size); err != nil {
 		return 0, err
 	}
-	b := m.Mem[addr:]
 	switch size {
-	case 1:
-		return uint64(b[0]), nil
-	case 2:
-		return uint64(binary.LittleEndian.Uint16(b)), nil
-	case 4:
-		return uint64(binary.LittleEndian.Uint32(b)), nil
-	case 8:
-		return binary.LittleEndian.Uint64(b), nil
+	case 1, 2, 4, 8:
+		return m.Mem.LoadLE(addr, size), nil
 	}
 	return 0, m.fault(ip, "bad load size %d", size)
 }
@@ -122,16 +125,9 @@ func (m *Machine) Store(ip, addr uint32, size int, v uint64) error {
 	if err := m.check(ip, addr, size); err != nil {
 		return err
 	}
-	b := m.Mem[addr:]
 	switch size {
-	case 1:
-		b[0] = byte(v)
-	case 2:
-		binary.LittleEndian.PutUint16(b, uint16(v))
-	case 4:
-		binary.LittleEndian.PutUint32(b, uint32(v))
-	case 8:
-		binary.LittleEndian.PutUint64(b, v)
+	case 1, 2, 4, 8:
+		m.Mem.StoreLE(addr, size, v)
 	default:
 		return m.fault(ip, "bad store size %d", size)
 	}
@@ -208,7 +204,7 @@ func (m *Machine) Step(t *Thread) error {
 	if ip < m.LowGuard {
 		return m.fault(ip, "execution in guard page (jump through null pointer)")
 	}
-	in, err := isa.Decode(m.Mem, int(ip))
+	in, err := m.Mem.DecodeAt(int(ip))
 	if err != nil {
 		return m.fault(ip, "decode: %v", err)
 	}
@@ -255,7 +251,8 @@ func (m *Machine) Step(t *Thread) error {
 
 	case isa.OpST8, isa.OpST16, isa.OpST32, isa.OpST64:
 		addr := uint32(t.R[rd]) + uint32(in.Disp)
-		size := map[isa.Op]int{isa.OpST8: 1, isa.OpST16: 2, isa.OpST32: 4, isa.OpST64: 8}[in.Op]
+		// ST8..ST64 are consecutive opcodes, so the width is 1<<(op-ST8).
+		size := 1 << (in.Op - isa.OpST8)
 		if err := m.Store(ip, addr, size, t.R[rs]); err != nil {
 			return err
 		}

@@ -12,9 +12,9 @@ import (
 // to run it with a stack at the top of memory.
 func load(code []byte, addr uint32) (*Machine, *Thread) {
 	m := New(1 << 16)
-	copy(m.Mem[addr:], code)
+	m.Mem.WriteAt(addr, code)
 	t := &Thread{IP: addr}
-	t.SetSP(uint32(len(m.Mem)))
+	t.SetSP(uint32(m.Mem.Len()))
 	return m, t
 }
 
@@ -141,10 +141,10 @@ func TestCallRetAndStack(t *testing.T) {
 	f = isa.RET(f)
 
 	m, th := load(main, 0x100)
-	copy(m.Mem[fAddr:], f)
+	m.Mem.WriteAt(fAddr, f)
 	// Patch the call displacement: target - next.
 	next := uint32(0x100 + callOff + 5)
-	isa.PatchRel32(m.Mem[0x100+callOff+1:], 0, int32(fAddr-next))
+	m.Mem.StoreLE(uint32(0x100+callOff+1), 4, uint64(uint32(fAddr-next)))
 
 	sp0 := th.SP()
 	if _, err := m.Run(th, 100); err != nil {
@@ -224,7 +224,7 @@ func TestTrapDispatchAndRedirect(t *testing.T) {
 	handler = isa.HLT(handler)
 
 	m, th := load(code, 0x100)
-	copy(m.Mem[handlerAddr:], handler)
+	m.Mem.WriteAt(handlerAddr, handler)
 	m.Handle(5, func(t *Thread) error { t.R[isa.R0] *= 2; return nil })
 	m.Handle(9, func(t *Thread) error { t.IP = handlerAddr; return nil })
 
