@@ -22,15 +22,22 @@ test:
 # byte-identical and the warm process must compile nothing; a live
 # observability smoke — a serving channel's /metrics scraped and its
 # exposition validated (store, channel, and eval families all present);
-# and a parallel-determinism smoke — the full 64-CVE evaluation run
+# a parallel-determinism smoke — the full 64-CVE evaluation run
 # serially and with 8 workers, with the deterministic tables (headline
 # and Table 1) required byte-identical: worker scheduling over the
-# copy-on-write kernel clones must never leak into results.
+# copy-on-write kernel clones must never leak into results; the
+# signed-manifest and no-compile smokes under the race detector (a
+# pinned key must admit the right publisher and refuse unsigned or
+# tampered manifests, and a warm-store subscriber must apply a whole
+# release with zero unit compilations); and a CLI-level signed-channel
+# round trip — keygen, signed publish, subscribe with the pinned .pub,
+# and a required refusal of an unsigned channel under the same pin.
 check:
 	$(GO) vet ./...
 	$(GO) test -race ./internal/telemetry
 	$(GO) test -race -run 'UnitCache|CreateUpdateDeterministic|DiskWarmStart|EvictionUnderPressure|BuildParallel|Concurrent|Corrupt|GC' ./internal/srctree ./internal/core ./internal/store
 	$(GO) test -race -run 'ChaosSoak' ./internal/channel
+	$(GO) test -race -run 'SignedChannel|Refuses|SignatureTamper|NoCompileWarmStore' ./internal/channel
 	$(GO) test -race ./...
 	@tmp=$$(mktemp -d) && \
 	$(GO) run ./cmd/ksplice-create -version sim-2.6.16-deb -cve CVE-2006-2451 -cache-dir $$tmp/store -cache-stats -o $$tmp/cold.tar >/dev/null 2>$$tmp/cold.log && \
@@ -58,6 +65,17 @@ check:
 	cmp $$tmp/serial-head.out $$tmp/parallel-head.out && \
 	echo "check: parallel eval (-j 8) byte-identical to serial across all 64 CVEs" && \
 	rm -rf $$tmp
+	@tmp=$$(mktemp -d); \
+	$(GO) build -o $$tmp/ksplice-channel ./cmd/ksplice-channel && \
+	$(GO) run ./cmd/simboot -version sim-2.6.16-deb -state $$tmp/machine.json >/dev/null && \
+	$(GO) run ./cmd/simboot -version sim-2.6.16-deb -state $$tmp/machine2.json >/dev/null && \
+	$$tmp/ksplice-channel -keygen $$tmp/pub.key >/dev/null && \
+	$$tmp/ksplice-channel -publish -dir $$tmp/chan -version sim-2.6.16-deb -cve CVE-2006-2451 -sign-key $$tmp/pub.key >/dev/null && \
+	$$tmp/ksplice-channel -subscribe -dir $$tmp/chan -state $$tmp/machine.json -verify-key $$tmp/pub.key.pub >/dev/null && \
+	$$tmp/ksplice-channel -publish -dir $$tmp/unsigned -version sim-2.6.16-deb -cve CVE-2006-2451 >/dev/null && \
+	! $$tmp/ksplice-channel -subscribe -dir $$tmp/unsigned -state $$tmp/machine2.json -verify-key $$tmp/pub.key.pub >/dev/null 2>&1 && \
+	echo "check: signed channel subscribes with the pinned key; unsigned channel refused" && \
+	rm -rf $$tmp
 
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$'
@@ -68,6 +86,6 @@ bench:
 # so the record carries the counters behind the custom metrics. Commit
 # BENCH_eval.json to track the trend across PRs.
 bench-json:
-	GOSPLICE_TELEMETRY_OUT=$$(pwd)/BENCH_telemetry.json $(GO) test -run '^$$' -bench 'BenchmarkEvalAll64|BenchmarkPrePostDiff|BenchmarkKernelBuild' -benchmem > BENCH_eval.txt
+	GOSPLICE_TELEMETRY_OUT=$$(pwd)/BENCH_telemetry.json $(GO) test -run '^$$' -bench 'BenchmarkEvalAll64|BenchmarkPrePostDiff|BenchmarkKernelBuild|BenchmarkChannelSubscribePrebuilt|BenchmarkChannelSubscribeSourceBuild|BenchmarkChannelDeltaBandwidth' -benchmem > BENCH_eval.txt
 	$(GO) run ./cmd/benchjson -in BENCH_eval.txt -telemetry BENCH_telemetry.json -out BENCH_eval.json
 	rm -f BENCH_eval.txt BENCH_telemetry.json

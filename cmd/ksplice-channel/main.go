@@ -4,16 +4,25 @@
 // subscribed machines transparently receive every update they are
 // missing — eliminating all their security reboots at once.
 //
+//	ksplice-channel -keygen publisher.key
 //	ksplice-channel -publish -dir channel -version sim-2.6.20-deb
-//	ksplice-channel -publish -dir channel -version sim-2.6.20-deb -cve CVE-2007-3851
+//	ksplice-channel -publish -dir channel -version sim-2.6.20-deb -sign-key publisher.key
 //	ksplice-channel -serve -dir channel -addr :8940
 //	ksplice-channel -subscribe -dir channel -state machine.json
-//	ksplice-channel -subscribe -url http://updates.example:8940 -state machine.json
+//	ksplice-channel -subscribe -url http://updates.example:8940 -state machine.json -verify-key publisher.key.pub
 //	ksplice-channel -scrape http://updates.example:8940/metrics
 //
 // A serving channel also exposes /metrics (Prometheus text) and
 // /debug/vars (JSON) for live introspection; -scrape fetches a running
 // server's exposition and validates it.
+//
+// Publishing also emits the release's prebuilt build artifacts and
+// binary deltas between adjacent positions (disable with -no-prebuilt),
+// so a subscriber fetches only the blobs it is missing — reconstructing
+// most from deltas — and boots and applies without invoking the
+// compiler. With -sign-key each manifest carries an offline ed25519
+// signature; a subscriber started with -verify-key refuses manifests
+// that are unsigned or signed by anyone else.
 //
 // Every tarball is published with its sha256 digest and size in the
 // manifest, and a subscriber verifies each download end to end before it
@@ -62,6 +71,10 @@ func main() {
 	cacheMax := flag.Int64("cache-max-bytes", store.DefaultMaxBytes, "in-memory artifact cache cap in bytes")
 	cacheGC := flag.Int64("cache-gc-bytes", 0, "sweep the on-disk artifact cache down to this many bytes before running (0 = no sweep)")
 	scrape := flag.String("scrape", "", "fetch this /metrics URL, validate the exposition, and summarise it")
+	keygen := flag.String("keygen", "", "generate an ed25519 signing key pair at this path (and .pub) and exit")
+	signKey := flag.String("sign-key", "", "sign published manifests with this ed25519 key file (publish)")
+	verifyKey := flag.String("verify-key", "", "refuse manifests not signed by this public key file (subscribe)")
+	noPrebuilt := flag.Bool("no-prebuilt", false, "publish: emit no prebuilt artifacts or deltas; subscribe: build from source")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /debug/vars on this extra address (host:0 picks a port); -serve exposes them on -addr regardless")
 	traceOut := flag.String("trace-out", "", "write recorded spans as a Chrome trace to this file on exit")
 	flag.Parse()
@@ -92,26 +105,46 @@ func main() {
 	apply := core.ApplyOptions{MaxAttempts: *applyAttempts, RetryDelay: *applyDelay}
 
 	switch {
+	case *keygen != "":
+		doKeygen(*keygen)
 	case *publish:
-		doPublish(*dir, *version, *cveID)
+		doPublish(*dir, *version, *cveID, *signKey, *noPrebuilt)
 	case *serve:
 		doServe(*dir, *addr)
 	case *subscribe:
-		doSubscribe(*dir, *url, *statePath, *timeout, *retries, apply)
+		doSubscribe(*dir, *url, *statePath, *verifyKey, *noPrebuilt, *timeout, *retries, apply)
 	case *scrape != "":
 		doScrape(*scrape, *timeout)
 	default:
-		fatal(fmt.Errorf("need -publish, -serve, -subscribe, or -scrape"))
+		fatal(fmt.Errorf("need -keygen, -publish, -serve, -subscribe, or -scrape"))
 	}
 }
 
-func doPublish(dir, version, cveID string) {
+func doKeygen(path string) {
+	k, err := channel.GenerateSignKey()
+	if err != nil {
+		fatal(err)
+	}
+	if err := channel.WriteSignKey(path, k); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote signing key %s (mode 0600) and public key %s.pub\n", path, path)
+	fmt.Printf("public key: %s\n", k.PublicHex())
+}
+
+func doPublish(dir, version, cveID, signKeyPath string, noPrebuilt bool) {
 	if version == "" {
 		fatal(fmt.Errorf("-publish needs -version"))
 	}
 	pub, err := channel.NewPublisher(dir, cvedb.Tree(version))
 	if err != nil {
 		fatal(err)
+	}
+	pub.NoPrebuilt = noPrebuilt
+	if signKeyPath != "" {
+		if pub.SignKey, err = channel.LoadSignKey(signKeyPath); err != nil {
+			fatal(err)
+		}
 	}
 	var cves []*cvedb.CVE
 	if cveID != "" {
@@ -206,19 +239,27 @@ func doScrape(url string, timeout time.Duration) {
 	fmt.Printf("scraped %s: valid exposition, %d families (store, channel, and eval all present)\n", url, len(families))
 }
 
-func doSubscribe(dir, url, statePath string, timeout time.Duration, retries int, apply core.ApplyOptions) {
+func doSubscribe(dir, url, statePath, verifyKeyPath string, noPrebuilt bool, timeout time.Duration, retries int, apply core.ApplyOptions) {
 	st, err := simstate.Load(statePath)
-	if err != nil {
-		fatal(err)
-	}
-	_, mgr, err := st.Replay(apply)
 	if err != nil {
 		fatal(err)
 	}
 
 	stateDir := filepath.Dir(statePath)
 	var t channel.Transport
-	opts := channel.SubscribeOptions{Apply: apply}
+	opts := channel.SubscribeOptions{Apply: apply, NoPrebuilt: noPrebuilt}
+	if verifyKeyPath != "" {
+		if opts.VerifyKey, err = channel.LoadVerifyKey(verifyKeyPath); err != nil {
+			fatal(err)
+		}
+	}
+	// The machine's persistent blob cache: verified tarballs and images
+	// kept across subscribes, so the next run's deltas have their bases.
+	if bc, err := channel.NewDirBlobCache(filepath.Join(stateDir, "blob-cache")); err == nil {
+		opts.Blobs = bc
+	} else {
+		opts.Blobs = channel.NewMemBlobCache()
+	}
 	if url != "" {
 		// Remote channel: persist a verified local copy of every applied
 		// tarball next to the state file, so a later replay of this
@@ -252,6 +293,31 @@ func doSubscribe(dir, url, statePath string, timeout time.Duration, retries int,
 			fmt.Printf("applied %s (%s)\n", e.Name, e.CVE)
 			return nil
 		}
+	}
+
+	// Warm the local build store from the channel BEFORE replaying the
+	// machine: on a prebuilt channel, booting the kernel and applying
+	// its recorded updates then hit the store instead of the compiler.
+	// Install failures degrade to source builds inside Replay, never to
+	// an error — but a manifest that fails the pinned key is refused
+	// outright, exactly as Subscribe would refuse it.
+	if !noPrebuilt {
+		if m, err := t.Manifest(); err == nil {
+			if opts.VerifyKey != nil {
+				if err := m.VerifySignature(opts.VerifyKey); err != nil {
+					fatal(fmt.Errorf("refusing manifest: %w", err))
+				}
+			}
+			is := channel.InstallBasePrebuilt(t, m, opts.Blobs)
+			if is.Installed+is.Hits+is.Failed > 0 {
+				fmt.Printf("prebuilt artifacts: %d installed, %d already held, %d falling back to source build\n",
+					is.Installed, is.Hits, is.Failed)
+			}
+		}
+	}
+	_, mgr, err := st.Replay(apply)
+	if err != nil {
+		fatal(err)
 	}
 
 	before := len(st.Updates)

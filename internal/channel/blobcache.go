@@ -1,0 +1,95 @@
+package channel
+
+// BlobCache is the subscriber's local pool of verified blobs, keyed by
+// content digest. It is what makes binary deltas usable: the cache
+// holds the previous position's tarball and image, so the next
+// position's bytes reconstruct from a delta instead of a full fetch.
+// Everything in the cache was digest-verified before Put, and the
+// directory implementation re-verifies on Get, so a cache can never
+// inject bytes the manifest did not promise.
+
+import (
+	"encoding/hex"
+	"os"
+	"path/filepath"
+
+	"gosplice/internal/core"
+)
+
+// BlobCache stores verified blobs by hex sha256 digest.
+type BlobCache interface {
+	// Get returns the cached blob, or ok=false when absent.
+	Get(digest string) ([]byte, bool)
+	// Put stores a blob the caller has already verified against digest.
+	Put(digest string, b []byte)
+}
+
+// NewMemBlobCache returns an in-memory cache — what one Subscribe call
+// uses to chain deltas across the entries it fetches. Not safe for
+// concurrent use; each subscriber owns its cache.
+func NewMemBlobCache() BlobCache {
+	return memBlobCache{}
+}
+
+type memBlobCache map[string][]byte
+
+func (c memBlobCache) Get(digest string) ([]byte, bool) {
+	b, ok := c[digest]
+	return b, ok
+}
+
+func (c memBlobCache) Put(digest string, b []byte) {
+	c[digest] = append([]byte(nil), b...)
+}
+
+// DirBlobCache persists blobs as files named by digest, so a machine's
+// delta bases survive across subscribes (and processes): the tarball it
+// verified last month is next month's delta base.
+type DirBlobCache struct {
+	dir string
+}
+
+// NewDirBlobCache opens (creating if needed) a blob cache directory.
+func NewDirBlobCache(dir string) (*DirBlobCache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &DirBlobCache{dir: dir}, nil
+}
+
+// validDigest guards the digest-as-filename mapping: only a 64-char hex
+// string names a cache file, so no digest can traverse paths.
+func validDigest(digest string) bool {
+	if len(digest) != 64 {
+		return false
+	}
+	_, err := hex.DecodeString(digest)
+	return err == nil
+}
+
+// Get re-verifies the file against its name before returning it — a
+// blob rotted on disk silently degrades to a cache miss (and a full
+// fetch), never to corrupt bytes.
+func (c *DirBlobCache) Get(digest string) ([]byte, bool) {
+	if !validDigest(digest) {
+		return nil, false
+	}
+	b, err := os.ReadFile(filepath.Join(c.dir, digest))
+	if err != nil {
+		return nil, false
+	}
+	if got, _ := core.TarDigest(b); got != digest {
+		os.Remove(filepath.Join(c.dir, digest))
+		return nil, false
+	}
+	return b, true
+}
+
+// Put is best-effort: a cache write failure costs bandwidth later, not
+// correctness now.
+func (c *DirBlobCache) Put(digest string, b []byte) {
+	if !validDigest(digest) {
+		return
+	}
+	writeFileAtomic(filepath.Join(c.dir, digest), b)
+}

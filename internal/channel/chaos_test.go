@@ -52,23 +52,38 @@ func chaosProbe(k *kernel.Kernel, c *cvedb.CVE) (int64, error) {
 // memberPlans builds the fault schedules for one fleet member. Member 0
 // of each release gets explicit server-side faults covering every class;
 // member 1 gets a hostile client (including a hard mid-channel Error the
-// transport cannot retry away, forcing the graceful-stop path). Seeded
-// extras differ per member.
+// transport cannot retry away, forcing the graceful-stop path); member 2
+// is the prebuilt+delta subscriber, under seeded server faults that land
+// on artifact and delta blob fetches as well as tarballs. Seeded extras
+// differ per member.
 func memberPlans(release, member int) (server, client *faultinject.Plan) {
 	seed := int64(1000*release + member)
-	if member == 0 {
+	switch member {
+	case 0:
 		return faultinject.New(
 			faultinject.Fault{Op: 1, Kind: faultinject.Delay, Sleep: time.Millisecond},
 			faultinject.Fault{Op: 2, Kind: faultinject.Error},
 			faultinject.Fault{Op: 4, Kind: faultinject.Truncate, Offset: 200},
 			faultinject.Fault{Op: 6, Kind: faultinject.FlipBit, Offset: 80, Bit: 5},
 		), faultinject.New()
+	case 1:
+		return faultinject.FromSeed(seed, 25, 0.25), faultinject.New(
+			faultinject.Fault{Op: 3, Kind: faultinject.FlipBit, Offset: 40, Bit: 1},
+			faultinject.Fault{Op: 7, Kind: faultinject.Error},
+		)
+	default:
+		return faultinject.FromSeed(seed, 30, 0.3), faultinject.New()
 	}
-	return faultinject.FromSeed(seed, 25, 0.25), faultinject.New(
-		faultinject.Fault{Op: 3, Kind: faultinject.FlipBit, Offset: 40, Bit: 1},
-		faultinject.Fault{Op: 7, Kind: faultinject.Error},
-	)
 }
+
+// nullBlobCache never holds anything: the delta base is always missing,
+// so legacy members fall back to full tarball fetches on the /updates
+// route — the exact byte-for-byte fetch sequence the soak has always
+// exercised its fault schedules against.
+type nullBlobCache struct{}
+
+func (nullBlobCache) Get(string) ([]byte, bool) { return nil, false }
+func (nullBlobCache) Put(string, []byte)        {}
 
 // TestChaosSoakHTTPFleet is the acceptance soak for the networked
 // channel: all four releases' channels, a faulty server and faulty
@@ -79,7 +94,7 @@ func TestChaosSoakHTTPFleet(t *testing.T) {
 		stats  []faultinject.Stats
 		errmsg string
 	}
-	const membersPerRelease = 2
+	const membersPerRelease = 3
 	before := telemetry.Default().Snapshot()
 	var (
 		wg              sync.WaitGroup
@@ -153,6 +168,14 @@ func TestChaosSoakHTTPFleet(t *testing.T) {
 						names = append(names, e.Name)
 						return nil
 					},
+				}
+				if mi < 2 {
+					// Legacy members: no prebuilt install and no delta
+					// bases, so their fault schedules align with manifest
+					// and tarball operations exactly as before artifacts
+					// existed.
+					opts.NoPrebuilt = true
+					opts.Blobs = nullBlobCache{}
 				}
 				applied, err := channel.Subscribe(tr, mgr, 0, opts)
 				pos := len(applied)
@@ -293,6 +316,26 @@ func TestChaosSoakHTTPFleet(t *testing.T) {
 	}
 	if delta("gosplice_channel_subscribe_degraded_total") < uint64(len(cvedb.Versions)) {
 		t.Errorf("telemetry: fewer graceful degradations than hostile-client members")
+	}
+	// Prebuilt/delta invariants: the member-2 subscribers reconstructed
+	// tarballs from deltas over the blob route and hit the warm local
+	// build store; the null-cache legacy members exercised the
+	// missing-base full-fetch fallback on every advertised delta.
+	if delta("gosplice_channel_delta_applied_total") == 0 {
+		t.Errorf("telemetry: no delta reconstructions despite delta subscribers")
+	}
+	if delta("gosplice_channel_delta_fallback_full_total") == 0 {
+		t.Errorf("telemetry: no full-fetch fallbacks despite members with no delta bases")
+	}
+	if delta("gosplice_channel_blob_prebuilt_hits_total") == 0 {
+		t.Errorf("telemetry: no prebuilt store hits despite warm-store subscribers")
+	}
+	if delta("gosplice_channel_bytes_over_wire_total") == 0 {
+		t.Errorf("telemetry: wire byte counter never moved")
+	}
+	if d := after.Counter(`gosplice_channel_requests_total{code="200",route="blob"}`) -
+		before.Counter(`gosplice_channel_requests_total{code="200",route="blob"}`); d == 0 {
+		t.Errorf("telemetry: no blob-route responses despite delta subscribers")
 	}
 	reqDelta := after.CounterFamily("gosplice_channel_requests_total") - before.CounterFamily("gosplice_channel_requests_total")
 	if reqDelta == 0 {

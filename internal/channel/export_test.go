@@ -1,0 +1,8 @@
+package channel
+
+// RecomputeDigestForTest lets external tests play the attacker who
+// fixes up a tampered manifest's self-digest, proving the signature
+// still catches it.
+func RecomputeDigestForTest(m *Manifest) (string, error) {
+	return m.computeDigest()
+}

@@ -72,4 +72,28 @@ var (
 			"subscribes that stopped before the channel head (PositionError)")
 		return telemetry.Default().Counter("gosplice_channel_subscribe_degraded_total")
 	}()
+
+	cBlobPrebuiltHits = func() *telemetry.Counter {
+		telemetry.Default().Help("gosplice_channel_blob_prebuilt_hits_total",
+			"advertised prebuilt artifacts the local build store already held (nothing fetched)")
+		return telemetry.Default().Counter("gosplice_channel_blob_prebuilt_hits_total")
+	}()
+
+	cDeltaApplied = func() *telemetry.Counter {
+		telemetry.Default().Help("gosplice_channel_delta_applied_total",
+			"blobs reconstructed from a binary delta instead of fetched whole")
+		return telemetry.Default().Counter("gosplice_channel_delta_applied_total")
+	}()
+
+	cDeltaFallbackFull = func() *telemetry.Counter {
+		telemetry.Default().Help("gosplice_channel_delta_fallback_full_total",
+			"delta reconstructions abandoned (base missing, delta corrupt, or wrong result) in favour of a full fetch")
+		return telemetry.Default().Counter("gosplice_channel_delta_fallback_full_total")
+	}()
+
+	cBytesOverWire = func() *telemetry.Counter {
+		telemetry.Default().Help("gosplice_channel_bytes_over_wire_total",
+			"content bytes subscribers pulled through a Transport (tarballs, artifacts, deltas)")
+		return telemetry.Default().Counter("gosplice_channel_bytes_over_wire_total")
+	}()
 )

@@ -1,0 +1,148 @@
+package channel
+
+// Subscriber-side prebuilt artifact installation and delta-aware blob
+// fetching — the client half of the channel's build-once story. Both
+// are strictly best-effort: any failure here degrades to what the
+// subscriber always did (fetch whole blobs, or compile from source),
+// never to an error the caller sees.
+
+import (
+	"gosplice/internal/core"
+	"gosplice/internal/diffutil"
+	"gosplice/internal/srctree"
+)
+
+// blobDigest is the digest the blob's bytes would be advertised under.
+func blobDigest(b []byte) string {
+	d, _ := core.TarDigest(b)
+	return d
+}
+
+// InstallStats summarizes one prebuilt install pass.
+type InstallStats struct {
+	// Installed counts artifacts fetched (whole or via delta) and filed
+	// into the local build store.
+	Installed int
+	// Hits counts artifacts the store already held — nothing fetched.
+	Hits int
+	// Failed counts artifacts skipped after a fetch or decode failure;
+	// the source-build fallback covers whatever they were.
+	Failed int
+}
+
+// InstallPrebuilt walks every artifact the manifest advertises — the
+// base release set, then each position's additions, in order — and
+// files the ones the local build store is missing. This is the full
+// mirror: what a machine-image builder or downstream republisher wants.
+// Order matters: the base image is fetched (and cached) before the
+// position images that delta against it. Failures degrade silently to
+// source builds.
+func InstallPrebuilt(t Transport, m *Manifest, blobs BlobCache) InstallStats {
+	arts := append([]Artifact(nil), m.Prebuilt...)
+	for _, e := range m.Updates {
+		arts = append(arts, e.Artifacts...)
+	}
+	return installArtifacts(t, m, arts, blobs)
+}
+
+// InstallBasePrebuilt installs only the base release's artifact set —
+// exactly what a subscribing machine consumes: it boots the base tree
+// from the store and takes everything newer as hot updates, so the
+// per-position artifacts would be dead weight on its wire. This is what
+// Subscribe runs implicitly.
+func InstallBasePrebuilt(t Transport, m *Manifest, blobs BlobCache) InstallStats {
+	return installArtifacts(t, m, m.Prebuilt, blobs)
+}
+
+func installArtifacts(t Transport, m *Manifest, arts []Artifact, blobs BlobCache) InstallStats {
+	var st InstallStats
+	for _, a := range arts {
+		if a.StoreKey == "" || a.Sha256 == "" {
+			continue
+		}
+		if srctree.HasPrebuilt(a.StoreKey) {
+			cBlobPrebuiltHits.Inc()
+			st.Hits++
+			continue
+		}
+		b, ok := fetchBlobVerified(t, m, a.Sha256, a.Size, blobs)
+		if !ok {
+			st.Failed++
+			continue
+		}
+		if err := srctree.ImportPrebuilt(a.Kind, a.StoreKey, b); err != nil {
+			// The payload hashed right but does not decode as its kind —
+			// a publisher bug, not a transfer fault. The source build
+			// covers it.
+			st.Failed++
+			continue
+		}
+		st.Installed++
+	}
+	return st
+}
+
+// fetchBlobVerified obtains one advertised blob by digest: from the
+// local cache, by reconstructing it from an advertised delta when the
+// base is at hand, or by fetching it whole. Whatever the path, the
+// returned bytes hash to digest; ok=false means every path failed.
+func fetchBlobVerified(t Transport, m *Manifest, digest string, size int64, blobs BlobCache) ([]byte, bool) {
+	if b, ok := blobs.Get(digest); ok {
+		return b, true
+	}
+	if b, ok := fetchViaDelta(t, m, digest, blobs); ok {
+		return b, true
+	}
+	b, err := t.FetchBlob(digest, size)
+	if err != nil {
+		return nil, false
+	}
+	cBytesOverWire.Add(uint64(len(b)))
+	if got := blobDigest(b); got != digest {
+		return nil, false
+	}
+	blobs.Put(digest, b)
+	return b, true
+}
+
+// fetchViaDelta reconstructs the blob with the given digest from an
+// advertised binary delta, when one exists and its base is in the local
+// cache. Every failure past "a delta was advertised and we hold its
+// base" counts a full-fetch fallback; the delta format is self-verifying
+// (base and result digests are in the header), so corrupt deltas and
+// wrong bases are caught before any reconstructed byte is trusted.
+func fetchViaDelta(t Transport, m *Manifest, digest string, blobs BlobCache) ([]byte, bool) {
+	d := m.DeltaFor(digest)
+	if d == nil {
+		return nil, false
+	}
+	base, ok := blobs.Get(d.BaseSha256)
+	if !ok {
+		cDeltaFallbackFull.Inc()
+		return nil, false
+	}
+	db, err := t.FetchBlob(d.Sha256, d.Size)
+	if err != nil {
+		cDeltaFallbackFull.Inc()
+		return nil, false
+	}
+	cBytesOverWire.Add(uint64(len(db)))
+	if blobDigest(db) != d.Sha256 {
+		cDeltaFallbackFull.Inc()
+		return nil, false
+	}
+	b, err := diffutil.ApplyDelta(base, db)
+	if err != nil {
+		cDeltaFallbackFull.Inc()
+		return nil, false
+	}
+	if blobDigest(b) != digest {
+		// Publisher advertised a delta whose result is not the blob —
+		// caught here, fall back to whole-blob fetch.
+		cDeltaFallbackFull.Inc()
+		return nil, false
+	}
+	cDeltaApplied.Inc()
+	blobs.Put(digest, b)
+	return b, true
+}

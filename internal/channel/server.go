@@ -16,13 +16,16 @@ import (
 //
 //	GET /channel.json      the manifest (with its self-digest)
 //	GET /updates/<file>    a tarball by manifest file name
-//	GET /blob/<sha256>     the same tarball content-addressed by digest
+//	GET /blob/<sha256>     any advertised content by digest: a tarball,
+//	                       a prebuilt artifact, or a binary delta
 //	GET /metrics           Prometheus text exposition (live, process-wide)
 //	GET /debug/vars        JSON telemetry snapshot
 //
-// Tarball responses support Range requests, so a subscriber whose
-// download was cut short resumes from the last good byte instead of
-// refetching the whole update. The manifest is re-read per request, so a
+// Every content response — tarball or blob — goes through one helper
+// that supports Range requests and serves the content digest as a
+// strong ETag, so a subscriber whose download was cut short (including
+// a large prebuilt image) resumes from the last good byte instead of
+// refetching the whole thing. The manifest is re-read per request, so a
 // publisher appending to the directory is picked up immediately, and only
 // files the manifest names are ever served (no path traversal).
 //
@@ -60,10 +63,10 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		s.serveManifest(sw, r)
 	case strings.HasPrefix(r.URL.Path, "/updates/"):
 		route = "update"
-		s.serveUpdate(sw, r, strings.TrimPrefix(r.URL.Path, "/updates/"), "")
+		s.serveUpdate(sw, r, strings.TrimPrefix(r.URL.Path, "/updates/"))
 	case strings.HasPrefix(r.URL.Path, "/blob/"):
 		route = "blob"
-		s.serveUpdate(sw, r, "", strings.TrimPrefix(r.URL.Path, "/blob/"))
+		s.serveBlob(sw, r, strings.TrimPrefix(r.URL.Path, "/blob/"))
 	default:
 		route = "other"
 		http.NotFound(sw, r)
@@ -95,37 +98,63 @@ func (s *Server) serveManifest(w http.ResponseWriter, r *http.Request) {
 	http.ServeContent(w, r, manifestName, time.Time{}, bytes.NewReader(b))
 }
 
-// serveUpdate serves one tarball addressed by manifest file name or by
-// content digest. The lookup goes through the manifest, never straight to
-// the filesystem.
-func (s *Server) serveUpdate(w http.ResponseWriter, r *http.Request, file, digest string) {
+// serveUpdate serves one tarball addressed by manifest file name. The
+// lookup goes through the manifest, never straight to the filesystem.
+func (s *Server) serveUpdate(w http.ResponseWriter, r *http.Request, file string) {
 	m, err := ReadManifest(s.Dir)
 	if err != nil {
 		http.Error(w, "channel has no manifest", http.StatusNotFound)
 		return
 	}
-	var entry *Entry
 	for i := range m.Updates {
 		e := &m.Updates[i]
-		if (file != "" && e.File == file) || (digest != "" && e.Sha256 == digest) {
-			entry = e
-			break
+		if e.File == file {
+			s.serveVerifiable(w, r, filepath.Base(e.File), e.File, "application/x-tar", e.Sha256)
+			return
 		}
 	}
-	if entry == nil {
-		http.NotFound(w, r)
-		return
-	}
-	b, err := os.ReadFile(filepath.Join(s.Dir, filepath.Base(entry.File)))
+	http.NotFound(w, r)
+}
+
+// serveBlob serves one content-addressed blob: an update tarball by its
+// digest, or a prebuilt artifact / binary delta from blobs/. Only
+// digests the manifest advertises are ever served.
+func (s *Server) serveBlob(w http.ResponseWriter, r *http.Request, digest string) {
+	m, err := ReadManifest(s.Dir)
 	if err != nil {
-		http.Error(w, "tarball missing from channel", http.StatusNotFound)
+		http.Error(w, "channel has no manifest", http.StatusNotFound)
 		return
 	}
-	w.Header().Set("Content-Type", "application/x-tar")
-	if entry.Sha256 != "" {
-		w.Header().Set("ETag", `"`+entry.Sha256+`"`)
+	for i := range m.Updates {
+		e := &m.Updates[i]
+		if e.Sha256 == digest {
+			s.serveVerifiable(w, r, filepath.Base(e.File), e.File, "application/x-tar", e.Sha256)
+			return
+		}
 	}
-	// bytes.Reader gives ServeContent a size and a Seek, which is what
-	// enables Range resume on the client side.
-	http.ServeContent(w, r, entry.File, time.Time{}, bytes.NewReader(b))
+	if m.blobAdvertised(digest) {
+		rel := filepath.Join(blobsDirName, filepath.Base(digest))
+		s.serveVerifiable(w, r, rel, digest, "application/octet-stream", digest)
+		return
+	}
+	http.NotFound(w, r)
+}
+
+// serveVerifiable is the one code path every tarball, artifact, and
+// delta response goes through: a bytes.Reader hands ServeContent a size
+// and a Seek (that is what makes client Range resume work after a
+// truncation), and the content digest doubles as a strong ETag so
+// revalidations come back 304. rel is the file's path under Dir; name
+// is what ServeContent reports.
+func (s *Server) serveVerifiable(w http.ResponseWriter, r *http.Request, rel, name, ctype, etag string) {
+	b, err := os.ReadFile(filepath.Join(s.Dir, rel))
+	if err != nil {
+		http.Error(w, "content missing from channel", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", ctype)
+	if etag != "" {
+		w.Header().Set("ETag", `"`+etag+`"`)
+	}
+	http.ServeContent(w, r, name, time.Time{}, bytes.NewReader(b))
 }

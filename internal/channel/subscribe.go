@@ -23,6 +23,21 @@ type SubscribeOptions struct {
 	// its manifest entry and verified tarball bytes — the hook a
 	// subscriber uses to persist local copies for later replay.
 	OnApplied func(e Entry, b []byte) error
+	// VerifyKey, when non-nil, pins the channel's publisher: the
+	// manifest must carry a valid ed25519 signature by this key or the
+	// subscribe is refused outright — a hard error, not a PositionError,
+	// because an unauthenticated manifest is an attack, not an outage.
+	VerifyKey VerifyKey
+	// NoPrebuilt skips installing the channel's advertised prebuilt
+	// artifacts into the local build store (the machine then compiles
+	// from source, as subscribers always did).
+	NoPrebuilt bool
+	// Blobs, when non-nil, is the machine's persistent blob cache (see
+	// DirBlobCache); it is what lets binary deltas chain across separate
+	// Subscribe calls. nil uses a cache that lives for this call only.
+	Blobs BlobCache
+	// OnInstalled, when non-nil, receives the prebuilt install summary.
+	OnInstalled func(InstallStats)
 }
 
 // PositionError reports a subscription that stopped before the channel
@@ -66,10 +81,18 @@ func Subscribe(t Transport, mgr *core.Manager, applied int, opts SubscribeOption
 	if opts.FetchRetries <= 0 {
 		opts.FetchRetries = 2
 	}
+	if opts.Blobs == nil {
+		opts.Blobs = NewMemBlobCache()
+	}
 	m, err := t.Manifest()
 	if err != nil {
 		cSubscribeDegraded.Inc()
 		return nil, &PositionError{Position: applied, Err: err}
+	}
+	if opts.VerifyKey != nil {
+		if err := m.VerifySignature(opts.VerifyKey); err != nil {
+			return nil, fmt.Errorf("channel: refusing manifest: %w", err)
+		}
 	}
 	if m.KernelVersion != mgr.K.Version {
 		return nil, fmt.Errorf("channel: serves %q, machine runs %q", m.KernelVersion, mgr.K.Version)
@@ -77,10 +100,19 @@ func Subscribe(t Transport, mgr *core.Manager, applied int, opts SubscribeOption
 	if applied > len(m.Updates) {
 		return nil, fmt.Errorf("channel: machine claims %d updates, channel has %d", applied, len(m.Updates))
 	}
+	if !opts.NoPrebuilt {
+		// Best-effort: any artifact that fails to arrive or decode is
+		// simply built from source later. Only the base set installs
+		// here — it is all a subscribing machine's boot consumes.
+		st := InstallBasePrebuilt(t, m, opts.Blobs)
+		if opts.OnInstalled != nil {
+			opts.OnInstalled(st)
+		}
+	}
 	var out []*core.Update
 	pos := func() int { return applied + len(out) }
 	for _, e := range m.Updates[applied:] {
-		u, b, err := fetchVerified(t, e, opts.FetchRetries)
+		u, b, err := fetchVerified(t, m, e, opts.Blobs, opts.FetchRetries)
 		if err != nil {
 			cSubscribeDegraded.Inc()
 			return out, &PositionError{Position: pos(), Entry: e.Name, Err: err}
@@ -104,15 +136,32 @@ func Subscribe(t Transport, mgr *core.Manager, applied int, opts SubscribeOption
 // fetchVerified fetches one entry and verifies it end to end, re-fetching
 // on integrity failures. Transport errors are not retried here (the
 // transport already did); they surface immediately.
-func fetchVerified(t Transport, e Entry, retries int) (*core.Update, []byte, error) {
+//
+// When the manifest advertises a delta onto this tarball and the blob
+// cache holds its base, the bytes are reconstructed from the delta
+// first; any delta failure falls through to the full fetch below, so
+// deltas can only save bandwidth, never lose an update. Either way the
+// verified tarball is cached as the next entry's delta base.
+func fetchVerified(t Transport, m *Manifest, e Entry, blobs BlobCache, retries int) (*core.Update, []byte, error) {
+	if e.Sha256 != "" {
+		if b, ok := fetchViaDelta(t, m, e.Sha256, blobs); ok {
+			if u, err := decodeVerified(b, e); err == nil {
+				return u, b, nil
+			}
+		}
+	}
 	var lastErr error
 	for attempt := 0; attempt <= retries; attempt++ {
 		b, err := t.Fetch(e)
 		if err != nil {
 			return nil, nil, err
 		}
+		cBytesOverWire.Add(uint64(len(b)))
 		u, err := decodeVerified(b, e)
 		if err == nil {
+			if e.Sha256 != "" {
+				blobs.Put(e.Sha256, b)
+			}
 			return u, b, nil
 		}
 		// Digest mismatch or unparseable bytes: the transport delivered

@@ -24,6 +24,12 @@ type Transport interface {
 	Manifest() (*Manifest, error)
 	// Fetch returns the raw tarball bytes for one manifest entry.
 	Fetch(e Entry) ([]byte, error)
+	// FetchBlob returns the raw bytes of one content-addressed blob the
+	// manifest advertises (a prebuilt artifact or a binary delta). size
+	// is the advertised length, or 0 when unknown; implementations may
+	// use it to detect and resume truncated transfers. Like Fetch, the
+	// bytes come back unverified — the caller owns the digest check.
+	FetchBlob(digest string, size int64) ([]byte, error)
 }
 
 // --- Local directory transport ---
@@ -44,6 +50,10 @@ func (t *dirTransport) Manifest() (*Manifest, error) {
 
 func (t *dirTransport) Fetch(e Entry) ([]byte, error) {
 	return os.ReadFile(filepath.Join(t.dir, filepath.Base(e.File)))
+}
+
+func (t *dirTransport) FetchBlob(digest string, size int64) ([]byte, error) {
+	return os.ReadFile(filepath.Join(t.dir, blobsDirName, filepath.Base(digest)))
 }
 
 // --- HTTP transport ---
@@ -187,7 +197,25 @@ func (t *httpTransport) Manifest() (*Manifest, error) {
 // body is cut short. It returns the accumulated bytes unverified —
 // Subscribe owns the digest check.
 func (t *httpTransport) Fetch(e Entry) ([]byte, error) {
-	path := "/updates/" + e.File
+	return t.download("/updates/"+e.File, e.File, e.Size)
+}
+
+// FetchBlob downloads one content-addressed blob through the same
+// retry/backoff/Range-resume machinery as tarball fetches — a truncated
+// prebuilt image resumes mid-body instead of restarting.
+func (t *httpTransport) FetchBlob(digest string, size int64) ([]byte, error) {
+	label := digest
+	if len(label) > 12 {
+		label = label[:12] + "…"
+	}
+	return t.download("/blob/"+digest, label, size)
+}
+
+// download is the shared body of Fetch and FetchBlob: bounded attempts,
+// exponential backoff, and resume-from-last-good-byte on truncation.
+// label only decorates errors; size (when > 0) catches clean-but-early
+// connection closes.
+func (t *httpTransport) download(path, label string, size int64) ([]byte, error) {
 	var (
 		buf     []byte
 		lastErr error
@@ -213,7 +241,7 @@ func (t *httpTransport) Fetch(e Entry) ([]byte, error) {
 			io.Copy(io.Discard, resp.Body)
 			resp.Body.Close()
 			cancel()
-			lastErr = fmt.Errorf("channel: %s: server returned %s", e.File, resp.Status)
+			lastErr = fmt.Errorf("channel: %s: server returned %s", label, resp.Status)
 			if !retriableStatus(resp.StatusCode) {
 				return nil, lastErr
 			}
@@ -225,16 +253,16 @@ func (t *httpTransport) Fetch(e Entry) ([]byte, error) {
 		buf = append(buf, b...)
 		if err != nil {
 			// Truncated body: keep what arrived and resume from there.
-			lastErr = fmt.Errorf("channel: %s: body truncated at byte %d: %w", e.File, len(buf), err)
+			lastErr = fmt.Errorf("channel: %s: body truncated at byte %d: %w", label, len(buf), err)
 			continue
 		}
-		if e.Size > 0 && int64(len(buf)) < e.Size {
+		if size > 0 && int64(len(buf)) < size {
 			// The connection closed cleanly but early (proxy cut, fault
 			// injection): same resume path.
-			lastErr = fmt.Errorf("channel: %s: got %d of %d bytes", e.File, len(buf), e.Size)
+			lastErr = fmt.Errorf("channel: %s: got %d of %d bytes", label, len(buf), size)
 			continue
 		}
 		return buf, nil
 	}
-	return nil, fmt.Errorf("channel: %s unavailable after %d attempts: %w", e.File, t.opt.MaxRetries+1, lastErr)
+	return nil, fmt.Errorf("channel: %s unavailable after %d attempts: %w", label, t.opt.MaxRetries+1, lastErr)
 }

@@ -188,6 +188,10 @@ func (f *flakyTransport) Fetch(e Entry) ([]byte, error) {
 	return f.fetch(f.fetches.Add(1), e)
 }
 
+func (f *flakyTransport) FetchBlob(digest string, size int64) ([]byte, error) {
+	return nil, fmt.Errorf("flakyTransport serves no blobs")
+}
+
 // TestSubscribeRefetchRecovers: an entry corrupted in flight is fetched
 // again, and the second (clean) copy applies — one transient corruption
 // costs a refetch, not the update.

@@ -213,9 +213,11 @@ type transport struct {
 }
 
 // WrapTransport interposes the plan between a subscriber and its
-// transport: every Manifest and Fetch is one plan operation. Manifest
-// calls see only Error and Delay faults (there are no raw bytes to
-// corrupt at that layer); Fetch payloads get the full treatment.
+// transport: every Manifest, Fetch, and FetchBlob is one plan
+// operation. Manifest calls see only Error and Delay faults (there are
+// no raw bytes to corrupt at that layer); Fetch and FetchBlob payloads
+// get the full treatment — so artifact and delta blobs are corrupted,
+// truncated, and delayed exactly like tarballs.
 func WrapTransport(t channel.Transport, p *Plan) channel.Transport {
 	return &transport{t: t, p: p}
 }
@@ -232,6 +234,15 @@ func (f *transport) Fetch(e channel.Entry) ([]byte, error) {
 	if err != nil {
 		// The real transport already failed; still burn a plan op so
 		// schedules stay aligned with the operation count.
+		f.p.Apply(nil)
+		return nil, err
+	}
+	return f.p.Apply(b)
+}
+
+func (f *transport) FetchBlob(digest string, size int64) ([]byte, error) {
+	b, err := f.t.FetchBlob(digest, size)
+	if err != nil {
 		f.p.Apply(nil)
 		return nil, err
 	}

@@ -1,0 +1,96 @@
+package srctree
+
+// Prebuilt artifact export and import, the build-side half of the
+// channel's distribute-once story: a publisher exports the compiled
+// units and linked image its builds produced (with the exact store keys
+// the build caches use), ships them as content-addressed blobs, and a
+// subscriber imports them into its own store — after which
+// BuildCached/LinkKernelCached on the same tree hit every key and the
+// machine boots and applies updates without ever running the compiler.
+
+import (
+	"bytes"
+	"fmt"
+
+	"gosplice/internal/codegen"
+	"gosplice/internal/store"
+)
+
+// Prebuilt artifact kinds, as named in channel manifests.
+const (
+	PrebuiltUnit  = "unit"
+	PrebuiltImage = "image"
+)
+
+// Prebuilt is one exported build artifact: its kind, the store key the
+// build caches look it up under, and its encoded payload (SOF bytes for
+// a unit, image bytes for a linked kernel).
+type Prebuilt struct {
+	Kind     string
+	Unit     string // source path, for unit artifacts (informational)
+	StoreKey string
+	Payload  []byte
+}
+
+// ExportPrebuilt builds t with opts (through the cache) and links it at
+// base, returning every artifact a machine needs to do the same build
+// without compiling: one entry per compilation unit plus the linked
+// image. The store keys are exactly the ones BuildCached, compileUnit,
+// and LinkKernelCached derive, so an importer's later builds hit them.
+func ExportPrebuilt(t *Tree, opts codegen.Options, base uint32) ([]Prebuilt, error) {
+	br, err := BuildCached(t, opts)
+	if err != nil {
+		return nil, err
+	}
+	units := t.Units()
+	out := make([]Prebuilt, 0, len(units)+1)
+	for i, path := range units {
+		var buf bytes.Buffer
+		if err := br.Objects[i].Write(&buf); err != nil {
+			return nil, fmt.Errorf("srctree: export %s: %w", path, err)
+		}
+		out = append(out, Prebuilt{
+			Kind:     PrebuiltUnit,
+			Unit:     path,
+			StoreKey: store.Key("unit", unitHash(t, path), opts.CacheKey()),
+			Payload:  buf.Bytes(),
+		})
+	}
+	im, err := LinkKernelCached(br, base)
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := im.WriteImage(&buf); err != nil {
+		return nil, fmt.Errorf("srctree: export image: %w", err)
+	}
+	out = append(out, Prebuilt{
+		Kind:     PrebuiltImage,
+		StoreKey: store.Key("image", t.Hash(), opts.CacheKey(), fmt.Sprintf("base=%#x", base)),
+		Payload:  buf.Bytes(),
+	})
+	return out, nil
+}
+
+// ImportPrebuilt decodes an artifact payload (validating it) and files
+// it in the active store under its store key, so later cached builds
+// hit instead of compiling. kind is PrebuiltUnit or PrebuiltImage.
+func ImportPrebuilt(kind, storeKey string, payload []byte) error {
+	var k store.Kind
+	switch kind {
+	case PrebuiltUnit:
+		k = unitKind
+	case PrebuiltImage:
+		k = imageKind
+	default:
+		return fmt.Errorf("srctree: unknown prebuilt artifact kind %q", kind)
+	}
+	_, err := ActiveStore().Put(storeKey, k, payload)
+	return err
+}
+
+// HasPrebuilt reports whether the active store already holds storeKey,
+// so an importer fetches only the blobs it is missing.
+func HasPrebuilt(storeKey string) bool {
+	return ActiveStore().Contains(storeKey)
+}

@@ -1,0 +1,96 @@
+package srctree
+
+import (
+	"testing"
+
+	"gosplice/internal/codegen"
+	"gosplice/internal/store"
+)
+
+func prebuiltTestTree() *Tree {
+	return New("sim-test", map[string]string{
+		"lib.h":     "int helper(int x);\n",
+		"lib.mc":    "#include \"lib.h\"\nint helper(int x) { return x + 1; }\n",
+		"main.mc":   "#include \"lib.h\"\nint entry(int x) { return helper(x) * 2; }\n",
+		"README.md": "not a unit\n",
+	})
+}
+
+// TestPrebuiltExportImportRoundTrip: artifacts exported on one store and
+// imported into a fresh one make the same build compile nothing — the
+// subscriber's no-compiler path end to end.
+func TestPrebuiltExportImportRoundTrip(t *testing.T) {
+	tree := prebuiltTestTree()
+	opts := codegen.KernelBuild()
+	const base = 0x100000
+
+	prev := SetStore(store.MustNew(store.Options{}))
+	defer SetStore(prev)
+
+	arts, err := ExportPrebuilt(tree, opts, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantUnits := len(tree.Units())
+	var units, images int
+	for _, a := range arts {
+		switch a.Kind {
+		case PrebuiltUnit:
+			units++
+		case PrebuiltImage:
+			images++
+		}
+		if a.StoreKey == "" || len(a.Payload) == 0 {
+			t.Fatalf("artifact %s/%s has empty key or payload", a.Kind, a.Unit)
+		}
+	}
+	if units != wantUnits || images != 1 {
+		t.Fatalf("exported %d units and %d images, want %d and 1", units, images, wantUnits)
+	}
+
+	// Import into a completely fresh store: every key must be missing
+	// before and present after, and a cached build must compile nothing.
+	SetStore(store.MustNew(store.Options{}))
+	for _, a := range arts {
+		if HasPrebuilt(a.StoreKey) {
+			t.Fatalf("fresh store already has %s", a.StoreKey)
+		}
+		if err := ImportPrebuilt(a.Kind, a.StoreKey, a.Payload); err != nil {
+			t.Fatal(err)
+		}
+		if !HasPrebuilt(a.StoreKey) {
+			t.Fatalf("imported %s not visible", a.StoreKey)
+		}
+	}
+	before := Counters()
+	br, err := BuildCached(tree, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LinkKernelCached(br, base); err != nil {
+		t.Fatal(err)
+	}
+	after := Counters()
+	if n := after.UnitMisses - before.UnitMisses; n != 0 {
+		t.Fatalf("build on imported store compiled %d units, want 0", n)
+	}
+	if n := after.LinkMisses - before.LinkMisses; n != 0 {
+		t.Fatalf("build on imported store linked %d images, want 0", n)
+	}
+}
+
+// TestPrebuiltImportRejectsGarbage: a corrupt payload or unknown kind is
+// refused and pollutes nothing.
+func TestPrebuiltImportRejectsGarbage(t *testing.T) {
+	prev := SetStore(store.MustNew(store.Options{}))
+	defer SetStore(prev)
+	if err := ImportPrebuilt(PrebuiltUnit, "somekey", []byte("not a SOF object")); err == nil {
+		t.Fatal("corrupt unit payload accepted")
+	}
+	if err := ImportPrebuilt("bogus-kind", "somekey", nil); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	if HasPrebuilt("somekey") {
+		t.Fatal("rejected import left an entry behind")
+	}
+}

@@ -341,6 +341,46 @@ func (s *Store) GetOrFill(key string, k Kind, fill func() (any, error)) (any, So
 	return v, src, err
 }
 
+// Put files an externally produced artifact under key: payload is the
+// artifact's encoded form (what Kind.Encode would produce). It is the
+// import path for artifacts that arrive over a distribution channel
+// rather than from a local fill — a subscriber seeds its store with
+// prebuilt blobs so later GetOrFill calls hit instead of recomputing.
+// The payload is decoded first, which validates it the same way a disk
+// read would; a payload that does not decode is rejected and nothing is
+// stored. The decoded value is returned and, like every store value, is
+// shared and must not be mutated.
+func (s *Store) Put(key string, k Kind, payload []byte) (any, error) {
+	if k.Decode == nil {
+		return nil, fmt.Errorf("store: put %s: kind has no decoder", k.Name)
+	}
+	v, err := k.Decode(payload)
+	if err != nil {
+		return nil, fmt.Errorf("store: put %s: %w", k.Name, err)
+	}
+	s.mu.Lock()
+	s.insertLocked(key, v, k)
+	s.mu.Unlock()
+	s.writeDisk(key, v, k)
+	return v, nil
+}
+
+// Contains reports whether key is available without running a fill: it
+// is resident in the memory tier, or (for a disk-backed store) present
+// on disk. The disk check is a stat, not a verified read — a corrupt
+// entry may report true and then demote to a miss when actually read,
+// which callers using Contains as a fetch-avoidance hint must tolerate.
+func (s *Store) Contains(key string) bool {
+	if _, ok := s.entries.Load(key); ok {
+		return true
+	}
+	if s.dir == "" || len(key) < 3 {
+		return false
+	}
+	_, err := os.Stat(s.objectPath(key))
+	return err == nil
+}
+
 func (s *Store) lookupOrFill(key string, k Kind, fill func() (any, error)) (any, Source, error) {
 	if s.dir != "" && k.diskable() {
 		if b, ok := s.readDisk(key); ok {
