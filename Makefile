@@ -29,7 +29,14 @@ test:
 # signed-manifest and no-compile smokes under the race detector (a
 # pinned key must admit the right publisher and refuse unsigned or
 # tampered manifests, and a warm-store subscriber must apply a whole
-# release with zero unit compilations); and a CLI-level signed-channel
+# release with zero unit compilations); the fleet smoke under the race
+# detector — canary-ring rollouts across all four releases with
+# injected faults: a recoverable-fault fleet (joins, leaves, slow
+# machines) must converge, and a 64-client fleet with a fault burst in
+# ring 2 must halt at the gate and roll every patched machine back to
+# base via undo, all observed through /fleet/health; a ksplice-fleet
+# CLI smoke — 128 machines with a ring-2 burst, required to halt and
+# roll back cleanly (-expect halt); and a CLI-level signed-channel
 # round trip — keygen, signed publish, subscribe with the pinned .pub,
 # and a required refusal of an unsigned channel under the same pin.
 check:
@@ -38,7 +45,10 @@ check:
 	$(GO) test -race -run 'UnitCache|CreateUpdateDeterministic|DiskWarmStart|EvictionUnderPressure|BuildParallel|Concurrent|Corrupt|GC' ./internal/srctree ./internal/core ./internal/store
 	$(GO) test -race -run 'ChaosSoak' ./internal/channel
 	$(GO) test -race -run 'SignedChannel|Refuses|SignatureTamper|NoCompileWarmStore' ./internal/channel
+	$(GO) test -race -run 'TestFleet' ./internal/fleet
 	$(GO) test -race ./...
+	$(GO) run ./cmd/ksplice-fleet -clients 128 -q -burst-ring 2 -expect halt
+	@echo "check: 128-machine canary rollout halted at the burst ring and rolled back"
 	@tmp=$$(mktemp -d) && \
 	$(GO) run ./cmd/ksplice-create -version sim-2.6.16-deb -cve CVE-2006-2451 -cache-dir $$tmp/store -cache-stats -o $$tmp/cold.tar >/dev/null 2>$$tmp/cold.log && \
 	$(GO) run ./cmd/ksplice-create -version sim-2.6.16-deb -cve CVE-2006-2451 -cache-dir $$tmp/store -cache-stats -o $$tmp/warm.tar >/dev/null 2>$$tmp/warm.log && \
@@ -86,6 +96,6 @@ bench:
 # so the record carries the counters behind the custom metrics. Commit
 # BENCH_eval.json to track the trend across PRs.
 bench-json:
-	GOSPLICE_TELEMETRY_OUT=$$(pwd)/BENCH_telemetry.json $(GO) test -run '^$$' -bench 'BenchmarkEvalAll64|BenchmarkPrePostDiff|BenchmarkKernelBuild|BenchmarkChannelSubscribePrebuilt|BenchmarkChannelSubscribeSourceBuild|BenchmarkChannelDeltaBandwidth' -benchmem > BENCH_eval.txt
+	GOSPLICE_TELEMETRY_OUT=$$(pwd)/BENCH_telemetry.json $(GO) test -run '^$$' -bench 'BenchmarkEvalAll64|BenchmarkPrePostDiff|BenchmarkKernelBuild|BenchmarkChannelSubscribePrebuilt|BenchmarkChannelSubscribeSourceBuild|BenchmarkChannelDeltaBandwidth|BenchmarkFleetRollout' -benchmem > BENCH_eval.txt
 	$(GO) run ./cmd/benchjson -in BENCH_eval.txt -telemetry BENCH_telemetry.json -out BENCH_eval.json
 	rm -f BENCH_eval.txt BENCH_telemetry.json

@@ -14,6 +14,7 @@ package gosplice
 import (
 	"bytes"
 	"compress/flate"
+	"context"
 	"fmt"
 	"net/http/httptest"
 	"os"
@@ -26,6 +27,7 @@ import (
 	"gosplice/internal/core"
 	"gosplice/internal/cvedb"
 	"gosplice/internal/eval"
+	"gosplice/internal/fleet"
 	"gosplice/internal/kernel"
 	"gosplice/internal/srctree"
 	"gosplice/internal/store"
@@ -502,11 +504,11 @@ func benchSubscribe(b *testing.B, url, version string, nCVEs int, prebuilt bool)
 	opts := channel.SubscribeOptions{}
 	if prebuilt {
 		opts.Blobs = channel.NewMemBlobCache()
-		m, err := tr.Manifest()
+		m, err := tr.Manifest(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
-		if st := channel.InstallBasePrebuilt(tr, m, opts.Blobs); st.Failed > 0 {
+		if st := channel.InstallBasePrebuilt(context.Background(), tr, m, opts.Blobs); st.Failed > 0 {
 			b.Fatalf("install: %+v", st)
 		}
 	} else {
@@ -525,7 +527,7 @@ func benchSubscribe(b *testing.B, url, version string, nCVEs int, prebuilt bool)
 	if err != nil {
 		b.Fatal(err)
 	}
-	applied, err := channel.Subscribe(tr, core.NewManager(k), 0, opts)
+	applied, err := channel.Subscribe(context.Background(), tr, core.NewManager(k), 0, opts)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -712,4 +714,47 @@ func nextStackPatch(depth int) string {
 +	return %s;
  }
 `, from, to)
+}
+
+// BenchmarkFleetRollout drives a full canary rollout (1% -> 10% -> 100%
+// rings, health-gated promotion over /fleet/health) across a
+// mixed-release fleet each iteration, against pre-published channels.
+// clients/sec is the fleet convergence rate; wire-bytes/rollout is the
+// total content the fleet pulled (deltas and prebuilt artifacts doing
+// their work at fleet scale).
+func BenchmarkFleetRollout(b *testing.B) {
+	dirs := map[string]string{}
+	for _, v := range cvedb.Versions {
+		dirs[v] = publishBenchChannel(b, v)
+	}
+	const clients = 96
+	var wire, applied uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o, err := fleet.New(fleet.Config{
+			Clients:     clients,
+			ChannelDirs: dirs,
+			Workers:     8,
+			Seed:        int64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := o.Run(context.Background())
+		o.Close()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Halted {
+			b.Fatalf("healthy rollout halted at ring %d", res.HaltedRing)
+		}
+		wire += res.BytesOverWire
+		applied += res.Applied
+	}
+	b.StopTimer()
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(clients*b.N)/secs, "clients/sec")
+	}
+	b.ReportMetric(float64(wire)/float64(b.N), "wire-bytes/rollout")
+	b.ReportMetric(float64(applied)/float64(b.N), "updates-applied/rollout")
 }

@@ -33,12 +33,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
 	"time"
@@ -240,25 +242,28 @@ func doScrape(url string, timeout time.Duration) {
 }
 
 func doSubscribe(dir, url, statePath, verifyKeyPath string, noPrebuilt bool, timeout time.Duration, retries int, apply core.ApplyOptions) {
+	// Ctrl-C cancels the subscribe cleanly: the client exits mid-backoff
+	// in milliseconds, the machine keeps the position it reached, and the
+	// state file records exactly the updates that are live.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	st, err := simstate.Load(statePath)
 	if err != nil {
 		fatal(err)
 	}
 
 	stateDir := filepath.Dir(statePath)
-	var t channel.Transport
-	opts := channel.SubscribeOptions{Apply: apply, NoPrebuilt: noPrebuilt}
+	cfg := channel.ClientConfig{
+		Name:       "ksplice-channel",
+		StateDir:   stateDir,
+		Apply:      apply,
+		NoPrebuilt: noPrebuilt,
+	}
 	if verifyKeyPath != "" {
-		if opts.VerifyKey, err = channel.LoadVerifyKey(verifyKeyPath); err != nil {
+		if cfg.VerifyKey, err = channel.LoadVerifyKey(verifyKeyPath); err != nil {
 			fatal(err)
 		}
-	}
-	// The machine's persistent blob cache: verified tarballs and images
-	// kept across subscribes, so the next run's deltas have their bases.
-	if bc, err := channel.NewDirBlobCache(filepath.Join(stateDir, "blob-cache")); err == nil {
-		opts.Blobs = bc
-	} else {
-		opts.Blobs = channel.NewMemBlobCache()
 	}
 	if url != "" {
 		// Remote channel: persist a verified local copy of every applied
@@ -268,8 +273,8 @@ func doSubscribe(dir, url, statePath, verifyKeyPath string, noPrebuilt bool, tim
 		if err := os.MkdirAll(local, 0o755); err != nil {
 			fatal(err)
 		}
-		t = channel.NewHTTPTransport(url, channel.HTTPOptions{Timeout: timeout, MaxRetries: retries})
-		opts.OnApplied = func(e channel.Entry, b []byte) error {
+		cfg.Transport = channel.NewHTTPTransport(url, channel.HTTPOptions{Timeout: timeout, MaxRetries: retries})
+		cfg.OnApplied = func(e channel.Entry, b []byte) error {
 			path := filepath.Join(local, filepath.Base(e.File))
 			if err := os.WriteFile(path, b, 0o644); err != nil {
 				return err
@@ -283,8 +288,8 @@ func doSubscribe(dir, url, statePath, verifyKeyPath string, noPrebuilt bool, tim
 			return nil
 		}
 	} else {
-		t = channel.NewDirTransport(dir)
-		opts.OnApplied = func(e channel.Entry, _ []byte) error {
+		cfg.Transport = channel.NewDirTransport(dir)
+		cfg.OnApplied = func(e channel.Entry, _ []byte) error {
 			rel, err := filepath.Rel(stateDir, filepath.Join(dir, e.File))
 			if err != nil {
 				rel = filepath.Join(dir, e.File)
@@ -294,6 +299,11 @@ func doSubscribe(dir, url, statePath, verifyKeyPath string, noPrebuilt bool, tim
 			return nil
 		}
 	}
+	cl, err := channel.NewClient(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	defer cl.Close()
 
 	// Warm the local build store from the channel BEFORE replaying the
 	// machine: on a prebuilt channel, booting the kernel and applying
@@ -301,19 +311,13 @@ func doSubscribe(dir, url, statePath, verifyKeyPath string, noPrebuilt bool, tim
 	// Install failures degrade to source builds inside Replay, never to
 	// an error — but a manifest that fails the pinned key is refused
 	// outright, exactly as Subscribe would refuse it.
-	if !noPrebuilt {
-		if m, err := t.Manifest(); err == nil {
-			if opts.VerifyKey != nil {
-				if err := m.VerifySignature(opts.VerifyKey); err != nil {
-					fatal(fmt.Errorf("refusing manifest: %w", err))
-				}
-			}
-			is := channel.InstallBasePrebuilt(t, m, opts.Blobs)
-			if is.Installed+is.Hits+is.Failed > 0 {
-				fmt.Printf("prebuilt artifacts: %d installed, %d already held, %d falling back to source build\n",
-					is.Installed, is.Hits, is.Failed)
-			}
+	if _, is, err := cl.InstallBase(ctx); err == nil {
+		if is.Installed+is.Hits+is.Failed > 0 {
+			fmt.Printf("prebuilt artifacts: %d installed, %d already held, %d falling back to source build\n",
+				is.Installed, is.Hits, is.Failed)
 		}
+	} else if strings.Contains(err.Error(), "refusing manifest") {
+		fatal(err)
 	}
 	_, mgr, err := st.Replay(apply)
 	if err != nil {
@@ -321,7 +325,8 @@ func doSubscribe(dir, url, statePath, verifyKeyPath string, noPrebuilt bool, tim
 	}
 
 	before := len(st.Updates)
-	applied, subErr := channel.Subscribe(t, mgr, before, opts)
+	cl.Bind(mgr, before)
+	applied, subErr := cl.Sync(ctx)
 	// Whatever happened, the machine's true position is what we record:
 	// every applied update is already live in the kernel.
 	if len(applied) > 0 || subErr == nil {

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net"
@@ -79,7 +80,7 @@ func main() {
 	t := channel.NewHTTPTransport(baseURL, channel.HTTPOptions{
 		Timeout: 5 * time.Second, MaxRetries: 4, Backoff: 10 * time.Millisecond,
 	})
-	applied, err := channel.Subscribe(t, mgr, 0, channel.SubscribeOptions{})
+	applied, err := channel.Subscribe(context.Background(), t, mgr, 0, channel.SubscribeOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -12,6 +12,10 @@ import (
 	"encoding/hex"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
 
 	"gosplice/internal/core"
 )
@@ -42,19 +46,54 @@ func (c memBlobCache) Put(digest string, b []byte) {
 	c[digest] = append([]byte(nil), b...)
 }
 
+// DefaultBlobCacheBytes caps a DirBlobCache: generous against the
+// corpus's blob sizes (a release's full artifact set is well under 1
+// MiB) but bounded, so a machine that subscribes across many releases
+// does not grow its cache without limit.
+const DefaultBlobCacheBytes = 64 << 20
+
 // DirBlobCache persists blobs as files named by digest, so a machine's
 // delta bases survive across subscribes (and processes): the tarball it
 // verified last month is next month's delta base.
+//
+// The cache is capped (see NewDirBlobCacheMax): when a Put pushes the
+// directory past the cap, the oldest blobs are evicted, least recently
+// used first — except blobs this process has touched, which are never
+// evicted, borrowing the artifact store GC's protection rule so a sweep
+// cannot pull a delta base out from under the subscribe that is about
+// to use it.
 type DirBlobCache struct {
-	dir string
+	dir      string
+	maxBytes int64
+
+	mu sync.Mutex
+	// touched records digests this process read or wrote; eviction
+	// spares them.
+	touched map[string]bool
 }
 
-// NewDirBlobCache opens (creating if needed) a blob cache directory.
+// NewDirBlobCache opens (creating if needed) a blob cache directory with
+// the default size cap.
 func NewDirBlobCache(dir string) (*DirBlobCache, error) {
+	return NewDirBlobCacheMax(dir, DefaultBlobCacheBytes)
+}
+
+// NewDirBlobCacheMax opens a blob cache capped at maxBytes of cached
+// blob bytes (<= 0 means unbounded). Stray temp files from crashed
+// writers are swept on open.
+func NewDirBlobCacheMax(dir string, maxBytes int64) (*DirBlobCache, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	return &DirBlobCache{dir: dir}, nil
+	c := &DirBlobCache{dir: dir, maxBytes: maxBytes, touched: map[string]bool{}}
+	if ents, err := os.ReadDir(dir); err == nil {
+		for _, e := range ents {
+			if strings.HasSuffix(e.Name(), ".tmp") {
+				os.Remove(filepath.Join(dir, e.Name()))
+			}
+		}
+	}
+	return c, nil
 }
 
 // validDigest guards the digest-as-filename mapping: only a 64-char hex
@@ -65,6 +104,18 @@ func validDigest(digest string) bool {
 	}
 	_, err := hex.DecodeString(digest)
 	return err == nil
+}
+
+// touch protects digest from eviction for the rest of this process and
+// (best effort) refreshes its file's mtime, so age-ordered eviction —
+// here and in other processes sharing the directory — sees it as
+// recently used.
+func (c *DirBlobCache) touch(digest string) {
+	c.mu.Lock()
+	c.touched[digest] = true
+	c.mu.Unlock()
+	now := time.Now()
+	os.Chtimes(filepath.Join(c.dir, digest), now, now)
 }
 
 // Get re-verifies the file against its name before returning it — a
@@ -82,14 +133,74 @@ func (c *DirBlobCache) Get(digest string) ([]byte, bool) {
 		os.Remove(filepath.Join(c.dir, digest))
 		return nil, false
 	}
+	c.touch(digest)
 	return b, true
 }
 
 // Put is best-effort: a cache write failure costs bandwidth later, not
-// correctness now.
+// correctness now. A Put that pushes the cache past its cap evicts the
+// least recently used unprotected blobs.
 func (c *DirBlobCache) Put(digest string, b []byte) {
 	if !validDigest(digest) {
 		return
 	}
 	writeFileAtomic(filepath.Join(c.dir, digest), b)
+	c.touch(digest)
+	c.gc()
+}
+
+// gc sweeps the cache down to the byte cap, oldest mtime first (name as
+// the deterministic tie-break). Blobs touched by this process are never
+// evicted — protection is re-checked under the lock immediately before
+// each removal, so a blob read while the sweep runs is spared.
+func (c *DirBlobCache) gc() {
+	if c.maxBytes <= 0 {
+		return
+	}
+	type victim struct {
+		digest string
+		size   int64
+		mtime  time.Time
+	}
+	ents, err := os.ReadDir(c.dir)
+	if err != nil {
+		return
+	}
+	var total int64
+	var victims []victim
+	for _, e := range ents {
+		if !validDigest(e.Name()) {
+			continue
+		}
+		fi, err := e.Info()
+		if err != nil {
+			continue
+		}
+		total += fi.Size()
+		victims = append(victims, victim{digest: e.Name(), size: fi.Size(), mtime: fi.ModTime()})
+	}
+	if total <= c.maxBytes {
+		return
+	}
+	sort.Slice(victims, func(i, j int) bool {
+		if !victims[i].mtime.Equal(victims[j].mtime) {
+			return victims[i].mtime.Before(victims[j].mtime)
+		}
+		return victims[i].digest < victims[j].digest
+	})
+	for _, v := range victims {
+		if total <= c.maxBytes {
+			break
+		}
+		c.mu.Lock()
+		protected := c.touched[v.digest]
+		c.mu.Unlock()
+		if protected {
+			continue
+		}
+		if err := os.Remove(filepath.Join(c.dir, v.digest)); err != nil {
+			continue
+		}
+		total -= v.size
+	}
 }

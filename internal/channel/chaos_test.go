@@ -9,6 +9,7 @@ package channel_test
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"net/http/httptest"
 	"os"
@@ -177,7 +178,7 @@ func TestChaosSoakHTTPFleet(t *testing.T) {
 					opts.NoPrebuilt = true
 					opts.Blobs = nullBlobCache{}
 				}
-				applied, err := channel.Subscribe(tr, mgr, 0, opts)
+				applied, err := channel.Subscribe(context.Background(), tr, mgr, 0, opts)
 				pos := len(applied)
 				if err != nil {
 					pe, ok := channel.IsPosition(err)

@@ -1,0 +1,325 @@
+package channel
+
+// Client is the subscriber stack rolled into one reusable object: a
+// transport, a persistent (or ephemeral) blob cache, a per-instance
+// telemetry registry, and the machine's channel position, behind a
+// context-cancellable Sync. cmd/ksplice-channel's subscribe mode is one
+// Client; the fleet orchestrator is hundreds of them in one process,
+// each with its own registry (pushed upstream as fleet reports) and its
+// own fault-injection wrapping.
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"gosplice/internal/core"
+	"gosplice/internal/telemetry"
+)
+
+// ClientConfig configures a Client. Transport is required; everything
+// else has a usable zero value.
+type ClientConfig struct {
+	// Name identifies the client in fleet reports and errors (default
+	// "client").
+	Name string
+	// Transport reaches the channel. The client wraps it (WrapTransport)
+	// but does not own it.
+	Transport Transport
+	// WrapTransport, when non-nil, interposes on the transport — the hook
+	// a fleet plugs a faultinject.Plan into (the faultinject package
+	// depends on this one, so the plan arrives as a closure).
+	WrapTransport func(Transport) Transport
+	// StateDir, when non-empty, roots the client's persistent state: its
+	// blob cache lives at StateDir/blob-cache. Empty means fully
+	// ephemeral (an in-memory blob cache).
+	StateDir string
+	// Blobs overrides the blob cache outright (StateDir then does not
+	// create one).
+	Blobs BlobCache
+	// BlobCacheBytes caps the StateDir blob cache (0 = default cap).
+	BlobCacheBytes int64
+	// Registry, when non-nil, is the client's metric registry; nil
+	// creates a private one. Either way every increment also lands on
+	// the process-wide registry, so one /metrics stays coherent.
+	Registry *telemetry.Registry
+	// Apply, FetchRetries, VerifyKey, NoPrebuilt, OnApplied, OnInstalled
+	// pass through to Subscribe.
+	Apply        core.ApplyOptions
+	FetchRetries int
+	VerifyKey    VerifyKey
+	NoPrebuilt   bool
+	OnApplied    func(e Entry, b []byte) error
+	OnInstalled  func(InstallStats)
+	// Throttle, when > 0, sleeps this long after every applied update —
+	// how a fleet simulates slow machines. The sleep respects the Sync
+	// context.
+	Throttle time.Duration
+}
+
+// Client is one subscriber machine's channel stack. Safe for concurrent
+// use, though a machine normally runs one Sync at a time.
+type Client struct {
+	cfg   ClientConfig
+	t     Transport
+	reg   *telemetry.Registry
+	ms    *clientMetrics
+	blobs BlobCache
+
+	mu      sync.Mutex
+	mgr     *core.Manager
+	base    int // channel position when the manager was bound; Rollback's floor
+	pos     int
+	closed  bool
+	cancels map[*context.CancelFunc]struct{}
+}
+
+// NewClient builds a client. The machine itself (its kernel and update
+// manager) attaches later via Bind — constructing the client is cheap
+// and never boots anything.
+func NewClient(cfg ClientConfig) (*Client, error) {
+	if cfg.Transport == nil {
+		return nil, fmt.Errorf("channel: client needs a transport")
+	}
+	if cfg.Name == "" {
+		cfg.Name = "client"
+	}
+	c := &Client{
+		cfg:     cfg,
+		t:       cfg.Transport,
+		cancels: map[*context.CancelFunc]struct{}{},
+	}
+	if cfg.WrapTransport != nil {
+		c.t = cfg.WrapTransport(c.t)
+	}
+	c.reg = cfg.Registry
+	if c.reg == nil {
+		c.reg = telemetry.NewRegistry()
+	}
+	c.ms = registryClientMetrics(c.reg)
+	switch {
+	case cfg.Blobs != nil:
+		c.blobs = cfg.Blobs
+	case cfg.StateDir != "":
+		max := cfg.BlobCacheBytes
+		if max == 0 {
+			max = DefaultBlobCacheBytes
+		}
+		bc, err := NewDirBlobCacheMax(filepath.Join(cfg.StateDir, "blob-cache"), max)
+		if err != nil {
+			return nil, fmt.Errorf("channel: client blob cache: %w", err)
+		}
+		c.blobs = bc
+	default:
+		c.blobs = NewMemBlobCache()
+	}
+	return c, nil
+}
+
+// Name returns the client's fleet-report source id.
+func (c *Client) Name() string { return c.cfg.Name }
+
+// Registry returns the client's metric registry — what its Pusher
+// snapshots and pushes upstream.
+func (c *Client) Registry() *telemetry.Registry { return c.reg }
+
+// Blobs returns the client's blob cache.
+func (c *Client) Blobs() BlobCache { return c.blobs }
+
+// Bind attaches the running machine: its update manager and its current
+// channel position. position becomes the floor Rollback will not undo
+// past — whatever was on the machine before this client managed it is
+// not this client's to remove.
+func (c *Client) Bind(mgr *core.Manager, position int) {
+	c.mu.Lock()
+	c.mgr = mgr
+	c.base = position
+	c.pos = position
+	c.mu.Unlock()
+	c.ms.position.Set(int64(position))
+}
+
+// Manager returns the bound update manager (nil before Bind) — the
+// handle a health prober uses to stress the patched kernel.
+func (c *Client) Manager() *core.Manager {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.mgr
+}
+
+// Position returns the machine's current channel position.
+func (c *Client) Position() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.pos
+}
+
+// syncCtx derives a cancellable context registered with Close, so a
+// closed client aborts every in-flight Sync (mid-backoff included).
+func (c *Client) syncCtx(ctx context.Context) (context.Context, func(), error) {
+	ctx, cancel := context.WithCancel(ctx)
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		cancel()
+		return nil, nil, fmt.Errorf("channel: client %s is closed", c.cfg.Name)
+	}
+	key := &cancel
+	c.cancels[key] = struct{}{}
+	c.mu.Unlock()
+	done := func() {
+		c.mu.Lock()
+		delete(c.cancels, key)
+		c.mu.Unlock()
+		cancel()
+	}
+	return ctx, done, nil
+}
+
+// Sync subscribes the machine up to the channel head from its current
+// position, returning the updates applied this call. A PositionError
+// still advances the recorded position to wherever the machine actually
+// reached — the machine stays consistent, and the next Sync resumes
+// there. Cancelling ctx (or Close) stops the sync at the next safe
+// boundary.
+func (c *Client) Sync(ctx context.Context) ([]*core.Update, error) {
+	c.mu.Lock()
+	mgr, pos := c.mgr, c.pos
+	c.mu.Unlock()
+	if mgr == nil {
+		return nil, fmt.Errorf("channel: client %s has no machine bound", c.cfg.Name)
+	}
+	ctx, done, err := c.syncCtx(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer done()
+	opts := SubscribeOptions{
+		Apply:        c.cfg.Apply,
+		FetchRetries: c.cfg.FetchRetries,
+		VerifyKey:    c.cfg.VerifyKey,
+		NoPrebuilt:   c.cfg.NoPrebuilt,
+		Blobs:        c.blobs,
+		OnInstalled:  c.cfg.OnInstalled,
+		Registry:     c.reg,
+	}
+	opts.OnApplied = func(e Entry, b []byte) error {
+		if c.cfg.OnApplied != nil {
+			if err := c.cfg.OnApplied(e, b); err != nil {
+				return err
+			}
+		}
+		if c.cfg.Throttle > 0 {
+			timer := time.NewTimer(c.cfg.Throttle)
+			defer timer.Stop()
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-timer.C:
+			}
+		}
+		return nil
+	}
+	applied, err := Subscribe(ctx, c.t, mgr, pos, opts)
+	newPos := pos + len(applied)
+	if pe, ok := IsPosition(err); ok {
+		newPos = pe.Position
+	}
+	c.mu.Lock()
+	c.pos = newPos
+	c.mu.Unlock()
+	c.ms.position.Set(int64(newPos))
+	return applied, err
+}
+
+// Rollback undoes hot updates, most recent first, until the machine is
+// back at position to (floored at the position it had when bound). This
+// is the fleet-wide "pull the patch back out" path: every undo passes
+// through the same quiescence machinery the applies did. It returns how
+// many updates were undone.
+func (c *Client) Rollback(to int) (int, error) {
+	c.mu.Lock()
+	mgr := c.mgr
+	if to < c.base {
+		to = c.base
+	}
+	c.mu.Unlock()
+	if mgr == nil {
+		return 0, fmt.Errorf("channel: client %s has no machine bound", c.cfg.Name)
+	}
+	n := 0
+	for {
+		c.mu.Lock()
+		if c.pos <= to {
+			c.mu.Unlock()
+			return n, nil
+		}
+		c.mu.Unlock()
+		if err := mgr.Undo(c.cfg.Apply); err != nil {
+			return n, fmt.Errorf("channel: client %s rollback: %w", c.cfg.Name, err)
+		}
+		c.mu.Lock()
+		c.pos--
+		pos := c.pos
+		c.mu.Unlock()
+		c.ms.position.Set(int64(pos))
+		n++
+	}
+}
+
+// InstallBase warms the local build store with the channel's base
+// prebuilt artifact set (verifying the manifest signature first when a
+// key is pinned) — what a subscriber runs before booting its machine,
+// so the boot hits the store instead of the compiler. Returns the
+// manifest alongside the install summary; on a NoPrebuilt client it
+// only fetches and verifies the manifest.
+func (c *Client) InstallBase(ctx context.Context) (*Manifest, InstallStats, error) {
+	var st InstallStats
+	ctx, done, err := c.syncCtx(ctx)
+	if err != nil {
+		return nil, st, err
+	}
+	defer done()
+	m, err := c.t.Manifest(ctx)
+	if err != nil {
+		return nil, st, err
+	}
+	if c.cfg.VerifyKey != nil {
+		if err := m.VerifySignature(c.cfg.VerifyKey); err != nil {
+			return nil, st, fmt.Errorf("channel: refusing manifest: %w", err)
+		}
+	}
+	if !c.cfg.NoPrebuilt {
+		st = installArtifacts(ctx, c.t, m, m.Prebuilt, c.blobs, c.ms)
+	}
+	return m, st, nil
+}
+
+// Pusher returns a telemetry pusher that reports this client's registry
+// to a fleet aggregation endpoint under the client's name.
+func (c *Client) Pusher(url string, interval time.Duration) *telemetry.Pusher {
+	return &telemetry.Pusher{
+		URL:      url,
+		Source:   c.cfg.Name,
+		Interval: interval,
+		Gather:   func() telemetry.Snapshot { return c.reg.Snapshot() },
+	}
+}
+
+// Close cancels every in-flight Sync and refuses new ones. It does not
+// touch the machine: applied updates stay applied (use Rollback first
+// to remove them).
+func (c *Client) Close() {
+	c.mu.Lock()
+	c.closed = true
+	cancels := make([]*context.CancelFunc, 0, len(c.cancels))
+	for k := range c.cancels {
+		cancels = append(cancels, k)
+	}
+	c.mu.Unlock()
+	for _, k := range cancels {
+		(*k)()
+	}
+}

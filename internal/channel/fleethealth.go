@@ -1,0 +1,179 @@
+package channel
+
+// Fleet aggregation: the server half of telemetry.Pusher. Subscribers
+// POST their registry snapshots to /fleet/report; the aggregator keeps
+// the latest report per source (sequence numbers discard reordered
+// arrivals) and serves two merged views — the full merged snapshot, and
+// the compact per-client health table /fleet/health renders, which is
+// what the fleet orchestrator's promotion gate and the operator's watch
+// loop both read.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+
+	"gosplice/internal/telemetry"
+)
+
+// ClientHealth is one subscriber's health row, extracted from its last
+// pushed snapshot. Counters are cumulative over the client's lifetime.
+type ClientHealth struct {
+	Source         string `json:"source"`
+	Seq            uint64 `json:"seq"`
+	Position       int64  `json:"position"`
+	Applied        uint64 `json:"applied"`
+	Degraded       uint64 `json:"degraded"`
+	Refetches      uint64 `json:"refetches"`
+	DeltaFallbacks uint64 `json:"delta_fallbacks"`
+	StressFailures uint64 `json:"stress_failures"`
+	BytesOverWire  uint64 `json:"bytes_over_wire"`
+}
+
+// FleetHealth is the merged fleet view: totals across every reporting
+// source plus the per-client rows, sorted by source for stable output.
+type FleetHealth struct {
+	Sources        int            `json:"sources"`
+	Applied        uint64         `json:"applied"`
+	Degraded       uint64         `json:"degraded"`
+	Refetches      uint64         `json:"refetches"`
+	DeltaFallbacks uint64         `json:"delta_fallbacks"`
+	StressFailures uint64         `json:"stress_failures"`
+	BytesOverWire  uint64         `json:"bytes_over_wire"`
+	Clients        []ClientHealth `json:"clients"`
+}
+
+// healthFromSnapshot extracts one client's health row from a snapshot.
+func healthFromSnapshot(source string, seq uint64, s telemetry.Snapshot) ClientHealth {
+	return ClientHealth{
+		Source:         source,
+		Seq:            seq,
+		Position:       s.Gauge(MetricPosition),
+		Applied:        s.CounterFamily(MetricApplied),
+		Degraded:       s.CounterFamily(MetricDegraded),
+		Refetches:      s.CounterFamily(MetricRefetches),
+		DeltaFallbacks: s.CounterFamily(MetricDeltaFallback),
+		StressFailures: s.CounterFamily(MetricStressFailures),
+		BytesOverWire:  s.CounterFamily(MetricBytesOverWire),
+	}
+}
+
+// FleetAggregator collects pushed telemetry reports, latest per source.
+// Safe for concurrent use; one aggregator can back several Server
+// instances (a fleet spanning channels still has one health view).
+type FleetAggregator struct {
+	mu      sync.Mutex
+	reports map[string]telemetry.Report
+}
+
+// NewFleetAggregator returns an empty aggregator.
+func NewFleetAggregator() *FleetAggregator {
+	return &FleetAggregator{reports: map[string]telemetry.Report{}}
+}
+
+// Record stores a report if it is newer than the source's last one;
+// stale (reordered) reports are dropped and reported as such.
+func (a *FleetAggregator) Record(rep telemetry.Report) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if prev, ok := a.reports[rep.Source]; ok && rep.Seq <= prev.Seq {
+		return false
+	}
+	a.reports[rep.Source] = rep
+	return true
+}
+
+// Forget drops a source from the view — what a fleet does when a
+// machine leaves mid-rollout, so a departed client's last report does
+// not hold the health gate forever.
+func (a *FleetAggregator) Forget(source string) {
+	a.mu.Lock()
+	delete(a.reports, source)
+	a.mu.Unlock()
+}
+
+// Sources returns the reporting source names, sorted.
+func (a *FleetAggregator) Sources() []string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]string, 0, len(a.reports))
+	for s := range a.reports {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Merged folds every source's latest snapshot into one — the fleet-wide
+// /debug/vars equivalent.
+func (a *FleetAggregator) Merged() telemetry.Snapshot {
+	a.mu.Lock()
+	snaps := make([]telemetry.Snapshot, 0, len(a.reports))
+	for _, rep := range a.reports {
+		snaps = append(snaps, rep.Snapshot)
+	}
+	a.mu.Unlock()
+	return telemetry.MergeSnapshots(snaps...)
+}
+
+// Health renders the merged fleet-health view.
+func (a *FleetAggregator) Health() FleetHealth {
+	a.mu.Lock()
+	rows := make([]ClientHealth, 0, len(a.reports))
+	for src, rep := range a.reports {
+		rows = append(rows, healthFromSnapshot(src, rep.Seq, rep.Snapshot))
+	}
+	a.mu.Unlock()
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Source < rows[j].Source })
+	h := FleetHealth{Sources: len(rows), Clients: rows}
+	for _, r := range rows {
+		h.Applied += r.Applied
+		h.Degraded += r.Degraded
+		h.Refetches += r.Refetches
+		h.DeltaFallbacks += r.DeltaFallbacks
+		h.StressFailures += r.StressFailures
+		h.BytesOverWire += r.BytesOverWire
+	}
+	return h
+}
+
+// serveFleet handles the /fleet/* routes on a Server whose Fleet field
+// is set. Like /metrics, fleet traffic is control plane: it is never
+// counted as channel traffic (a health watcher must not move the
+// counters it reads) and fault injection wraps the distribution routes,
+// not these.
+func (a *FleetAggregator) serveFleet(w http.ResponseWriter, r *http.Request) {
+	switch r.URL.Path {
+	case "/fleet/report":
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST a telemetry report", http.StatusMethodNotAllowed)
+			return
+		}
+		rep, err := telemetry.ReadReport(r.Body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if !a.Record(rep) {
+			// Stale sequence: acknowledged but not applied, so a delayed
+			// pusher does not error-loop.
+			w.WriteHeader(http.StatusAccepted)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	case "/fleet/health":
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(a.Health())
+	case "/fleet/vars":
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(a.Merged())
+	default:
+		http.Error(w, fmt.Sprintf("no fleet route %s", r.URL.Path), http.StatusNotFound)
+	}
+}

@@ -3,6 +3,7 @@
 package channel_test
 
 import (
+	"context"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -53,7 +54,7 @@ func TestIntegrityRefetchCounterExact(t *testing.T) {
 	tr := faultinject.WrapTransport(channel.NewDirTransport(dir), plan)
 
 	before := telemetry.Default().Snapshot()
-	applied, err := channel.Subscribe(tr, mgr, 0, channel.SubscribeOptions{})
+	applied, err := channel.Subscribe(context.Background(), tr, mgr, 0, channel.SubscribeOptions{})
 	if err != nil {
 		t.Fatalf("subscribe: %v", err)
 	}

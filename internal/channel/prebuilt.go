@@ -7,6 +7,8 @@ package channel
 // never to an error the caller sees.
 
 import (
+	"context"
+
 	"gosplice/internal/core"
 	"gosplice/internal/diffutil"
 	"gosplice/internal/srctree"
@@ -37,12 +39,12 @@ type InstallStats struct {
 // Order matters: the base image is fetched (and cached) before the
 // position images that delta against it. Failures degrade silently to
 // source builds.
-func InstallPrebuilt(t Transport, m *Manifest, blobs BlobCache) InstallStats {
+func InstallPrebuilt(ctx context.Context, t Transport, m *Manifest, blobs BlobCache) InstallStats {
 	arts := append([]Artifact(nil), m.Prebuilt...)
 	for _, e := range m.Updates {
 		arts = append(arts, e.Artifacts...)
 	}
-	return installArtifacts(t, m, arts, blobs)
+	return installArtifacts(ctx, t, m, arts, blobs, defaultClientMetrics)
 }
 
 // InstallBasePrebuilt installs only the base release's artifact set —
@@ -50,22 +52,28 @@ func InstallPrebuilt(t Transport, m *Manifest, blobs BlobCache) InstallStats {
 // from the store and takes everything newer as hot updates, so the
 // per-position artifacts would be dead weight on its wire. This is what
 // Subscribe runs implicitly.
-func InstallBasePrebuilt(t Transport, m *Manifest, blobs BlobCache) InstallStats {
-	return installArtifacts(t, m, m.Prebuilt, blobs)
+func InstallBasePrebuilt(ctx context.Context, t Transport, m *Manifest, blobs BlobCache) InstallStats {
+	return installArtifacts(ctx, t, m, m.Prebuilt, blobs, defaultClientMetrics)
 }
 
-func installArtifacts(t Transport, m *Manifest, arts []Artifact, blobs BlobCache) InstallStats {
+func installArtifacts(ctx context.Context, t Transport, m *Manifest, arts []Artifact, blobs BlobCache, ms *clientMetrics) InstallStats {
 	var st InstallStats
 	for _, a := range arts {
 		if a.StoreKey == "" || a.Sha256 == "" {
 			continue
 		}
+		if ctx.Err() != nil {
+			// Cancelled mid-pass: everything not yet installed falls to
+			// the source-build path, exactly like a fetch failure.
+			st.Failed++
+			continue
+		}
 		if srctree.HasPrebuilt(a.StoreKey) {
-			cBlobPrebuiltHits.Inc()
+			ms.prebuiltHits.Inc()
 			st.Hits++
 			continue
 		}
-		b, ok := fetchBlobVerified(t, m, a.Sha256, a.Size, blobs)
+		b, ok := fetchBlobVerified(ctx, t, m, a.Sha256, a.Size, blobs, ms)
 		if !ok {
 			st.Failed++
 			continue
@@ -86,18 +94,18 @@ func installArtifacts(t Transport, m *Manifest, arts []Artifact, blobs BlobCache
 // local cache, by reconstructing it from an advertised delta when the
 // base is at hand, or by fetching it whole. Whatever the path, the
 // returned bytes hash to digest; ok=false means every path failed.
-func fetchBlobVerified(t Transport, m *Manifest, digest string, size int64, blobs BlobCache) ([]byte, bool) {
+func fetchBlobVerified(ctx context.Context, t Transport, m *Manifest, digest string, size int64, blobs BlobCache, ms *clientMetrics) ([]byte, bool) {
 	if b, ok := blobs.Get(digest); ok {
 		return b, true
 	}
-	if b, ok := fetchViaDelta(t, m, digest, blobs); ok {
+	if b, ok := fetchViaDelta(ctx, t, m, digest, blobs, ms); ok {
 		return b, true
 	}
-	b, err := t.FetchBlob(digest, size)
+	b, err := t.FetchBlob(ctx, digest, size)
 	if err != nil {
 		return nil, false
 	}
-	cBytesOverWire.Add(uint64(len(b)))
+	ms.bytesOverWire.Add(uint64(len(b)))
 	if got := blobDigest(b); got != digest {
 		return nil, false
 	}
@@ -111,38 +119,38 @@ func fetchBlobVerified(t Transport, m *Manifest, digest string, size int64, blob
 // base" counts a full-fetch fallback; the delta format is self-verifying
 // (base and result digests are in the header), so corrupt deltas and
 // wrong bases are caught before any reconstructed byte is trusted.
-func fetchViaDelta(t Transport, m *Manifest, digest string, blobs BlobCache) ([]byte, bool) {
+func fetchViaDelta(ctx context.Context, t Transport, m *Manifest, digest string, blobs BlobCache, ms *clientMetrics) ([]byte, bool) {
 	d := m.DeltaFor(digest)
 	if d == nil {
 		return nil, false
 	}
 	base, ok := blobs.Get(d.BaseSha256)
 	if !ok {
-		cDeltaFallbackFull.Inc()
+		ms.deltaFallback.Inc()
 		return nil, false
 	}
-	db, err := t.FetchBlob(d.Sha256, d.Size)
+	db, err := t.FetchBlob(ctx, d.Sha256, d.Size)
 	if err != nil {
-		cDeltaFallbackFull.Inc()
+		ms.deltaFallback.Inc()
 		return nil, false
 	}
-	cBytesOverWire.Add(uint64(len(db)))
+	ms.bytesOverWire.Add(uint64(len(db)))
 	if blobDigest(db) != d.Sha256 {
-		cDeltaFallbackFull.Inc()
+		ms.deltaFallback.Inc()
 		return nil, false
 	}
 	b, err := diffutil.ApplyDelta(base, db)
 	if err != nil {
-		cDeltaFallbackFull.Inc()
+		ms.deltaFallback.Inc()
 		return nil, false
 	}
 	if blobDigest(b) != digest {
 		// Publisher advertised a delta whose result is not the blob —
 		// caught here, fall back to whole-blob fetch.
-		cDeltaFallbackFull.Inc()
+		ms.deltaFallback.Inc()
 		return nil, false
 	}
-	cDeltaApplied.Inc()
+	ms.deltaApplied.Inc()
 	blobs.Put(digest, b)
 	return b, true
 }

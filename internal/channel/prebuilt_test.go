@@ -7,6 +7,7 @@ package channel_test
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
@@ -88,7 +89,7 @@ func TestSubscribeNoCompileWarmStore(t *testing.T) {
 		// The subscriber machine starts from a store that has never seen
 		// a compiler run — everything it knows came over the channel.
 		prev := srctree.SetStore(store.MustNew(store.Options{}))
-		st := channel.InstallPrebuilt(tr, m, channel.NewMemBlobCache())
+		st := channel.InstallPrebuilt(context.Background(), tr, m, channel.NewMemBlobCache())
 		if st.Failed != 0 || st.Installed == 0 {
 			srctree.SetStore(prev)
 			t.Fatalf("%s: install over a clean transport: %+v", version, st)
@@ -98,7 +99,7 @@ func TestSubscribeNoCompileWarmStore(t *testing.T) {
 		k, mgr := bootCached(t, version)
 		var got [][]byte
 		var names []string
-		applied, err := channel.Subscribe(tr, mgr, 0, channel.SubscribeOptions{
+		applied, err := channel.Subscribe(context.Background(), tr, mgr, 0, channel.SubscribeOptions{
 			OnApplied: func(e channel.Entry, b []byte) error {
 				got = append(got, append([]byte(nil), b...))
 				names = append(names, e.Name)
@@ -165,7 +166,7 @@ func TestInstallPrebuiltDegradesToSourceBuild(t *testing.T) {
 
 	prev := srctree.SetStore(store.MustNew(store.Options{}))
 	defer srctree.SetStore(prev)
-	st := channel.InstallPrebuilt(tr, m, channel.NewMemBlobCache())
+	st := channel.InstallPrebuilt(context.Background(), tr, m, channel.NewMemBlobCache())
 	if st.Failed != 3 {
 		t.Fatalf("3 faulted artifact fetches, %d failures recorded (%+v)", st.Failed, st)
 	}
@@ -177,7 +178,7 @@ func TestInstallPrebuiltDegradesToSourceBuild(t *testing.T) {
 	// subscribe (whose own install pass heals the gaps) reaches the head.
 	before := srctree.Counters()
 	_, mgr := bootCached(t, version)
-	applied, err := channel.Subscribe(channel.NewDirTransport(dir), mgr, 0, channel.SubscribeOptions{})
+	applied, err := channel.Subscribe(context.Background(), channel.NewDirTransport(dir), mgr, 0, channel.SubscribeOptions{})
 	after := srctree.Counters()
 	if err != nil {
 		t.Fatalf("subscribe after degraded install: %v", err)
@@ -206,7 +207,7 @@ func TestSubscribeDeltaCorruptFallsBackFull(t *testing.T) {
 	_, mgr := bootRelease(t, version)
 	var got [][]byte
 	var names []string
-	applied, err := channel.Subscribe(tr, mgr, 0, channel.SubscribeOptions{
+	applied, err := channel.Subscribe(context.Background(), tr, mgr, 0, channel.SubscribeOptions{
 		NoPrebuilt: true,
 		OnApplied: func(e channel.Entry, b []byte) error {
 			got = append(got, append([]byte(nil), b...))
@@ -246,7 +247,7 @@ func TestSubscribeMissingBaseFallsBackFull(t *testing.T) {
 	reg := telemetry.Default()
 	before := reg.Snapshot()
 	_, mgr := bootRelease(t, version)
-	applied, err := channel.Subscribe(channel.NewDirTransport(dir), mgr, 0, channel.SubscribeOptions{
+	applied, err := channel.Subscribe(context.Background(), channel.NewDirTransport(dir), mgr, 0, channel.SubscribeOptions{
 		NoPrebuilt: true,
 		Blobs:      nullBlobCache{},
 	})

@@ -35,6 +35,15 @@ import (
 // gosplice_channel_request_seconds.
 type Server struct {
 	Dir string
+	// Fleet, when non-nil, additionally serves fleet aggregation:
+	//
+	//	POST /fleet/report   accept one pushed telemetry snapshot
+	//	GET  /fleet/health   merged per-client fleet-health view
+	//	GET  /fleet/vars     merged raw snapshot across all sources
+	//
+	// Several servers may share one aggregator — a fleet spanning
+	// multiple channels still has one health view.
+	Fleet *FleetAggregator
 }
 
 // NewServer serves the channel directory dir.
@@ -48,6 +57,16 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		// traffic — a scraper polling /metrics must not move the request
 		// counters it is reading.
 		telemetry.HTTPHandler().ServeHTTP(w, r)
+		return
+	}
+	if strings.HasPrefix(r.URL.Path, "/fleet/") {
+		// Control plane, like /metrics: uncounted, and handled before the
+		// GET-only gate because reports arrive as POSTs.
+		if s.Fleet == nil {
+			http.Error(w, "fleet aggregation not enabled", http.StatusNotFound)
+			return
+		}
+		s.Fleet.serveFleet(w, r)
 		return
 	}
 	if r.Method != http.MethodGet && r.Method != http.MethodHead {

@@ -1,10 +1,12 @@
 package channel
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
 	"gosplice/internal/core"
+	"gosplice/internal/telemetry"
 )
 
 // SubscribeOptions tunes Subscribe. The zero value is usable.
@@ -38,14 +40,21 @@ type SubscribeOptions struct {
 	Blobs BlobCache
 	// OnInstalled, when non-nil, receives the prebuilt install summary.
 	OnInstalled func(InstallStats)
+	// Registry, when non-nil, receives this subscribe's client metrics
+	// (applied, degraded, refetches, delta fallbacks, wire bytes) in
+	// addition to the process-wide registry — how one channel.Client
+	// among hundreds attributes outcomes to itself. Pass the same
+	// registry to HTTPOptions so transport retries land beside them.
+	Registry *telemetry.Registry
 }
 
 // PositionError reports a subscription that stopped before the channel
 // head — the channel became unreachable, an entry stayed corrupt through
-// every refetch, or an apply failed. The machine remains consistent:
-// exactly Position updates are applied (the original position plus
-// everything this call managed), no update is partially applied, and a
-// later Subscribe from Position resumes where this one stopped.
+// every refetch, an apply failed, or the caller's context was cancelled.
+// The machine remains consistent: exactly Position updates are applied
+// (the original position plus everything this call managed), no update is
+// partially applied, and a later Subscribe from Position resumes where
+// this one stopped.
 type PositionError struct {
 	// Position is the machine's channel position after the partial
 	// subscribe.
@@ -77,16 +86,22 @@ func (e *PositionError) Unwrap() error { return e.Err }
 // or an entry stays bad, Subscribe degrades gracefully: the machine keeps
 // running at the position it reached, and the returned *PositionError
 // reports how far that is.
-func Subscribe(t Transport, mgr *core.Manager, applied int, opts SubscribeOptions) ([]*core.Update, error) {
+//
+// Cancelling ctx stops the subscribe at the next update boundary (or
+// mid-backoff inside the transport) and reports the position reached as a
+// PositionError wrapping ctx's error — cancellation is an outage, not an
+// inconsistency.
+func Subscribe(ctx context.Context, t Transport, mgr *core.Manager, applied int, opts SubscribeOptions) ([]*core.Update, error) {
 	if opts.FetchRetries <= 0 {
 		opts.FetchRetries = 2
 	}
 	if opts.Blobs == nil {
 		opts.Blobs = NewMemBlobCache()
 	}
-	m, err := t.Manifest()
+	ms := registryClientMetrics(opts.Registry)
+	m, err := t.Manifest(ctx)
 	if err != nil {
-		cSubscribeDegraded.Inc()
+		ms.degraded.Inc()
 		return nil, &PositionError{Position: applied, Err: err}
 	}
 	if opts.VerifyKey != nil {
@@ -104,7 +119,7 @@ func Subscribe(t Transport, mgr *core.Manager, applied int, opts SubscribeOption
 		// Best-effort: any artifact that fails to arrive or decode is
 		// simply built from source later. Only the base set installs
 		// here — it is all a subscribing machine's boot consumes.
-		st := InstallBasePrebuilt(t, m, opts.Blobs)
+		st := installArtifacts(ctx, t, m, m.Prebuilt, opts.Blobs, ms)
 		if opts.OnInstalled != nil {
 			opts.OnInstalled(st)
 		}
@@ -112,20 +127,25 @@ func Subscribe(t Transport, mgr *core.Manager, applied int, opts SubscribeOption
 	var out []*core.Update
 	pos := func() int { return applied + len(out) }
 	for _, e := range m.Updates[applied:] {
-		u, b, err := fetchVerified(t, m, e, opts.Blobs, opts.FetchRetries)
+		if err := ctx.Err(); err != nil {
+			ms.degraded.Inc()
+			return out, &PositionError{Position: pos(), Entry: e.Name, Err: err}
+		}
+		u, b, err := fetchVerified(ctx, t, m, e, opts.Blobs, opts.FetchRetries, ms)
 		if err != nil {
-			cSubscribeDegraded.Inc()
+			ms.degraded.Inc()
 			return out, &PositionError{Position: pos(), Entry: e.Name, Err: err}
 		}
 		if _, err := mgr.Apply(u, opts.Apply); err != nil {
-			cSubscribeDegraded.Inc()
+			ms.degraded.Inc()
 			return out, &PositionError{Position: pos(), Entry: e.Name, Err: fmt.Errorf("applying: %w", err)}
 		}
-		cUpdatesApplied.Inc()
+		ms.applied.Inc()
 		out = append(out, u)
+		ms.position.Set(int64(pos()))
 		if opts.OnApplied != nil {
 			if err := opts.OnApplied(e, b); err != nil {
-				cSubscribeDegraded.Inc()
+				ms.degraded.Inc()
 				return out, &PositionError{Position: pos(), Entry: e.Name, Err: fmt.Errorf("on-applied hook: %w", err)}
 			}
 		}
@@ -142,9 +162,9 @@ func Subscribe(t Transport, mgr *core.Manager, applied int, opts SubscribeOption
 // first; any delta failure falls through to the full fetch below, so
 // deltas can only save bandwidth, never lose an update. Either way the
 // verified tarball is cached as the next entry's delta base.
-func fetchVerified(t Transport, m *Manifest, e Entry, blobs BlobCache, retries int) (*core.Update, []byte, error) {
+func fetchVerified(ctx context.Context, t Transport, m *Manifest, e Entry, blobs BlobCache, retries int, ms *clientMetrics) (*core.Update, []byte, error) {
 	if e.Sha256 != "" {
-		if b, ok := fetchViaDelta(t, m, e.Sha256, blobs); ok {
+		if b, ok := fetchViaDelta(ctx, t, m, e.Sha256, blobs, ms); ok {
 			if u, err := decodeVerified(b, e); err == nil {
 				return u, b, nil
 			}
@@ -152,11 +172,11 @@ func fetchVerified(t Transport, m *Manifest, e Entry, blobs BlobCache, retries i
 	}
 	var lastErr error
 	for attempt := 0; attempt <= retries; attempt++ {
-		b, err := t.Fetch(e)
+		b, err := t.Fetch(ctx, e)
 		if err != nil {
 			return nil, nil, err
 		}
-		cBytesOverWire.Add(uint64(len(b)))
+		ms.bytesOverWire.Add(uint64(len(b)))
 		u, err := decodeVerified(b, e)
 		if err == nil {
 			if e.Sha256 != "" {
@@ -166,7 +186,7 @@ func fetchVerified(t Transport, m *Manifest, e Entry, blobs BlobCache, retries i
 		}
 		// Digest mismatch or unparseable bytes: the transport delivered
 		// garbage. Fetch again; never interpret or apply what we have.
-		cIntegrityRefetches.Inc()
+		ms.refetches.Inc()
 		lastErr = err
 	}
 	return nil, nil, fmt.Errorf("corrupt after %d fetches: %w", retries+1, lastErr)
@@ -191,7 +211,7 @@ func firstDigest(b []byte) string {
 
 // SubscribeDir is Subscribe over a local channel directory.
 func SubscribeDir(dir string, mgr *core.Manager, applied int, opts SubscribeOptions) ([]*core.Update, error) {
-	return Subscribe(NewDirTransport(dir), mgr, applied, opts)
+	return Subscribe(context.Background(), NewDirTransport(dir), mgr, applied, opts)
 }
 
 // IsPosition reports whether err is a graceful partial-subscribe stop and

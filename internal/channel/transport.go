@@ -11,6 +11,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"gosplice/internal/telemetry"
 )
 
 // Transport fetches a channel's manifest and tarballs. Implementations
@@ -19,17 +21,22 @@ import (
 // before the bytes are interpreted, so a Transport (or the network under
 // it) can be arbitrarily faulty without a corrupt update ever reaching
 // Apply.
+//
+// Every method takes a context and honours its cancellation, including
+// between internal retries: a cancelled subscriber exits mid-backoff in
+// milliseconds instead of sleeping out the full jittered schedule — what
+// lets a fleet orchestrator stop hundreds of in-flight clients promptly.
 type Transport interface {
 	// Manifest fetches and decodes the channel manifest.
-	Manifest() (*Manifest, error)
+	Manifest(ctx context.Context) (*Manifest, error)
 	// Fetch returns the raw tarball bytes for one manifest entry.
-	Fetch(e Entry) ([]byte, error)
+	Fetch(ctx context.Context, e Entry) ([]byte, error)
 	// FetchBlob returns the raw bytes of one content-addressed blob the
 	// manifest advertises (a prebuilt artifact or a binary delta). size
 	// is the advertised length, or 0 when unknown; implementations may
 	// use it to detect and resume truncated transfers. Like Fetch, the
 	// bytes come back unverified — the caller owns the digest check.
-	FetchBlob(digest string, size int64) ([]byte, error)
+	FetchBlob(ctx context.Context, digest string, size int64) ([]byte, error)
 }
 
 // --- Local directory transport ---
@@ -44,15 +51,24 @@ func NewDirTransport(dir string) Transport {
 	return &dirTransport{dir: dir}
 }
 
-func (t *dirTransport) Manifest() (*Manifest, error) {
+func (t *dirTransport) Manifest(ctx context.Context) (*Manifest, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	return ReadManifest(t.dir)
 }
 
-func (t *dirTransport) Fetch(e Entry) ([]byte, error) {
+func (t *dirTransport) Fetch(ctx context.Context, e Entry) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	return os.ReadFile(filepath.Join(t.dir, filepath.Base(e.File)))
 }
 
-func (t *dirTransport) FetchBlob(digest string, size int64) ([]byte, error) {
+func (t *dirTransport) FetchBlob(ctx context.Context, digest string, size int64) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	return os.ReadFile(filepath.Join(t.dir, blobsDirName, filepath.Base(digest)))
 }
 
@@ -77,22 +93,29 @@ type HTTPOptions struct {
 	// Client overrides the underlying *http.Client (its Timeout is
 	// ignored in favour of per-request contexts).
 	Client *http.Client
+	// Registry, when non-nil, receives this transport's retry, backoff,
+	// and resume metrics (mirrored into the process-wide registry) — how
+	// a per-instance channel.Client attributes transport behaviour to
+	// itself. nil counts process-wide only.
+	Registry *telemetry.Registry
 }
 
 type httpTransport struct {
 	base   string
 	client *http.Client
 	opt    HTTPOptions
+	ms     *clientMetrics
 
 	mu  sync.Mutex
 	rng *rand.Rand
 }
 
 // NewHTTPTransport subscribes to a channel served by Server at baseURL
-// (e.g. "http://updates.example.com/"). Every request carries a timeout;
-// failures are retried with exponential backoff and jitter; a truncated
-// tarball body is resumed from the byte where it broke off via a Range
-// request rather than refetched whole.
+// (e.g. "http://updates.example.com/"). Every request carries a timeout
+// and the caller's context; failures are retried with exponential backoff
+// and jitter (the sleeps select on the context, so cancellation is
+// immediate); a truncated tarball body is resumed from the byte where it
+// broke off via a Range request rather than refetched whole.
 func NewHTTPTransport(baseURL string, o HTTPOptions) Transport {
 	if o.Timeout <= 0 {
 		o.Timeout = 10 * time.Second
@@ -115,27 +138,37 @@ func NewHTTPTransport(baseURL string, o HTTPOptions) Transport {
 		base:   strings.TrimSuffix(baseURL, "/"),
 		client: client,
 		opt:    o,
+		ms:     registryClientMetrics(o.Registry),
 		rng:    rand.New(rand.NewSource(seed)),
 	}
 }
 
 // backoff sleeps before retry attempt (0-based), exponentially with
-// jitter.
-func (t *httpTransport) backoff(attempt int) {
+// jitter. The sleep selects on ctx, so a cancelled client abandons the
+// retry schedule immediately — it returns ctx's error instead of
+// sleeping it out.
+func (t *httpTransport) backoff(ctx context.Context, attempt int) error {
 	d := t.opt.Backoff << uint(attempt)
 	t.mu.Lock()
 	jitter := time.Duration(t.rng.Int63n(int64(d)/2 + 1))
 	t.mu.Unlock()
-	cClientRetries.Inc()
-	hClientBackoff.ObserveDuration(d + jitter)
-	time.Sleep(d + jitter)
+	t.ms.retries.Inc()
+	t.ms.backoff.ObserveDuration(d + jitter)
+	timer := time.NewTimer(d + jitter)
+	defer timer.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-timer.C:
+		return nil
+	}
 }
 
 // get issues one bounded GET. A Range header is added when offset > 0.
 // It returns the response with its body unread; the caller must close it.
-func (t *httpTransport) get(path string, offset int64) (*http.Response, context.CancelFunc, error) {
-	ctx, cancel := context.WithTimeout(context.Background(), t.opt.Timeout)
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, t.base+path, nil)
+func (t *httpTransport) get(ctx context.Context, path string, offset int64) (*http.Response, context.CancelFunc, error) {
+	rctx, cancel := context.WithTimeout(ctx, t.opt.Timeout)
+	req, err := http.NewRequestWithContext(rctx, http.MethodGet, t.base+path, nil)
 	if err != nil {
 		cancel()
 		return nil, nil, err
@@ -157,13 +190,18 @@ func retriableStatus(code int) bool {
 	return code >= 500 || code == http.StatusTooManyRequests
 }
 
-func (t *httpTransport) Manifest() (*Manifest, error) {
+func (t *httpTransport) Manifest(ctx context.Context) (*Manifest, error) {
 	var lastErr error
 	for attempt := 0; attempt <= t.opt.MaxRetries; attempt++ {
 		if attempt > 0 {
-			t.backoff(attempt - 1)
+			if err := t.backoff(ctx, attempt-1); err != nil {
+				return nil, err
+			}
 		}
-		resp, cancel, err := t.get("/"+manifestName, 0)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		resp, cancel, err := t.get(ctx, "/"+manifestName, 0)
 		if err != nil {
 			lastErr = err
 			continue
@@ -196,36 +234,41 @@ func (t *httpTransport) Manifest() (*Manifest, error) {
 // Fetch downloads one tarball, resuming from the last good byte when the
 // body is cut short. It returns the accumulated bytes unverified —
 // Subscribe owns the digest check.
-func (t *httpTransport) Fetch(e Entry) ([]byte, error) {
-	return t.download("/updates/"+e.File, e.File, e.Size)
+func (t *httpTransport) Fetch(ctx context.Context, e Entry) ([]byte, error) {
+	return t.download(ctx, "/updates/"+e.File, e.File, e.Size)
 }
 
 // FetchBlob downloads one content-addressed blob through the same
 // retry/backoff/Range-resume machinery as tarball fetches — a truncated
 // prebuilt image resumes mid-body instead of restarting.
-func (t *httpTransport) FetchBlob(digest string, size int64) ([]byte, error) {
+func (t *httpTransport) FetchBlob(ctx context.Context, digest string, size int64) ([]byte, error) {
 	label := digest
 	if len(label) > 12 {
 		label = label[:12] + "…"
 	}
-	return t.download("/blob/"+digest, label, size)
+	return t.download(ctx, "/blob/"+digest, label, size)
 }
 
 // download is the shared body of Fetch and FetchBlob: bounded attempts,
 // exponential backoff, and resume-from-last-good-byte on truncation.
 // label only decorates errors; size (when > 0) catches clean-but-early
 // connection closes.
-func (t *httpTransport) download(path, label string, size int64) ([]byte, error) {
+func (t *httpTransport) download(ctx context.Context, path, label string, size int64) ([]byte, error) {
 	var (
 		buf     []byte
 		lastErr error
 	)
 	for attempt := 0; attempt <= t.opt.MaxRetries; attempt++ {
 		if attempt > 0 {
-			t.backoff(attempt - 1)
+			if err := t.backoff(ctx, attempt-1); err != nil {
+				return nil, err
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
 		}
 		offset := int64(len(buf))
-		resp, cancel, err := t.get(path, offset)
+		resp, cancel, err := t.get(ctx, path, offset)
 		if err != nil {
 			lastErr = err
 			continue
@@ -233,7 +276,7 @@ func (t *httpTransport) download(path, label string, size int64) ([]byte, error)
 		switch {
 		case offset > 0 && resp.StatusCode == http.StatusPartialContent:
 			// Resuming where the last body broke off.
-			cClientResumes.Inc()
+			t.ms.resumes.Inc()
 		case resp.StatusCode == http.StatusOK:
 			// Full body (or the server ignored our Range): start over.
 			buf = buf[:0]

@@ -2,6 +2,7 @@ package channel
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
@@ -182,13 +183,13 @@ type flakyTransport struct {
 	fetch   func(n int64, e Entry) ([]byte, error)
 }
 
-func (f *flakyTransport) Manifest() (*Manifest, error) { return f.m, nil }
+func (f *flakyTransport) Manifest(ctx context.Context) (*Manifest, error) { return f.m, nil }
 
-func (f *flakyTransport) Fetch(e Entry) ([]byte, error) {
+func (f *flakyTransport) Fetch(ctx context.Context, e Entry) ([]byte, error) {
 	return f.fetch(f.fetches.Add(1), e)
 }
 
-func (f *flakyTransport) FetchBlob(digest string, size int64) ([]byte, error) {
+func (f *flakyTransport) FetchBlob(ctx context.Context, digest string, size int64) ([]byte, error) {
 	return nil, fmt.Errorf("flakyTransport serves no blobs")
 }
 
@@ -211,7 +212,7 @@ func TestSubscribeRefetchRecovers(t *testing.T) {
 		return raw, nil
 	}}
 	k, mgr := bootManager(t, version)
-	applied, err := Subscribe(ft, mgr, 0, SubscribeOptions{})
+	applied, err := Subscribe(context.Background(), ft, mgr, 0, SubscribeOptions{})
 	if err != nil || len(applied) != 1 {
 		t.Fatalf("subscribe: %d applied, err=%v", len(applied), err)
 	}
@@ -247,10 +248,10 @@ func TestSubscribeUnreachableMidway(t *testing.T) {
 		if e.Name == "u1" {
 			return nil, fmt.Errorf("connection refused")
 		}
-		return inner.Fetch(e)
+		return inner.Fetch(context.Background(), e)
 	}}
 	k, mgr := bootManager(t, version)
-	applied, err := Subscribe(ft, mgr, 0, SubscribeOptions{})
+	applied, err := Subscribe(context.Background(), ft, mgr, 0, SubscribeOptions{})
 	if len(applied) != 1 {
 		t.Fatalf("applied %d updates before the outage, want 1", len(applied))
 	}
@@ -291,14 +292,14 @@ func TestHTTPTransportRetriesServerErrors(t *testing.T) {
 	defer srv.Close()
 
 	tr := NewHTTPTransport(srv.URL, HTTPOptions{Timeout: 5 * time.Second, MaxRetries: 4, Backoff: time.Millisecond, Seed: 1})
-	m, err := tr.Manifest()
+	m, err := tr.Manifest(context.Background())
 	if err != nil {
 		t.Fatalf("manifest through flaky server: %v", err)
 	}
 	if reqs.Load() != 3 {
 		t.Errorf("%d requests to clear 2 faults, want 3", reqs.Load())
 	}
-	b, err := tr.Fetch(m.Updates[0])
+	b, err := tr.Fetch(context.Background(), m.Updates[0])
 	if err != nil {
 		t.Fatalf("fetch: %v", err)
 	}
@@ -308,7 +309,7 @@ func TestHTTPTransportRetriesServerErrors(t *testing.T) {
 
 	// 404s are permanent: exactly one request, immediate error.
 	reqs.Store(100)
-	if _, err := tr.Fetch(Entry{Name: "ghost", File: "ghost.tar", Size: 10}); err == nil {
+	if _, err := tr.Fetch(context.Background(), Entry{Name: "ghost", File: "ghost.tar", Size: 10}); err == nil {
 		t.Error("fetch of an unknown file succeeded")
 	}
 	if n := reqs.Load(); n != 101 {
@@ -326,7 +327,7 @@ func TestHTTPTransportGivesUpAfterMaxRetries(t *testing.T) {
 	}))
 	defer srv.Close()
 	tr := NewHTTPTransport(srv.URL, HTTPOptions{Timeout: time.Second, MaxRetries: 2, Backoff: time.Millisecond, Seed: 1})
-	if _, err := tr.Manifest(); err == nil {
+	if _, err := tr.Manifest(context.Background()); err == nil {
 		t.Error("manifest from a dead server succeeded")
 	}
 	if reqs.Load() != 3 {
@@ -367,11 +368,11 @@ func TestHTTPTransportResumesTruncatedBody(t *testing.T) {
 	defer srv.Close()
 
 	tr := NewHTTPTransport(srv.URL, HTTPOptions{Timeout: 5 * time.Second, MaxRetries: 4, Backoff: time.Millisecond, Seed: 1})
-	m, err := tr.Manifest()
+	m, err := tr.Manifest(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := tr.Fetch(m.Updates[0])
+	b, err := tr.Fetch(context.Background(), m.Updates[0])
 	if err != nil {
 		t.Fatalf("fetch through truncation: %v", err)
 	}

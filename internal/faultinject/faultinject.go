@@ -12,6 +12,7 @@
 package faultinject
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"net/http"
@@ -222,15 +223,15 @@ func WrapTransport(t channel.Transport, p *Plan) channel.Transport {
 	return &transport{t: t, p: p}
 }
 
-func (f *transport) Manifest() (*channel.Manifest, error) {
+func (f *transport) Manifest(ctx context.Context) (*channel.Manifest, error) {
 	if _, err := f.p.Apply(nil); err != nil {
 		return nil, err
 	}
-	return f.t.Manifest()
+	return f.t.Manifest(ctx)
 }
 
-func (f *transport) Fetch(e channel.Entry) ([]byte, error) {
-	b, err := f.t.Fetch(e)
+func (f *transport) Fetch(ctx context.Context, e channel.Entry) ([]byte, error) {
+	b, err := f.t.Fetch(ctx, e)
 	if err != nil {
 		// The real transport already failed; still burn a plan op so
 		// schedules stay aligned with the operation count.
@@ -240,8 +241,8 @@ func (f *transport) Fetch(e channel.Entry) ([]byte, error) {
 	return f.p.Apply(b)
 }
 
-func (f *transport) FetchBlob(digest string, size int64) ([]byte, error) {
-	b, err := f.t.FetchBlob(digest, size)
+func (f *transport) FetchBlob(ctx context.Context, digest string, size int64) ([]byte, error) {
+	b, err := f.t.FetchBlob(ctx, digest, size)
 	if err != nil {
 		f.p.Apply(nil)
 		return nil, err

@@ -1,0 +1,139 @@
+package telemetry
+
+// Push reporting: the client half of fleet aggregation. A subscriber's
+// per-instance registry snapshot is already a wire format (the same JSON
+// /debug/vars serves), so pushing telemetry upstream is just POSTing a
+// snapshot wrapped in a source-identifying envelope. The server half —
+// the channel server's /fleet/report endpoint — records the latest
+// report per source and serves a merged fleet view; see
+// internal/channel.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// Report is one pushed telemetry snapshot: who it came from, a
+// monotonically increasing sequence number (so late-arriving reports
+// never roll a source's state backwards), and the snapshot itself.
+type Report struct {
+	Source   string   `json:"source"`
+	Seq      uint64   `json:"seq"`
+	Snapshot Snapshot `json:"snapshot"`
+}
+
+// MaxReportBytes bounds one report's encoded size on both ends of the
+// wire: pushers refuse to send more, aggregators refuse to read more.
+const MaxReportBytes = 8 << 20
+
+// Pusher periodically POSTs a registry snapshot to an aggregation
+// endpoint. Pushes are strictly best-effort: a failed POST costs the
+// operator one stale interval, never the subscriber anything — the next
+// push carries cumulative counters, so nothing is lost, only delayed.
+type Pusher struct {
+	// URL is the aggregation endpoint (e.g. http://host:port/fleet/report).
+	URL string
+	// Source identifies this pusher in the fleet view.
+	Source string
+	// Gather produces the snapshot to push; nil uses the process-wide
+	// GatherSnapshot.
+	Gather func() Snapshot
+	// Interval paces Run (default 1s).
+	Interval time.Duration
+	// Client overrides the HTTP client (default: 5s timeout).
+	Client *http.Client
+	// OnError, when non-nil, observes push failures (Run never stops on
+	// them).
+	OnError func(error)
+
+	seq atomic.Uint64
+}
+
+// Push sends one report now. Each call advances the sequence number, so
+// the aggregator can discard reordered reports.
+func (p *Pusher) Push(ctx context.Context) error {
+	gather := p.Gather
+	if gather == nil {
+		gather = GatherSnapshot
+	}
+	rep := Report{Source: p.Source, Seq: p.seq.Add(1), Snapshot: gather()}
+	b, err := json.Marshal(rep)
+	if err != nil {
+		return fmt.Errorf("telemetry: push: %w", err)
+	}
+	if len(b) > MaxReportBytes {
+		return fmt.Errorf("telemetry: push: report is %d bytes (cap %d)", len(b), MaxReportBytes)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, p.URL, bytes.NewReader(b))
+	if err != nil {
+		return fmt.Errorf("telemetry: push: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	client := p.Client
+	if client == nil {
+		client = &http.Client{Timeout: 5 * time.Second}
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return fmt.Errorf("telemetry: push: %w", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return fmt.Errorf("telemetry: push: server returned %s", resp.Status)
+	}
+	return nil
+}
+
+// Run pushes every Interval until ctx is cancelled, then sends one final
+// push (on a fresh short-lived context, since ctx is already dead) so
+// the aggregator sees the source's terminal state.
+func (p *Pusher) Run(ctx context.Context) {
+	interval := p.Interval
+	if interval <= 0 {
+		interval = time.Second
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			fctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			if err := p.Push(fctx); err != nil && p.OnError != nil {
+				p.OnError(err)
+			}
+			cancel()
+			return
+		case <-t.C:
+			if err := p.Push(ctx); err != nil && p.OnError != nil {
+				p.OnError(err)
+			}
+		}
+	}
+}
+
+// ReadReport decodes one pushed report from an HTTP request body,
+// enforcing the size cap. The aggregator side of Push.
+func ReadReport(r io.Reader) (Report, error) {
+	var rep Report
+	b, err := io.ReadAll(io.LimitReader(r, MaxReportBytes+1))
+	if err != nil {
+		return rep, fmt.Errorf("telemetry: report: %w", err)
+	}
+	if len(b) > MaxReportBytes {
+		return rep, fmt.Errorf("telemetry: report exceeds %d bytes", MaxReportBytes)
+	}
+	if err := json.Unmarshal(b, &rep); err != nil {
+		return rep, fmt.Errorf("telemetry: report: %w", err)
+	}
+	if rep.Source == "" {
+		return rep, fmt.Errorf("telemetry: report names no source")
+	}
+	return rep, nil
+}
