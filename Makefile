@@ -36,9 +36,13 @@ test:
 # ring 2 must halt at the gate and roll every patched machine back to
 # base via undo, all observed through /fleet/health; a ksplice-fleet
 # CLI smoke — 128 machines with a ring-2 burst, required to halt and
-# roll back cleanly (-expect halt); and a CLI-level signed-channel
+# roll back cleanly (-expect halt); a CLI-level signed-channel
 # round trip — keygen, signed publish, subscribe with the pinned .pub,
-# and a required refusal of an unsigned channel under the same pin.
+# and a required refusal of an unsigned channel under the same pin;
+# and a crash-recovery smoke — a CLI subscriber killed mid-apply at a
+# journal crash point (the GOSPLICE_CRASH knob), restarted over the
+# same state file, and required to converge to the channel head, with
+# a third run confirming it is exactly up to date.
 check:
 	$(GO) vet ./...
 	$(GO) test -race ./internal/telemetry
@@ -86,6 +90,16 @@ check:
 	! $$tmp/ksplice-channel -subscribe -dir $$tmp/unsigned -state $$tmp/machine2.json -verify-key $$tmp/pub.key.pub >/dev/null 2>&1 && \
 	echo "check: signed channel subscribes with the pinned key; unsigned channel refused" && \
 	rm -rf $$tmp
+	@tmp=$$(mktemp -d); \
+	$(GO) build -o $$tmp/ksplice-channel ./cmd/ksplice-channel && \
+	$(GO) run ./cmd/simboot -version sim-2.6.16-deb -state $$tmp/machine.json >/dev/null && \
+	$$tmp/ksplice-channel -publish -dir $$tmp/chan -version sim-2.6.16-deb >/dev/null && \
+	! GOSPLICE_CRASH=channel.journal.append.synced:8 $$tmp/ksplice-channel -subscribe -dir $$tmp/chan -state $$tmp/machine.json >$$tmp/crash.log 2>&1 && \
+	$$tmp/ksplice-channel -subscribe -dir $$tmp/chan -state $$tmp/machine.json >$$tmp/recover.log 2>&1 && \
+	grep -q 'machine now carries 16 hot updates' $$tmp/recover.log && \
+	$$tmp/ksplice-channel -subscribe -dir $$tmp/chan -state $$tmp/machine.json | grep -q 'up to date' && \
+	echo "check: subscriber killed mid-apply recovered to the channel head on restart" && \
+	rm -rf $$tmp
 
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$'
@@ -96,6 +110,6 @@ bench:
 # so the record carries the counters behind the custom metrics. Commit
 # BENCH_eval.json to track the trend across PRs.
 bench-json:
-	GOSPLICE_TELEMETRY_OUT=$$(pwd)/BENCH_telemetry.json $(GO) test -run '^$$' -bench 'BenchmarkEvalAll64|BenchmarkPrePostDiff|BenchmarkKernelBuild|BenchmarkChannelSubscribePrebuilt|BenchmarkChannelSubscribeSourceBuild|BenchmarkChannelDeltaBandwidth|BenchmarkFleetRollout' -benchmem > BENCH_eval.txt
+	GOSPLICE_TELEMETRY_OUT=$$(pwd)/BENCH_telemetry.json $(GO) test -run '^$$' -bench 'BenchmarkEvalAll64|BenchmarkPrePostDiff|BenchmarkKernelBuild|BenchmarkChannelSubscribePrebuilt|BenchmarkChannelSubscribeSourceBuild|BenchmarkChannelDeltaBandwidth|BenchmarkFleetRollout|BenchmarkCrashRecovery' -benchmem > BENCH_eval.txt
 	$(GO) run ./cmd/benchjson -in BENCH_eval.txt -telemetry BENCH_telemetry.json -out BENCH_eval.json
 	rm -f BENCH_eval.txt BENCH_telemetry.json

@@ -25,6 +25,7 @@ import (
 	"gosplice/internal/channel"
 	"gosplice/internal/codegen"
 	"gosplice/internal/core"
+	"gosplice/internal/crashpoint"
 	"gosplice/internal/cvedb"
 	"gosplice/internal/eval"
 	"gosplice/internal/fleet"
@@ -757,4 +758,77 @@ func BenchmarkFleetRollout(b *testing.B) {
 	}
 	b.ReportMetric(float64(wire)/float64(b.N), "wire-bytes/rollout")
 	b.ReportMetric(float64(applied)/float64(b.N), "updates-applied/rollout")
+}
+
+// BenchmarkCrashRecovery measures the cost of coming back from a kill:
+// each iteration a subscriber is crashed at a durable journal append
+// mid-sync (setup, untimed), then a "rebooted" process over the same
+// state dir boots a fresh kernel, replays the apply journal from the
+// local blob cache, and syncs the rest of the way to head — the timed
+// half is exactly the death-to-converged recovery path. Metric:
+// journal-replayed/op is how many applies recovery served from local
+// state instead of the wire.
+func BenchmarkCrashRecovery(b *testing.B) {
+	version := cvedb.Versions[0]
+	dir := publishBenchChannel(b, version)
+	tr := channel.NewDirTransport(dir)
+	head := len(cvedb.ForVersion(version))
+	run := func(stateDir string, hook crashpoint.Hook) (int, *crashpoint.Death) {
+		k, err := kernel.Boot(kernel.Config{Tree: cvedb.Tree(version)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cl, err := channel.NewClient(channel.ClientConfig{
+			Name:       "crash-bench",
+			Transport:  tr,
+			StateDir:   stateDir,
+			Crash:      hook,
+			NoPrebuilt: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer cl.Close()
+		mgr := core.NewManager(k)
+		ctx := context.Background()
+		death := crashpoint.Catch(func() {
+			if _, err := cl.RestoreMachine(ctx, mgr, 0); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := cl.Sync(ctx); err != nil {
+				b.Fatal(err)
+			}
+		})
+		return cl.Position(), death
+	}
+	var replayed int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		stateDir, err := os.MkdirTemp("", "crash-bench-")
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Appends run rebase(1), then begin/commit pairs (2k, 2k+1): hit
+		// 2*head is the final update's begin — it dies fetched-but-unapplied,
+		// the worst recovery position.
+		plan := crashpoint.NewPlan("channel.journal.append.synced", 2*head)
+		if _, death := run(stateDir, plan.Hook()); death == nil {
+			b.Fatal("crash point never fired")
+		}
+		b.StartTimer()
+		pos, death := run(stateDir, nil)
+		b.StopTimer()
+		if death != nil {
+			b.Fatalf("recovery died: %v", death)
+		}
+		if pos != head {
+			b.Fatalf("recovery reached position %d of %d", pos, head)
+		}
+		replayed += head - 1
+		os.RemoveAll(stateDir)
+		b.StartTimer()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(replayed)/float64(b.N), "journal-replayed/op")
 }

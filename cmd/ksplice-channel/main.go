@@ -34,6 +34,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -47,6 +48,7 @@ import (
 
 	"gosplice/internal/channel"
 	"gosplice/internal/core"
+	"gosplice/internal/crashpoint"
 	"gosplice/internal/cvedb"
 	_ "gosplice/internal/eval" // expose the gosplice_eval_* families on /metrics
 	"gosplice/internal/simstate"
@@ -80,6 +82,17 @@ func main() {
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /debug/vars on this extra address (host:0 picks a port); -serve exposes them on -addr regardless")
 	traceOut := flag.String("trace-out", "", "write recorded spans as a Chrome trace to this file on exit")
 	flag.Parse()
+
+	// GOSPLICE_CRASH=label[:N] schedules a simulated process death at the
+	// Nth hit of a labeled persistence crash point — the knob the
+	// crash-recovery smoke test uses to kill a subscriber mid-apply. The
+	// death is an uncaught panic, a kill rather than a graceful exit, so
+	// whatever the state dir holds at that instant is what recovery sees.
+	if plan, err := crashpoint.FromEnv(os.Getenv("GOSPLICE_CRASH")); err != nil {
+		fatal(err)
+	} else if plan != nil {
+		crashpoint.SetGlobal(plan.Hook())
+	}
 
 	if bound, _, err := telemetry.ServeLoopback(*metricsAddr); err != nil {
 		fatal(err)
@@ -248,7 +261,15 @@ func doSubscribe(dir, url, statePath, verifyKeyPath string, noPrebuilt bool, tim
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	st, err := simstate.Load(statePath)
+	// The transport exists before the state file is read: a corrupt state
+	// file re-derives the machine from the channel's own kernel release.
+	var tr channel.Transport
+	if url != "" {
+		tr = channel.NewHTTPTransport(url, channel.HTTPOptions{Timeout: timeout, MaxRetries: retries})
+	} else {
+		tr = channel.NewDirTransport(dir)
+	}
+	st, err := loadMachineState(ctx, tr, statePath)
 	if err != nil {
 		fatal(err)
 	}
@@ -256,6 +277,7 @@ func doSubscribe(dir, url, statePath, verifyKeyPath string, noPrebuilt bool, tim
 	stateDir := filepath.Dir(statePath)
 	cfg := channel.ClientConfig{
 		Name:       "ksplice-channel",
+		Transport:  tr,
 		StateDir:   stateDir,
 		Apply:      apply,
 		NoPrebuilt: noPrebuilt,
@@ -265,6 +287,18 @@ func doSubscribe(dir, url, statePath, verifyKeyPath string, noPrebuilt bool, tim
 			fatal(err)
 		}
 	}
+	// record persists the state file after EVERY applied update, not once
+	// at the end of the run: a subscriber killed mid-sync restarts knowing
+	// exactly which updates its kernel carries, and the next run resumes
+	// from that position instead of position zero.
+	record := func(e channel.Entry, rel string) error {
+		st.Updates = append(st.Updates, rel)
+		if err := st.Save(statePath); err != nil {
+			return err
+		}
+		fmt.Printf("applied %s (%s)\n", e.Name, e.CVE)
+		return nil
+	}
 	if url != "" {
 		// Remote channel: persist a verified local copy of every applied
 		// tarball next to the state file, so a later replay of this
@@ -273,30 +307,24 @@ func doSubscribe(dir, url, statePath, verifyKeyPath string, noPrebuilt bool, tim
 		if err := os.MkdirAll(local, 0o755); err != nil {
 			fatal(err)
 		}
-		cfg.Transport = channel.NewHTTPTransport(url, channel.HTTPOptions{Timeout: timeout, MaxRetries: retries})
 		cfg.OnApplied = func(e channel.Entry, b []byte) error {
 			path := filepath.Join(local, filepath.Base(e.File))
-			if err := os.WriteFile(path, b, 0o644); err != nil {
+			if err := writeFileAtomic(path, b); err != nil {
 				return err
 			}
 			rel, err := filepath.Rel(stateDir, path)
 			if err != nil {
 				rel = path
 			}
-			st.Updates = append(st.Updates, rel)
-			fmt.Printf("applied %s (%s)\n", e.Name, e.CVE)
-			return nil
+			return record(e, rel)
 		}
 	} else {
-		cfg.Transport = channel.NewDirTransport(dir)
 		cfg.OnApplied = func(e channel.Entry, _ []byte) error {
 			rel, err := filepath.Rel(stateDir, filepath.Join(dir, e.File))
 			if err != nil {
 				rel = filepath.Join(dir, e.File)
 			}
-			st.Updates = append(st.Updates, rel)
-			fmt.Printf("applied %s (%s)\n", e.Name, e.CVE)
-			return nil
+			return record(e, rel)
 		}
 	}
 	cl, err := channel.NewClient(cfg)
@@ -304,6 +332,14 @@ func doSubscribe(dir, url, statePath, verifyKeyPath string, noPrebuilt bool, tim
 		fatal(err)
 	}
 	defer cl.Close()
+	// Opening the client replayed the apply journal; surface anything it
+	// had to clean up so the operator sees a crash was survived.
+	if rec := cl.Recovery(); rec.Corrupt {
+		fmt.Fprintf(os.Stderr, "ksplice-channel: warning: apply journal was corrupt; re-deriving position from the machine\n")
+	} else if rec.TornRecords > 0 || rec.Pending != nil {
+		fmt.Fprintf(os.Stderr, "ksplice-channel: recovered apply journal at position %d (torn records dropped: %d, unresolved apply: %v)\n",
+			rec.Position, rec.TornRecords, rec.Pending != nil)
+	}
 
 	// Warm the local build store from the channel BEFORE replaying the
 	// machine: on a prebuilt channel, booting the kernel and applying
@@ -346,6 +382,61 @@ func doSubscribe(dir, url, statePath, verifyKeyPath string, noPrebuilt bool, tim
 		return
 	}
 	fmt.Printf("machine now carries %d hot updates; zero reboots\n", len(st.Updates))
+}
+
+// loadMachineState reads the machine's state file. A missing file stays
+// fatal — the machine must be booted (simboot) before it can subscribe —
+// but a corrupt or truncated one degrades: warn, re-derive a fresh
+// machine for the channel's own kernel release, and let the sync
+// re-apply everything from position zero.
+func loadMachineState(ctx context.Context, tr channel.Transport, statePath string) (*simstate.State, error) {
+	st, err := simstate.Load(statePath)
+	if err == nil {
+		return st, nil
+	}
+	if os.IsNotExist(err) {
+		return nil, fmt.Errorf("%w (boot the machine first: go run ./cmd/simboot -state %s)", err, statePath)
+	}
+	m, merr := tr.Manifest(ctx)
+	if merr != nil {
+		return nil, fmt.Errorf("%v (and cannot re-derive it from the channel: %v)", err, merr)
+	}
+	st, rerr := simstate.LoadOrRederive(statePath, m.KernelVersion)
+	var ce *simstate.CorruptError
+	if errors.As(rerr, &ce) {
+		fmt.Fprintf(os.Stderr, "ksplice-channel: warning: %v; re-deriving the machine as a fresh %s boot\n", ce, m.KernelVersion)
+	} else if rerr != nil {
+		return nil, rerr
+	}
+	return st, nil
+}
+
+// writeFileAtomic writes b to path durably: temp file in the same
+// directory, fsync, atomic rename — a subscriber killed mid-write never
+// leaves a torn tarball in its channel cache.
+func writeFileAtomic(path string, b []byte) error {
+	f, err := os.CreateTemp(filepath.Dir(path), ".tmp-cache-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	_, err = f.Write(b)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Chmod(tmp, 0o644)
+	}
+	if err == nil {
+		err = os.Rename(tmp, path)
+	}
+	if err != nil {
+		os.Remove(tmp)
+	}
+	return err
 }
 
 func fatal(err error) {

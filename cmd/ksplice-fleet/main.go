@@ -9,6 +9,7 @@
 //	ksplice-fleet -clients 128 -seed 7
 //	ksplice-fleet -burst-ring 2                # inject a fault burst into ring 2
 //	ksplice-fleet -joins 8 -leaves 4 -slow-every 16
+//	ksplice-fleet -kill-every 8                # kill every 8th machine mid-sync; it reboots and recovers
 //	ksplice-fleet -rings 0.02,0.25,1.0 -max-unhealthy 0.05
 //
 // Everything runs in one process: per-release channel servers on
@@ -46,6 +47,9 @@ func main() {
 	burstRing := flag.Int("burst-ring", 0, "inject a hard fault burst into this ring (1-based; 0 = none)")
 	burstClients := flag.Int("burst-clients", 0, "burst size (default: enough to trip the health gate)")
 	faultEvery := flag.Int("fault-every", 0, "give every Nth machine a recoverable corruption plan (0 = none)")
+	killEvery := flag.Int("kill-every", 0, "kill every Nth machine at a persistence crash point mid-sync and reboot it from its state dir (0 = none)")
+	killPoint := flag.String("kill-point", "", "crash-point label for -kill-every (default: any persistence point)")
+	stateRoot := flag.String("state-root", "", "root directory for killable machines' state dirs (default: under -work)")
 	slowEvery := flag.Int("slow-every", 0, "make every Nth machine slow (0 = none)")
 	joins := flag.Int("joins", 0, "machines that join mid-rollout before the final ring")
 	leaves := flag.Int("leaves", 0, "final-ring machines that power off after their first update")
@@ -70,6 +74,9 @@ func main() {
 		StressRounds: *stress,
 		PushInterval: *pushEvery,
 		NoPrebuilt:   *noPrebuilt,
+		KillEvery:    *killEvery,
+		KillPoint:    *killPoint,
+		StateRoot:    *stateRoot,
 	}
 	cfg.Health.MaxUnhealthyFrac = *maxUnhealthy
 	if *releases != "" {
@@ -142,6 +149,10 @@ func main() {
 		time.Since(start).Round(time.Millisecond))
 	if res.Joined > 0 || res.Left > 0 {
 		fmt.Printf("fleet: %d joined mid-rollout, %d left\n", res.Joined, res.Left)
+	}
+	if res.Kills > 0 || res.Reboots > 0 {
+		fmt.Printf("fleet: %d machines killed mid-sync, %d rebooted and recovered (%d journal replays, %d torn states)\n",
+			res.Kills, res.Reboots, res.Health.JournalReplays, res.Health.TornDetected)
 	}
 	if res.Halted {
 		fmt.Printf("fleet: halted at ring %d after %s; rolled back %d updates (%d failures) in %s\n",

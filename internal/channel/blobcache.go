@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"gosplice/internal/core"
+	"gosplice/internal/crashpoint"
 )
 
 // BlobCache stores verified blobs by hex sha256 digest.
@@ -65,12 +66,18 @@ const DefaultBlobCacheBytes = 64 << 20
 type DirBlobCache struct {
 	dir      string
 	maxBytes int64
+	crash    crashpoint.Hook
 
 	mu sync.Mutex
 	// touched records digests this process read or wrote; eviction
 	// spares them.
 	touched map[string]bool
 }
+
+// SetCrashHook installs the cache's crash-point hook (nil falls back
+// to the process-global hook) — how a fault plan schedules a simulated
+// process death inside this cache's write path.
+func (c *DirBlobCache) SetCrashHook(h crashpoint.Hook) { c.crash = h }
 
 // NewDirBlobCache opens (creating if needed) a blob cache directory with
 // the default size cap.
@@ -88,7 +95,10 @@ func NewDirBlobCacheMax(dir string, maxBytes int64) (*DirBlobCache, error) {
 	c := &DirBlobCache{dir: dir, maxBytes: maxBytes, touched: map[string]bool{}}
 	if ents, err := os.ReadDir(dir); err == nil {
 		for _, e := range ents {
-			if strings.HasSuffix(e.Name(), ".tmp") {
+			// Both this cache's ".tmp-*" names and the legacy ".tmp"
+			// suffix. (The suffix check alone matched nothing CreateTemp
+			// produces, so crashed writers used to leak temp files.)
+			if strings.HasPrefix(e.Name(), ".tmp") || strings.HasSuffix(e.Name(), ".tmp") {
 				os.Remove(filepath.Join(dir, e.Name()))
 			}
 		}
@@ -139,12 +149,41 @@ func (c *DirBlobCache) Get(digest string) ([]byte, bool) {
 
 // Put is best-effort: a cache write failure costs bandwidth later, not
 // correctness now. A Put that pushes the cache past its cap evicts the
-// least recently used unprotected blobs.
+// least recently used unprotected blobs. The write is temp file +
+// fsync + atomic rename, with crash points on either side of the
+// rename: a writer killed mid-Put leaves either a swept-on-open temp
+// file or a complete, verifiable blob — never a torn one under the
+// digest name.
 func (c *DirBlobCache) Put(digest string, b []byte) {
 	if !validDigest(digest) {
 		return
 	}
-	writeFileAtomic(filepath.Join(c.dir, digest), b)
+	path := filepath.Join(c.dir, digest)
+	tmp, err := os.CreateTemp(c.dir, ".tmp-*")
+	if err != nil {
+		return
+	}
+	if _, err := tmp.Write(b); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	os.Chmod(tmp.Name(), 0o644)
+	crashpoint.Fire(c.crash, cpBlobPutTmp)
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	crashpoint.Fire(c.crash, cpBlobPutDone)
 	c.touch(digest)
 	c.gc()
 }

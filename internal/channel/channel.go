@@ -475,10 +475,16 @@ func (p *Publisher) writeManifest() error {
 	return writeFileAtomic(filepath.Join(p.Dir, manifestName), append(b, '\n'))
 }
 
-// writeFileAtomic writes b to path via a temp file in the same directory
-// and a rename, so readers (and crash recovery) never observe a partial
-// file. The ".tmp-" prefix is what NewPublisher sweeps on resume.
+// writeFileAtomic writes b to path via a temp file in the same
+// directory — fsynced before the rename, so the rename never installs
+// a file whose bytes are still in flight — and a rename, so readers
+// (and crash recovery) never observe a partial file. The ".tmp-"
+// prefix is what NewPublisher sweeps on resume.
 func writeFileAtomic(path string, b []byte) error {
+	return writeFileAtomicMode(path, b, 0o644)
+}
+
+func writeFileAtomicMode(path string, b []byte, mode os.FileMode) error {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, ".tmp-*")
 	if err != nil {
@@ -489,11 +495,16 @@ func writeFileAtomic(path string, b []byte) error {
 		os.Remove(tmp.Name())
 		return err
 	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmp.Name())
 		return err
 	}
-	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
+	if err := os.Chmod(tmp.Name(), mode); err != nil {
 		os.Remove(tmp.Name())
 		return err
 	}

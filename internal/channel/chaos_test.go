@@ -20,6 +20,7 @@ import (
 
 	"gosplice/internal/channel"
 	"gosplice/internal/core"
+	"gosplice/internal/crashpoint"
 	"gosplice/internal/cvedb"
 	"gosplice/internal/faultinject"
 	"gosplice/internal/kernel"
@@ -86,6 +87,118 @@ type nullBlobCache struct{}
 func (nullBlobCache) Get(string) ([]byte, bool) { return nil, false }
 func (nullBlobCache) Put(string, []byte)        {}
 
+// chaosKillMember is the kill/restart machine of each release's fleet:
+// a channel.Client with a persistent state dir, subscribing through the
+// same faulty server as everyone else, whose process is killed by a
+// crash schedule at a persistence crash point mid-sync. Each death
+// discards the kernel and the client and "reboots" — a fresh boot, a
+// new client over the surviving state dir, journal recovery — until
+// the machine reaches the channel head. The member returns "" on
+// success, with its fault stats; the invariants are byte-identity of
+// every applied tarball, all probes fixed at head, and exact counter
+// conservation across the reboots (applied == channel length, no
+// update lost or double-counted).
+func chaosKillMember(ri int, version, dir string, cves []*cvedb.CVE, published map[string][]byte) (string, []faultinject.Stats) {
+	serverPlan, clientPlan := memberPlans(ri, 3)
+	srv := httptest.NewServer(faultinject.Handler(channel.NewServer(dir), serverPlan))
+	defer srv.Close()
+
+	// Stagger the death across releases so kills land at different
+	// depths: inside the bind's journal compaction for release 0, deeper
+	// into appends and blob renames for the rest.
+	killPlan := faultinject.New().WithCrash("", 2+2*ri)
+	stateDir, err := os.MkdirTemp("", "chaos-kill-")
+	if err != nil {
+		return err.Error(), nil
+	}
+	defer os.RemoveAll(stateDir)
+	reg := telemetry.NewRegistry()
+	got := map[string][]byte{} // entry name -> bytes, across all lives
+	ctx := context.Background()
+
+	var k *kernel.Kernel
+	pos, kills := 0, 0
+	for life := 0; life < 12 && pos < len(cves); life++ {
+		kk, err := kernel.Boot(kernel.Config{Tree: cvedb.Tree(version)})
+		if err != nil {
+			return fmt.Sprintf("boot (life %d): %v", life, err), nil
+		}
+		mgr := core.NewManager(kk)
+		cl, err := channel.NewClient(channel.ClientConfig{
+			Name: fmt.Sprintf("%s/member3", version),
+			Transport: faultinject.WrapTransport(channel.NewHTTPTransport(srv.URL, channel.HTTPOptions{
+				Timeout:    10 * time.Second,
+				MaxRetries: 6,
+				Backoff:    time.Millisecond,
+				Seed:       int64(100*ri + 4),
+			}), clientPlan),
+			Registry:     reg,
+			StateDir:     stateDir,
+			Crash:        killPlan.CrashHook(),
+			FetchRetries: 3,
+			OnApplied: func(e channel.Entry, b []byte) error {
+				got[e.Name] = append([]byte(nil), b...)
+				return nil
+			},
+		})
+		if err != nil {
+			return fmt.Sprintf("client (life %d): %v", life, err), nil
+		}
+		var syncErr error
+		death := crashpoint.Catch(func() {
+			if _, err := cl.RestoreMachine(ctx, mgr, 0); err != nil {
+				syncErr = err
+				return
+			}
+			_, syncErr = cl.Sync(ctx)
+		})
+		pos = cl.Position()
+		cl.Close()
+		k = kk
+		if death != nil {
+			kills++
+			continue // reboot: everything in memory is gone
+		}
+		if syncErr != nil {
+			if _, ok := channel.IsPosition(syncErr); !ok {
+				return fmt.Sprintf("sync failed un-gracefully (life %d): %v", life, syncErr), nil
+			}
+			// Graceful stop: the next life resumes from the journal.
+		}
+	}
+	if pos != len(cves) {
+		return fmt.Sprintf("kill member ended at %d of %d after %d kills", pos, len(cves), kills), nil
+	}
+	if kills == 0 {
+		return "kill schedule never fired — the member proved nothing", nil
+	}
+	snap := reg.Snapshot()
+	if a := snap.CounterFamily(channel.MetricApplied); a != uint64(len(cves)) {
+		return fmt.Sprintf("applied counter %d across %d kills, want exactly %d", a, kills, len(cves)), nil
+	}
+	if r := snap.CounterFamily(channel.MetricRecoveries); r < uint64(kills) {
+		return fmt.Sprintf("%d recoveries recorded for %d kills", r, kills), nil
+	}
+	for _, c := range cves {
+		code, err := chaosProbe(k, c)
+		if err != nil {
+			return fmt.Sprintf("probe %s: %v", c.ID, err), nil
+		}
+		if code != c.Probe.FixedResult {
+			return fmt.Sprintf("at head after %d kills: probe %s = %d, want fixed %d", kills, c.ID, code, c.Probe.FixedResult), nil
+		}
+	}
+	if bad, err := k.Call("stress_main", 50); err != nil || bad != 0 {
+		return fmt.Sprintf("stress at head: %d, %v", bad, err), nil
+	}
+	for name, b := range got {
+		if !bytes.Equal(b, published[name]) {
+			return fmt.Sprintf("update %s applied from bytes that differ from the published tarball", name), nil
+		}
+	}
+	return "", []faultinject.Stats{serverPlan.Stats(), clientPlan.Stats()}
+}
+
 // TestChaosSoakHTTPFleet is the acceptance soak for the networked
 // channel: all four releases' channels, a faulty server and faulty
 // clients per machine, and machine-state invariants checked end to end.
@@ -95,7 +208,7 @@ func TestChaosSoakHTTPFleet(t *testing.T) {
 		stats  []faultinject.Stats
 		errmsg string
 	}
-	const membersPerRelease = 3
+	const membersPerRelease = 4 // member 3 is the kill/restart machine
 	before := telemetry.Default().Snapshot()
 	var (
 		wg              sync.WaitGroup
@@ -142,6 +255,13 @@ func TestChaosSoakHTTPFleet(t *testing.T) {
 					mu.Lock()
 					results = append(results, res)
 					mu.Unlock()
+				}
+				if mi == 3 {
+					res.errmsg, res.stats = chaosKillMember(ri, version, dir, cves, published)
+					mu.Lock()
+					results = append(results, res)
+					mu.Unlock()
+					return
 				}
 				serverPlan, clientPlan := memberPlans(ri, mi)
 				srv := httptest.NewServer(faultinject.Handler(channel.NewServer(dir), serverPlan))

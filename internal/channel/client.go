@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"gosplice/internal/core"
+	"gosplice/internal/crashpoint"
 	"gosplice/internal/telemetry"
 )
 
@@ -33,9 +34,15 @@ type ClientConfig struct {
 	// depends on this one, so the plan arrives as a closure).
 	WrapTransport func(Transport) Transport
 	// StateDir, when non-empty, roots the client's persistent state: its
-	// blob cache lives at StateDir/blob-cache. Empty means fully
-	// ephemeral (an in-memory blob cache).
+	// blob cache lives at StateDir/blob-cache and its write-ahead apply
+	// journal at StateDir/apply-journal.jsonl. Empty means fully
+	// ephemeral (an in-memory blob cache, no journal).
 	StateDir string
+	// Crash, when non-nil, receives every crash point on this client's
+	// persistence paths (journal appends and compactions, blob-cache
+	// writes) — the hook a fault plan uses to schedule a simulated
+	// process death. Nil falls back to the process-global hook.
+	Crash crashpoint.Hook
 	// Blobs overrides the blob cache outright (StateDir then does not
 	// create one).
 	Blobs BlobCache
@@ -62,11 +69,13 @@ type ClientConfig struct {
 // Client is one subscriber machine's channel stack. Safe for concurrent
 // use, though a machine normally runs one Sync at a time.
 type Client struct {
-	cfg   ClientConfig
-	t     Transport
-	reg   *telemetry.Registry
-	ms    *clientMetrics
-	blobs BlobCache
+	cfg      ClientConfig
+	t        Transport
+	reg      *telemetry.Registry
+	ms       *clientMetrics
+	blobs    BlobCache
+	state    *ClientState
+	recovery Recovery
 
 	mu      sync.Mutex
 	mgr     *core.Manager
@@ -111,12 +120,32 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 		if err != nil {
 			return nil, fmt.Errorf("channel: client blob cache: %w", err)
 		}
+		bc.SetCrashHook(cfg.Crash)
 		c.blobs = bc
 	default:
 		c.blobs = NewMemBlobCache()
 	}
+	if cfg.StateDir != "" {
+		st, rec, err := OpenClientState(cfg.StateDir, cfg.Crash)
+		if err != nil {
+			return nil, fmt.Errorf("channel: client state: %w", err)
+		}
+		c.state, c.recovery = st, rec
+		if rec.TornRecords > 0 {
+			c.ms.tornDetected.Add(uint64(rec.TornRecords))
+		}
+		if rec.Corrupt {
+			c.ms.tornDetected.Inc()
+		}
+	}
 	return c, nil
 }
+
+// Recovery reports what the journal recovery pass found when the
+// client opened its state dir: the committed position on disk, any
+// mid-flight apply, and whether torn or corrupt state was degraded.
+// The zero value for ephemeral (no StateDir) clients.
+func (c *Client) Recovery() Recovery { return c.recovery }
 
 // Name returns the client's fleet-report source id.
 func (c *Client) Name() string { return c.cfg.Name }
@@ -139,6 +168,130 @@ func (c *Client) Bind(mgr *core.Manager, position int) {
 	c.pos = position
 	c.mu.Unlock()
 	c.ms.position.Set(int64(position))
+	if c.state != nil {
+		// The bind is the new durable truth: compact the journal down to
+		// it. Best effort — a failed rebase leaves older (still valid)
+		// records behind.
+		c.state.Rebase(position, mgr.K.Version)
+	}
+}
+
+// RestoreMachine rebuilds a crashed subscriber: it replays the
+// journal's committed updates onto a freshly booted manager (from the
+// blob cache where possible, the transport otherwise), resolves a
+// mid-flight apply — rolling it forward when its verified bytes are
+// already local, rolling it back (journal abort) otherwise — and binds
+// the recovered machine at the journal position with rollback floor
+// floor. It returns the recovered position. Clients without a StateDir
+// just bind at floor.
+//
+// The journal is cross-checked against the machine: a journal written
+// for a different kernel version, or claiming more updates than the
+// channel has, is degraded to re-derive rather than trusted.
+func (c *Client) RestoreMachine(ctx context.Context, mgr *core.Manager, floor int) (int, error) {
+	if c.state == nil {
+		c.Bind(mgr, floor)
+		return floor, nil
+	}
+	ctx, done, err := c.syncCtx(ctx)
+	if err != nil {
+		return 0, err
+	}
+	defer done()
+	rec := c.recovery
+	target := rec.Position
+	pending := rec.Pending
+	if rec.KernelVersion != "" && rec.KernelVersion != mgr.K.Version {
+		// The journal describes some other machine: torn state, re-derive.
+		c.ms.tornDetected.Inc()
+		target, pending = floor, nil
+	}
+	if target < floor {
+		target = floor
+	}
+	if target > floor || pending != nil {
+		m, err := c.t.Manifest(ctx)
+		if err != nil {
+			return 0, fmt.Errorf("channel: client %s recovery: %w", c.cfg.Name, err)
+		}
+		if c.cfg.VerifyKey != nil {
+			if err := m.VerifySignature(c.cfg.VerifyKey); err != nil {
+				return 0, fmt.Errorf("channel: refusing manifest: %w", err)
+			}
+		}
+		if target > len(m.Updates) {
+			c.ms.tornDetected.Inc()
+			target, pending = floor, nil
+		}
+		for i := floor; i < target; i++ {
+			if err := c.replayEntry(ctx, mgr, m, m.Updates[i]); err != nil {
+				return 0, fmt.Errorf("channel: client %s replaying %s: %w", c.cfg.Name, m.Updates[i].Name, err)
+			}
+		}
+		if pending != nil {
+			// The torn apply. Roll forward only from bytes already on this
+			// machine — recovery must not depend on the network for the
+			// update that was mid-flight.
+			c.ms.tornDetected.Inc()
+			rolled := false
+			if pending.Pos == target+1 && target < len(m.Updates) {
+				e := m.Updates[target]
+				if b, ok := c.blobs.Get(e.Sha256); ok {
+					if u, err := decodeVerified(b, e); err == nil {
+						if _, err := mgr.Apply(u, c.cfg.Apply); err != nil {
+							return 0, fmt.Errorf("channel: client %s rolling forward %s: %w", c.cfg.Name, e.Name, err)
+						}
+						if err := c.state.Commit(target + 1); err != nil {
+							return 0, err
+						}
+						c.ms.journalReplays.Inc()
+						target++
+						rolled = true
+					}
+				}
+			}
+			if !rolled {
+				if err := c.state.Abort(); err != nil {
+					return 0, err
+				}
+			}
+		}
+	}
+	// Reconcile the applied counter with the recovered height: increments
+	// lost in the crash window between an apply and its count (or a whole
+	// previous process's worth, for a fresh one) are made up here, so
+	// "applied" and "position" agree again fleet-wide.
+	if have := int(c.reg.Snapshot().CounterFamily(MetricApplied)); have < target-floor {
+		c.ms.applied.Add(uint64(target - floor - have))
+	}
+	c.state.Rebase(target, mgr.K.Version)
+	c.mu.Lock()
+	c.mgr = mgr
+	c.base = floor
+	c.pos = target
+	c.mu.Unlock()
+	c.ms.position.Set(int64(target))
+	c.ms.recoveries.Inc()
+	return target, nil
+}
+
+// replayEntry re-applies one committed update during recovery: bytes
+// from the blob cache when present, a verified transport fetch
+// otherwise.
+func (c *Client) replayEntry(ctx context.Context, mgr *core.Manager, m *Manifest, e Entry) error {
+	retries := c.cfg.FetchRetries
+	if retries <= 0 {
+		retries = 2
+	}
+	u, _, err := fetchVerified(ctx, c.t, m, e, c.blobs, retries, c.ms)
+	if err != nil {
+		return err
+	}
+	if _, err := mgr.Apply(u, c.cfg.Apply); err != nil {
+		return err
+	}
+	c.ms.journalReplays.Inc()
+	return nil
 }
 
 // Manager returns the bound update manager (nil before Bind) — the
@@ -205,6 +358,14 @@ func (c *Client) Sync(ctx context.Context) ([]*core.Update, error) {
 		OnInstalled:  c.cfg.OnInstalled,
 		Registry:     c.reg,
 	}
+	if c.state != nil {
+		opts.OnApplying = func(m *Manifest, e Entry, pos int) error {
+			return c.state.Begin(JournalEntry{Pos: pos, Name: e.Name, Sha256: e.Sha256, Size: e.Size, Manifest: m.Digest}, mgr.K.Version)
+		}
+		opts.OnCommitted = func(e Entry, pos int) error {
+			return c.state.Commit(pos)
+		}
+	}
 	opts.OnApplied = func(e Entry, b []byte) error {
 		if c.cfg.OnApplied != nil {
 			if err := c.cfg.OnApplied(e, b); err != nil {
@@ -264,6 +425,11 @@ func (c *Client) Rollback(to int) (int, error) {
 		c.pos--
 		pos := c.pos
 		c.mu.Unlock()
+		if c.state != nil {
+			if err := c.state.Undo(pos); err != nil {
+				return n + 1, fmt.Errorf("channel: client %s journaling undo: %w", c.cfg.Name, err)
+			}
+		}
 		c.ms.position.Set(int64(pos))
 		n++
 	}
@@ -321,5 +487,8 @@ func (c *Client) Close() {
 	c.mu.Unlock()
 	for _, k := range cancels {
 		(*k)()
+	}
+	if c.state != nil {
+		c.state.Close()
 	}
 }

@@ -29,6 +29,9 @@ type ClientHealth struct {
 	Refetches      uint64 `json:"refetches"`
 	DeltaFallbacks uint64 `json:"delta_fallbacks"`
 	StressFailures uint64 `json:"stress_failures"`
+	Recoveries     uint64 `json:"recoveries"`
+	JournalReplays uint64 `json:"journal_replays"`
+	TornDetected   uint64 `json:"torn_state_detected"`
 	BytesOverWire  uint64 `json:"bytes_over_wire"`
 }
 
@@ -41,6 +44,9 @@ type FleetHealth struct {
 	Refetches      uint64         `json:"refetches"`
 	DeltaFallbacks uint64         `json:"delta_fallbacks"`
 	StressFailures uint64         `json:"stress_failures"`
+	Recoveries     uint64         `json:"recoveries"`
+	JournalReplays uint64         `json:"journal_replays"`
+	TornDetected   uint64         `json:"torn_state_detected"`
 	BytesOverWire  uint64         `json:"bytes_over_wire"`
 	Clients        []ClientHealth `json:"clients"`
 }
@@ -56,6 +62,9 @@ func healthFromSnapshot(source string, seq uint64, s telemetry.Snapshot) ClientH
 		Refetches:      s.CounterFamily(MetricRefetches),
 		DeltaFallbacks: s.CounterFamily(MetricDeltaFallback),
 		StressFailures: s.CounterFamily(MetricStressFailures),
+		Recoveries:     s.CounterFamily(MetricRecoveries),
+		JournalReplays: s.CounterFamily(MetricJournalReplays),
+		TornDetected:   s.CounterFamily(MetricTornState),
 		BytesOverWire:  s.CounterFamily(MetricBytesOverWire),
 	}
 }
@@ -134,6 +143,9 @@ func (a *FleetAggregator) Health() FleetHealth {
 		h.Refetches += r.Refetches
 		h.DeltaFallbacks += r.DeltaFallbacks
 		h.StressFailures += r.StressFailures
+		h.Recoveries += r.Recoveries
+		h.JournalReplays += r.JournalReplays
+		h.TornDetected += r.TornDetected
 		h.BytesOverWire += r.BytesOverWire
 	}
 	return h

@@ -70,6 +70,9 @@ func TestFleetHealthGolden(t *testing.T) {
   "refetches": 1,
   "delta_fallbacks": 0,
   "stress_failures": 0,
+  "recoveries": 0,
+  "journal_replays": 0,
+  "torn_state_detected": 0,
   "bytes_over_wire": 5120,
   "clients": [
     {
@@ -81,6 +84,9 @@ func TestFleetHealthGolden(t *testing.T) {
       "refetches": 1,
       "delta_fallbacks": 0,
       "stress_failures": 0,
+      "recoveries": 0,
+      "journal_replays": 0,
+      "torn_state_detected": 0,
       "bytes_over_wire": 4096
     },
     {
@@ -92,6 +98,9 @@ func TestFleetHealthGolden(t *testing.T) {
       "refetches": 0,
       "delta_fallbacks": 0,
       "stress_failures": 0,
+      "recoveries": 0,
+      "journal_replays": 0,
+      "torn_state_detected": 0,
       "bytes_over_wire": 1024
     }
   ]

@@ -68,6 +68,16 @@ const (
 	// (or any other health prober) registers it on the client's registry
 	// — but the health view extracts it alongside the client families.
 	MetricStressFailures = "gosplice_fleet_stress_failures_total"
+	// MetricRecoveries counts journal recovery passes that rebuilt a
+	// machine after a crash (RestoreMachine with persisted state).
+	MetricRecoveries = "gosplice_channel_recoveries_total"
+	// MetricJournalReplays counts updates re-applied from the journal
+	// during recovery (from the blob cache or a refetch).
+	MetricJournalReplays = "gosplice_channel_journal_replays_total"
+	// MetricTornState counts torn persistent state detected on open: a
+	// journal tail dropped by the checksum scan, a wholly corrupt
+	// journal, or a begin record with no commit (a mid-flight apply).
+	MetricTornState = "gosplice_channel_torn_state_detected_total"
 )
 
 // mCounter is a counter plus an optional process-wide mirror: a
@@ -110,17 +120,20 @@ func (h mHistogram) ObserveDuration(d time.Duration) {
 type clientMetrics struct {
 	reg *telemetry.Registry
 
-	retries       mCounter
-	resumes       mCounter
-	refetches     mCounter
-	applied       mCounter
-	degraded      mCounter
-	prebuiltHits  mCounter
-	deltaApplied  mCounter
-	deltaFallback mCounter
-	bytesOverWire mCounter
-	backoff       mHistogram
-	position      *telemetry.Gauge
+	retries        mCounter
+	resumes        mCounter
+	refetches      mCounter
+	applied        mCounter
+	degraded       mCounter
+	prebuiltHits   mCounter
+	deltaApplied   mCounter
+	deltaFallback  mCounter
+	bytesOverWire  mCounter
+	recoveries     mCounter
+	journalReplays mCounter
+	tornDetected   mCounter
+	backoff        mHistogram
+	position       *telemetry.Gauge
 }
 
 // clientHelps registers family help text on a registry.
@@ -147,6 +160,12 @@ func clientHelps(r *telemetry.Registry) {
 		"content bytes subscribers pulled through a Transport (tarballs, artifacts, deltas)")
 	r.Help(MetricPosition,
 		"the machine's channel position (updates applied)")
+	r.Help(MetricRecoveries,
+		"journal recovery passes that rebuilt a machine after a crash")
+	r.Help(MetricJournalReplays,
+		"updates re-applied from the apply journal during recovery")
+	r.Help(MetricTornState,
+		"torn persistent state detected on open (dropped journal records, corrupt journals, mid-flight applies)")
 }
 
 // newClientMetrics builds a metric set on reg, mirrored into mirror
@@ -163,6 +182,9 @@ func newClientMetrics(reg *telemetry.Registry, mirror *clientMetrics) *clientMet
 	cm.deltaApplied.own = reg.Counter("gosplice_channel_delta_applied_total")
 	cm.deltaFallback.own = reg.Counter(MetricDeltaFallback)
 	cm.bytesOverWire.own = reg.Counter(MetricBytesOverWire)
+	cm.recoveries.own = reg.Counter(MetricRecoveries)
+	cm.journalReplays.own = reg.Counter(MetricJournalReplays)
+	cm.tornDetected.own = reg.Counter(MetricTornState)
 	cm.backoff.own = reg.Histogram("gosplice_channel_client_backoff_seconds", nil)
 	if mirror != nil {
 		cm.retries.mirror = mirror.retries.own
@@ -174,6 +196,9 @@ func newClientMetrics(reg *telemetry.Registry, mirror *clientMetrics) *clientMet
 		cm.deltaApplied.mirror = mirror.deltaApplied.own
 		cm.deltaFallback.mirror = mirror.deltaFallback.own
 		cm.bytesOverWire.mirror = mirror.bytesOverWire.own
+		cm.recoveries.mirror = mirror.recoveries.own
+		cm.journalReplays.mirror = mirror.journalReplays.own
+		cm.tornDetected.mirror = mirror.tornDetected.own
 		cm.backoff.mirror = mirror.backoff.own
 	}
 	return cm

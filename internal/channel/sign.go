@@ -82,12 +82,13 @@ func ParseVerifyKeyHex(s string) (VerifyKey, error) {
 // keys — scp-able, diff-able, no parser to get wrong.
 
 // WriteSignKey stores k at path (0600) and its public half at
-// path+".pub".
+// path+".pub", each via an fsynced atomic rename — a keygen killed
+// mid-write never leaves a torn key file.
 func WriteSignKey(path string, k SignKey) error {
-	if err := os.WriteFile(path, []byte(hex.EncodeToString(k)+"\n"), 0o600); err != nil {
+	if err := writeFileAtomicMode(path, []byte(hex.EncodeToString(k)+"\n"), 0o600); err != nil {
 		return err
 	}
-	return os.WriteFile(path+".pub", []byte(k.PublicHex()+"\n"), 0o644)
+	return writeFileAtomic(path+".pub", []byte(k.PublicHex()+"\n"))
 }
 
 // LoadSignKey reads a signing key written by WriteSignKey.

@@ -21,6 +21,17 @@ type SubscribeOptions struct {
 	// implementations retry transport-level failures internally; this
 	// guards the end-to-end check above them.
 	FetchRetries int
+	// OnApplying, when non-nil, is called after an entry's bytes are
+	// verified and immediately before it applies, with the position the
+	// machine reaches once it does — the write-ahead intent hook, where
+	// a client journals its begin record. An error stops the subscribe
+	// at the current position.
+	OnApplying func(m *Manifest, e Entry, pos int) error
+	// OnCommitted, when non-nil, is called immediately after an entry
+	// applies and before it is counted — the write-ahead commit hook.
+	// An error stops the subscribe, but the update is already applied
+	// and is included in the reported position.
+	OnCommitted func(e Entry, pos int) error
 	// OnApplied, when non-nil, is called after each update applies with
 	// its manifest entry and verified tarball bytes — the hook a
 	// subscriber uses to persist local copies for later replay.
@@ -136,13 +147,29 @@ func Subscribe(ctx context.Context, t Transport, mgr *core.Manager, applied int,
 			ms.degraded.Inc()
 			return out, &PositionError{Position: pos(), Entry: e.Name, Err: err}
 		}
+		if opts.OnApplying != nil {
+			if err := opts.OnApplying(m, e, pos()+1); err != nil {
+				ms.degraded.Inc()
+				return out, &PositionError{Position: pos(), Entry: e.Name, Err: fmt.Errorf("on-applying hook: %w", err)}
+			}
+		}
 		if _, err := mgr.Apply(u, opts.Apply); err != nil {
 			ms.degraded.Inc()
 			return out, &PositionError{Position: pos(), Entry: e.Name, Err: fmt.Errorf("applying: %w", err)}
 		}
+		// Commit before the apply is counted, so a journal that says
+		// "committed" never claims an update the metrics have not seen.
+		var commitErr error
+		if opts.OnCommitted != nil {
+			commitErr = opts.OnCommitted(e, pos()+1)
+		}
 		ms.applied.Inc()
 		out = append(out, u)
 		ms.position.Set(int64(pos()))
+		if commitErr != nil {
+			ms.degraded.Inc()
+			return out, &PositionError{Position: pos(), Entry: e.Name, Err: fmt.Errorf("on-committed hook: %w", commitErr)}
+		}
 		if opts.OnApplied != nil {
 			if err := opts.OnApplied(e, b); err != nil {
 				ms.degraded.Inc()
@@ -164,6 +191,16 @@ func Subscribe(ctx context.Context, t Transport, mgr *core.Manager, applied int,
 // verified tarball is cached as the next entry's delta base.
 func fetchVerified(ctx context.Context, t Transport, m *Manifest, e Entry, blobs BlobCache, retries int, ms *clientMetrics) (*core.Update, []byte, error) {
 	if e.Sha256 != "" {
+		// Blob cache first: a machine that already verified these exact
+		// bytes (an earlier subscribe killed before its position
+		// committed, a rollback being re-applied) re-applies from local
+		// disk without touching the wire. Get re-verifies the digest, so
+		// a rotted blob falls through to the fetch below.
+		if b, ok := blobs.Get(e.Sha256); ok {
+			if u, err := decodeVerified(b, e); err == nil {
+				return u, b, nil
+			}
+		}
 		if b, ok := fetchViaDelta(ctx, t, m, e.Sha256, blobs, ms); ok {
 			if u, err := decodeVerified(b, e); err == nil {
 				return u, b, nil

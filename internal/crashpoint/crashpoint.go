@@ -1,0 +1,217 @@
+// Package crashpoint implements labeled, deterministic crash-point
+// injection for crash-consistency testing. A crash point is a named
+// place in a persistence path (journal append half-written, temp file
+// written but not yet renamed, snapshot renamed but not yet fsynced)
+// where a simulated process death can be scheduled. Death is a panic
+// carrying *Death, unwound at the test (or fleet-member) boundary by
+// Catch; everything the dead "process" held in memory is then discarded
+// and the code under test must recover from what reached disk.
+//
+// Call sites register their labels at package init via L, so Catalog
+// enumerates every crash point in the binary — the sweep tests iterate
+// it and prove recovery at each one. Hooks come in two scopes: a
+// per-instance Hook threaded through a subscriber's own state (how a
+// fleet kills one machine among hundreds), and a process-global hook
+// (how a CLI smoke kills a real process via an env knob). Fire prefers
+// the instance hook and falls back to the global one, so the same call
+// sites serve both.
+//
+// Plans are deterministic: the Nth hit of a label always dies at the
+// same place, so a sweep that fails replays exactly.
+package crashpoint
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Death is the panic value a firing crash point unwinds with — the
+// simulated process death. It implements error so boundaries that
+// convert it can report it.
+type Death struct {
+	// Label names the crash point that fired.
+	Label string
+	// Hit is the 1-based matching-hit ordinal that triggered the death.
+	Hit int
+}
+
+func (d *Death) Error() string {
+	return fmt.Sprintf("crashpoint: simulated process death at %s (hit %d)", d.Label, d.Hit)
+}
+
+// Hook observes one crash-point hit. To simulate a process death it
+// panics with *Death; returning normally lets execution continue.
+type Hook func(label string)
+
+var (
+	regMu   sync.Mutex
+	catalog []string
+	known   map[string]bool
+)
+
+// L registers a crash-point label in the process catalog (idempotent)
+// and returns it — call sites declare their labels as
+// `var cpFoo = crashpoint.L("pkg.path.step")` so the catalog is
+// complete by the time any test sweeps it.
+func L(label string) string {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if known == nil {
+		known = map[string]bool{}
+	}
+	if !known[label] {
+		known[label] = true
+		catalog = append(catalog, label)
+	}
+	return label
+}
+
+// Catalog returns every registered crash-point label, sorted — the
+// sweep tests' iteration space.
+func Catalog() []string {
+	regMu.Lock()
+	defer regMu.Unlock()
+	out := append([]string(nil), catalog...)
+	sort.Strings(out)
+	return out
+}
+
+// global is the process-wide hook, used when a call site has no
+// instance hook — the CLI env knob installs here.
+var global atomic.Pointer[Hook]
+
+// SetGlobal installs h as the process-global hook and returns a
+// restore function. Pass nil to clear.
+func SetGlobal(h Hook) (restore func()) {
+	var p *Hook
+	if h != nil {
+		p = &h
+	}
+	prev := global.Swap(p)
+	return func() { global.Store(prev) }
+}
+
+// Fire reports one crash-point hit: to the instance hook when non-nil,
+// else to the global hook when set, else it is free. This is the one
+// call every crash point in the tree makes.
+func Fire(h Hook, label string) {
+	if h != nil {
+		h(label)
+		return
+	}
+	if g := global.Load(); g != nil {
+		(*g)(label)
+	}
+}
+
+// Plan schedules one deterministic death: the nth hit of label (""
+// matches every label) panics with *Death. Safe for concurrent use;
+// concurrent hits serialize onto the hit counter in arrival order.
+type Plan struct {
+	label string
+	n     int64
+	hits  atomic.Int64
+	died  atomic.Bool
+}
+
+// NewPlan builds a plan that dies at the nth (1-based, min 1) hit of
+// label; an empty label dies at the nth hit of any crash point.
+func NewPlan(label string, n int) *Plan {
+	if n < 1 {
+		n = 1
+	}
+	return &Plan{label: label, n: int64(n)}
+}
+
+// Hook returns the plan as an installable Hook.
+func (p *Plan) Hook() Hook {
+	return func(label string) {
+		if p.label != "" && label != p.label {
+			return
+		}
+		h := p.hits.Add(1)
+		if h == p.n {
+			p.died.Store(true)
+			panic(&Death{Label: label, Hit: int(h)})
+		}
+	}
+}
+
+// Hits returns how many matching crash points the plan has seen.
+func (p *Plan) Hits() int { return int(p.hits.Load()) }
+
+// Died reports whether the plan's death fired.
+func (p *Plan) Died() bool { return p.died.Load() }
+
+// Counter records hits per label without ever dying — the discovery
+// pass a sweep runs first, to learn which crash points a scenario
+// reaches and how often.
+type Counter struct {
+	mu     sync.Mutex
+	counts map[string]int
+}
+
+// NewCounter returns an empty counter.
+func NewCounter() *Counter { return &Counter{counts: map[string]int{}} }
+
+// Hook returns the counter as an installable Hook.
+func (c *Counter) Hook() Hook {
+	return func(label string) {
+		c.mu.Lock()
+		c.counts[label]++
+		c.mu.Unlock()
+	}
+}
+
+// Counts returns a copy of the per-label hit counts.
+func (c *Counter) Counts() map[string]int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]int, len(c.counts))
+	for k, v := range c.counts {
+		out[k] = v
+	}
+	return out
+}
+
+// Catch runs fn and converts a *Death panic into a returned value —
+// the test boundary where the simulated process "exits". Any other
+// panic propagates untouched.
+func Catch(fn func()) (death *Death) {
+	defer func() {
+		if r := recover(); r != nil {
+			if d, ok := r.(*Death); ok {
+				death = d
+				return
+			}
+			panic(r)
+		}
+	}()
+	fn()
+	return nil
+}
+
+// FromEnv parses a crash schedule of the form "label", "label:N", or
+// ":N" (any label) into a Plan — the CLI's env-knob format, e.g.
+// GOSPLICE_CRASH=channel.journal.commit.torn:1. Empty input returns
+// (nil, nil).
+func FromEnv(spec string) (*Plan, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	label, n := spec, 1
+	if i := strings.LastIndexByte(spec, ':'); i >= 0 {
+		label = spec[:i]
+		v, err := strconv.Atoi(spec[i+1:])
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("crashpoint: bad schedule %q (want label[:N] with N >= 1)", spec)
+		}
+		n = v
+	}
+	return NewPlan(label, n), nil
+}

@@ -1,0 +1,169 @@
+package crashpoint
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestPlanDiesAtNthHit(t *testing.T) {
+	p := NewPlan("a.b", 3)
+	h := p.Hook()
+	d := Catch(func() {
+		for i := 0; i < 10; i++ {
+			Fire(h, "a.b")
+			Fire(h, "other") // non-matching label never counts
+		}
+	})
+	if d == nil {
+		t.Fatal("plan never died")
+	}
+	if d.Label != "a.b" || d.Hit != 3 {
+		t.Fatalf("died at %+v, want a.b hit 3", d)
+	}
+	if !p.Died() || p.Hits() != 3 {
+		t.Fatalf("Died=%v Hits=%d", p.Died(), p.Hits())
+	}
+}
+
+func TestPlanWildcardMatchesAnyLabel(t *testing.T) {
+	p := NewPlan("", 2)
+	h := p.Hook()
+	d := Catch(func() {
+		Fire(h, "x")
+		Fire(h, "y")
+		t.Error("unreachable: second hit must die")
+	})
+	if d == nil || d.Label != "y" || d.Hit != 2 {
+		t.Fatalf("death = %+v", d)
+	}
+}
+
+func TestPlanSurvivesWhenNeverReached(t *testing.T) {
+	p := NewPlan("never", 1)
+	h := p.Hook()
+	if d := Catch(func() { Fire(h, "elsewhere") }); d != nil {
+		t.Fatalf("unexpected death %+v", d)
+	}
+	if p.Died() {
+		t.Error("Died() true without a matching hit")
+	}
+}
+
+func TestCatchRepanicsForeignPanics(t *testing.T) {
+	defer func() {
+		if r := recover(); r != "boom" {
+			t.Fatalf("recovered %v, want the foreign panic", r)
+		}
+	}()
+	Catch(func() { panic("boom") })
+}
+
+func TestCounterAndCatalog(t *testing.T) {
+	l1 := L("test.counter.one")
+	l2 := L("test.counter.two")
+	L("test.counter.one") // idempotent
+	c := NewCounter()
+	h := c.Hook()
+	Fire(h, l1)
+	Fire(h, l1)
+	Fire(h, l2)
+	got := c.Counts()
+	if got[l1] != 2 || got[l2] != 1 {
+		t.Fatalf("counts = %v", got)
+	}
+	seen := map[string]bool{}
+	for _, l := range Catalog() {
+		seen[l] = true
+	}
+	if !seen[l1] || !seen[l2] {
+		t.Fatalf("catalog missing registered labels: %v", Catalog())
+	}
+}
+
+func TestGlobalHookFallback(t *testing.T) {
+	var gotGlobal []string
+	restore := SetGlobal(func(label string) { gotGlobal = append(gotGlobal, label) })
+	defer restore()
+
+	var gotInst []string
+	inst := Hook(func(label string) { gotInst = append(gotInst, label) })
+
+	Fire(inst, "a") // instance hook wins
+	Fire(nil, "b")  // falls back to global
+	if len(gotInst) != 1 || gotInst[0] != "a" {
+		t.Fatalf("instance hook saw %v", gotInst)
+	}
+	if len(gotGlobal) != 1 || gotGlobal[0] != "b" {
+		t.Fatalf("global hook saw %v", gotGlobal)
+	}
+
+	restore()
+	Fire(nil, "c") // cleared: free
+	if len(gotGlobal) != 1 {
+		t.Fatalf("global hook fired after restore: %v", gotGlobal)
+	}
+}
+
+func TestPlanConcurrentSingleDeath(t *testing.T) {
+	p := NewPlan("", 50)
+	h := p.Hook()
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	deaths := 0
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if d := Catch(func() { Fire(h, "hot") }); d != nil {
+					mu.Lock()
+					deaths++
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if deaths != 1 {
+		t.Fatalf("%d deaths, want exactly 1", deaths)
+	}
+}
+
+func TestFromEnv(t *testing.T) {
+	cases := []struct {
+		in    string
+		label string
+		n     int
+		err   bool
+		nil_  bool
+	}{
+		{in: "", nil_: true},
+		{in: "a.b", label: "a.b", n: 1},
+		{in: "a.b:3", label: "a.b", n: 3},
+		{in: ":2", label: "", n: 2},
+		{in: "a.b:0", err: true},
+		{in: "a.b:x", err: true},
+	}
+	for _, c := range cases {
+		p, err := FromEnv(c.in)
+		if c.err {
+			if err == nil {
+				t.Errorf("FromEnv(%q): want error", c.in)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("FromEnv(%q): %v", c.in, err)
+			continue
+		}
+		if c.nil_ {
+			if p != nil {
+				t.Errorf("FromEnv(%q) = %+v, want nil", c.in, p)
+			}
+			continue
+		}
+		if p.label != c.label || p.n != int64(c.n) {
+			t.Errorf("FromEnv(%q) = {%q,%d}, want {%q,%d}", c.in, p.label, p.n, c.label, c.n)
+		}
+	}
+}

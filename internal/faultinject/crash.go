@@ -1,0 +1,63 @@
+package faultinject
+
+// Crash scheduling: the faultinject plan's bridge to the labeled
+// crash points of internal/crashpoint. Where the transport faults
+// above model a hostile network, a crash schedule models a hostile
+// power cord — the process dies at a chosen persistence step (a
+// journal append half-written, a blob temp file not yet renamed) and
+// the test boundary catches the death, discards everything in memory,
+// and asserts that recovery from disk alone reconverges.
+//
+// The two mechanisms compose on one Plan: a fleet member's fault plan
+// can corrupt its transport AND kill it mid-sync, deterministically.
+
+import (
+	"gosplice/internal/crashpoint"
+	"gosplice/internal/telemetry"
+)
+
+// Process-wide mirror for scheduled deaths, beside the fault-class
+// counters: a fleet-level scrape sees total injected crashes without
+// enumerating plans.
+var defaultCrashes = func() *telemetry.Counter {
+	d := telemetry.Default()
+	d.Help("gosplice_faultinject_crashes_total", "simulated process deaths fired by crash schedules, summed across all plans")
+	return d.Counter("gosplice_faultinject_crashes_total")
+}()
+
+// WithCrash schedules a simulated process death on the plan: the nth
+// (1-based) hit of the labeled crash point panics with a
+// *crashpoint.Death, to be unwound at the test boundary by
+// crashpoint.Catch. An empty label matches any crash point. Returns
+// the plan for chaining onto New/FromSeed.
+func (p *Plan) WithCrash(label string, n int) *Plan {
+	p.crash = crashpoint.NewPlan(label, n)
+	return p
+}
+
+// CrashHook returns the plan's crash-point hook — what a
+// channel.ClientConfig.Crash or store.Options.Crash field takes — or
+// nil when no crash is scheduled (falling back to the process-global
+// hook, which is what nil means to crashpoint.Fire).
+func (p *Plan) CrashHook() crashpoint.Hook {
+	if p.crash == nil {
+		return nil
+	}
+	inner := p.crash.Hook()
+	return func(label string) {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(*crashpoint.Death); ok {
+					defaultCrashes.Inc()
+				}
+				panic(r)
+			}
+		}()
+		inner(label)
+	}
+}
+
+// CrashDied reports whether the plan's scheduled death has fired.
+func (p *Plan) CrashDied() bool {
+	return p.crash != nil && p.crash.Died()
+}

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"gosplice/internal/channel"
+	"gosplice/internal/crashpoint"
 	"gosplice/internal/telemetry"
 )
 
@@ -91,6 +92,10 @@ type Plan struct {
 	mu   sync.Mutex
 	op   int
 	byOp map[int][]Fault
+
+	// crash, when set, schedules a simulated process death at a labeled
+	// crash point (see crash.go / internal/crashpoint).
+	crash *crashpoint.Plan
 
 	met    *telemetry.Registry
 	cOps   *telemetry.Counter

@@ -30,6 +30,7 @@ import (
 	"gosplice/internal/channel"
 	"gosplice/internal/codegen"
 	"gosplice/internal/core"
+	"gosplice/internal/crashpoint"
 	"gosplice/internal/cvedb"
 	"gosplice/internal/faultinject"
 	"gosplice/internal/kernel"
@@ -102,6 +103,25 @@ type Config struct {
 	SlowEvery int
 	// Throttle is the slow machines' per-update delay (default 2ms).
 	Throttle time.Duration
+	// KillEvery makes every Nth member killable: it keeps its position
+	// in a persistent state dir (under StateRoot) and a crash schedule
+	// kills its process at a labeled persistence crash point mid-sync.
+	// The orchestrator then "reboots" it — a fresh kernel clone, a new
+	// client over the surviving state dir — recovers it through the
+	// apply journal, and the member rejoins its ring and finishes the
+	// sync. 0 = nobody dies.
+	KillEvery int
+	// KillPoint is the crash-point label killable members die at
+	// (default "": the first labeled point their sync reaches — journal
+	// appends, blob-cache renames, whichever comes first).
+	KillPoint string
+	// KillHit is which hit of KillPoint kills (default: staggered per
+	// member, 1 + idx mod 7, so deaths land at different depths of the
+	// sync instead of all on the first write).
+	KillHit int
+	// StateRoot roots killable members' state dirs (default
+	// WorkDir/state; required via one or the other when KillEvery > 0).
+	StateRoot string
 	// Joins is how many extra machines join mid-rollout, before the
 	// final ring (they were not part of the original fleet).
 	Joins int
@@ -188,6 +208,10 @@ type Result struct {
 	// TimeToRollback is the gate's decision to the last undo.
 	TimeToHalt     time.Duration
 	TimeToRollback time.Duration
+	// Kills is how many members were killed mid-sync by their crash
+	// schedule; Reboots is how many came back through journal recovery
+	// (equal unless a reboot itself failed).
+	Kills, Reboots int
 	// Applied is the fleet-wide count of updates applied (and still
 	// applied, post-rollback ones included — it is cumulative).
 	Applied uint64
@@ -213,6 +237,17 @@ type member struct {
 	stress  *telemetry.Counter
 	pusher  *telemetry.Pusher
 
+	// Killable members: a persistent state dir, the client config to
+	// rebuild from after a death, and the crash schedule. The armed hook
+	// is non-nil only inside syncMember's catch boundary, so deaths can
+	// never unwind past it (a Bind outside a sync fires crash points
+	// too, but into a disarmed hook).
+	stateDir string
+	ccfg     channel.ClientConfig
+	killPlan *faultinject.Plan
+	crashMu  sync.Mutex
+	crash    crashpoint.Hook
+
 	mu        sync.Mutex
 	cancel    context.CancelFunc // cancels the in-flight sync (leavers)
 	applies   int
@@ -220,18 +255,38 @@ type member struct {
 	left      bool
 	unhealthy bool
 	synced    bool
+	kills     int
+	reboots   int
+}
+
+// fireCrash is the member's ClientConfig.Crash hook: it forwards to the
+// currently armed hook, if any.
+func (m *member) fireCrash(label string) {
+	m.crashMu.Lock()
+	h := m.crash
+	m.crashMu.Unlock()
+	if h != nil {
+		h(label)
+	}
+}
+
+func (m *member) armCrash(h crashpoint.Hook) {
+	m.crashMu.Lock()
+	m.crash = h
+	m.crashMu.Unlock()
 }
 
 // Orchestrator owns a fleet rollout: the channels, servers, template
 // kernels, and members. Create with New, run with Run.
 type Orchestrator struct {
-	cfg  Config
-	agg  *channel.FleetAggregator
-	dirs map[string]string // release -> channel dir
-	urls map[string]string // release -> server base URL
-	srvs []*http.Server
-	tmpl map[string]*kernel.Kernel
-	head map[string]int // release -> channel length
+	cfg       Config
+	agg       *channel.FleetAggregator
+	dirs      map[string]string // release -> channel dir
+	urls      map[string]string // release -> server base URL
+	srvs      []*http.Server
+	tmpl      map[string]*kernel.Kernel
+	head      map[string]int // release -> channel length
+	stateRoot string         // killable members' state dirs live here
 }
 
 // New publishes (or adopts) the per-release channels, starts their
@@ -246,6 +301,15 @@ func New(cfg Config) (*Orchestrator, error) {
 		urls: map[string]string{},
 		tmpl: map[string]*kernel.Kernel{},
 		head: map[string]int{},
+	}
+	if cfg.KillEvery > 0 {
+		o.stateRoot = cfg.StateRoot
+		if o.stateRoot == "" {
+			if cfg.WorkDir == "" {
+				return nil, fmt.Errorf("fleet: KillEvery needs StateRoot or WorkDir for member state dirs")
+			}
+			o.stateRoot = fmt.Sprintf("%s/state", cfg.WorkDir)
+		}
 	}
 	for _, rel := range cfg.Releases {
 		dir, ok := cfg.ChannelDirs[rel]
@@ -410,6 +474,20 @@ func (o *Orchestrator) newMember(idx, ring int, burst bool) (*member, error) {
 	if o.cfg.SlowEvery > 0 && idx%o.cfg.SlowEvery == o.cfg.SlowEvery-1 {
 		cfg.Throttle = o.cfg.Throttle
 	}
+	if o.cfg.KillEvery > 0 && idx%o.cfg.KillEvery == o.cfg.KillEvery-1 {
+		// A killable machine: its position persists under stateRoot, and
+		// a crash schedule will kill it mid-sync. Hits are staggered
+		// across the fleet so deaths land at different sync depths.
+		hit := o.cfg.KillHit
+		if hit <= 0 {
+			hit = 1 + idx%7
+		}
+		m.stateDir = fmt.Sprintf("%s/%s", o.stateRoot, m.name)
+		m.killPlan = faultinject.New().WithCrash(o.cfg.KillPoint, hit)
+		cfg.StateDir = m.stateDir
+		cfg.Crash = m.fireCrash
+	}
+	m.ccfg = cfg
 	cl, err := channel.NewClient(cfg)
 	if err != nil {
 		return nil, err
@@ -441,7 +519,41 @@ func (o *Orchestrator) syncMember(ctx context.Context, m *member) {
 		stopPush = func() { pcancel(); <-done }
 	}
 
-	_, err := m.client.Sync(sctx)
+	var err error
+	for {
+		var death *crashpoint.Death
+		if m.killPlan != nil {
+			m.armCrash(m.killPlan.CrashHook())
+			death = crashpoint.Catch(func() { _, err = m.client.Sync(sctx) })
+			m.armCrash(nil)
+		} else {
+			_, err = m.client.Sync(sctx)
+		}
+		if death == nil {
+			break
+		}
+		// The process died at a persistence crash point: everything in
+		// memory is gone, only the state dir survives. Reboot the
+		// machine — fresh kernel clone, new client over the same state
+		// dir — and let journal recovery bring it back to position; the
+		// loop then resumes the sync (the crash schedule is spent, so
+		// the member cannot die twice).
+		m.mu.Lock()
+		m.kills++
+		m.mu.Unlock()
+		err = nil
+		o.logf("fleet: %s killed at crash point %s (hit %d); rebooting", m.name, death.Label, death.Hit)
+		if rerr := o.rebootMember(ctx, m); rerr != nil {
+			o.logf("fleet: %s reboot failed: %v", m.name, rerr)
+			m.reg.Counter(channel.MetricDegraded).Inc()
+			m.setUnhealthy()
+			break
+		}
+		m.mu.Lock()
+		m.reboots++
+		m.mu.Unlock()
+		o.logf("fleet: %s recovered at position %d; rejoining ring", m.name, m.client.Position())
+	}
 	m.mu.Lock()
 	cancelled := m.left || (m.leaveAt > 0 && m.applies >= m.leaveAt)
 	m.mu.Unlock()
@@ -473,6 +585,32 @@ func (o *Orchestrator) syncMember(ctx context.Context, m *member) {
 	} else if err := m.pusher.Push(ctx); err != nil {
 		o.logf("fleet: %s report push: %v", m.name, err)
 	}
+}
+
+// rebootMember brings a killed machine back: the dead client's handles
+// are released, a fresh kernel is cloned from the release template, and
+// a new client — same name, same registry, same state dir, same
+// transport — recovers it through the apply journal. The pusher keeps
+// working across the reboot (it gathers from the shared registry), so
+// the member's counters stay cumulative fleet-wide.
+func (o *Orchestrator) rebootMember(ctx context.Context, m *member) error {
+	m.client.Close()
+	k, err := o.tmpl[m.release].Clone()
+	if err != nil {
+		return fmt.Errorf("fleet: recloning %s kernel for %s: %w", m.release, m.name, err)
+	}
+	cl, err := channel.NewClient(m.ccfg)
+	if err != nil {
+		return fmt.Errorf("fleet: rebuilding client %s: %w", m.name, err)
+	}
+	if _, err := cl.RestoreMachine(ctx, core.NewManager(k), 0); err != nil {
+		cl.Close()
+		return fmt.Errorf("fleet: recovering %s: %w", m.name, err)
+	}
+	m.mu.Lock()
+	m.client, m.kernel = cl, k
+	m.mu.Unlock()
+	return nil
 }
 
 func (m *member) setUnhealthy() {
@@ -745,6 +883,13 @@ func (o *Orchestrator) Run(ctx context.Context) (*Result, error) {
 		res.TimeToRollback = time.Since(t0)
 		o.logf("fleet: rolled back %d updates across the fleet in %s",
 			res.RolledBack, res.TimeToRollback.Round(time.Millisecond))
+	}
+
+	for _, m := range all {
+		m.mu.Lock()
+		res.Kills += m.kills
+		res.Reboots += m.reboots
+		m.mu.Unlock()
 	}
 
 	h, err := o.fetchHealth()

@@ -98,6 +98,109 @@ func TestFleetRolloutConverges(t *testing.T) {
 	}
 }
 
+// TestFleetKillRestartConverges: every third machine keeps a state dir
+// and is killed by a crash schedule at a persistence crash point
+// mid-sync, rebooted onto a fresh kernel, and recovered through its
+// apply journal — and the rollout still promotes through every ring
+// with every machine at head. Counter conservation across the reboots
+// is the core assertion: each machine's cumulative applied counter
+// equals its final position, even though some applies were counted
+// before a death and reconciled after.
+func TestFleetKillRestartConverges(t *testing.T) {
+	o, err := New(Config{
+		Clients:   12,
+		WorkDir:   channelRoot,
+		StateRoot: t.TempDir(),
+		Workers:   6,
+		Seed:      5,
+		KillEvery: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o.Close()
+	res, err := o.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Halted {
+		t.Fatalf("kill/restart rollout halted at ring %d: %+v", res.HaltedRing, res.Rings)
+	}
+	if res.Kills != 4 {
+		t.Errorf("kills = %d, want 4 (every third of 12 machines)", res.Kills)
+	}
+	if res.Reboots != res.Kills {
+		t.Fatalf("reboots = %d but kills = %d — a machine failed to come back", res.Reboots, res.Kills)
+	}
+	synced := 0
+	for _, rr := range res.Rings {
+		synced += rr.Synced
+	}
+	if synced != 12 {
+		t.Fatalf("%d of 12 members synced to head", synced)
+	}
+	// Recovery is visible on /fleet/health: one recovery per reboot, and
+	// the deaths that landed mid-apply show up as torn state resolved by
+	// journal replays.
+	if res.Health.Recoveries != uint64(res.Reboots) {
+		t.Errorf("health view shows %d recoveries, want %d", res.Health.Recoveries, res.Reboots)
+	}
+	if res.Health.JournalReplays == 0 && res.Health.TornDetected == 0 {
+		t.Error("no journal replays or torn-state detections across 4 kills")
+	}
+	// Conservation: no machine lost or double-counted an apply across
+	// its death and reboot.
+	for _, row := range res.Health.Clients {
+		if row.Applied != uint64(row.Position) {
+			t.Errorf("%s: applied=%d position=%d — counter not conserved across reboot",
+				row.Source, row.Applied, row.Position)
+		}
+		if row.Degraded != 0 {
+			t.Errorf("%s degraded %d times — kills must not count as degradation", row.Source, row.Degraded)
+		}
+	}
+}
+
+// TestFleetBurstHaltsWithKills: the burst halt still halts and rolls
+// back cleanly when the fleet is full of machines dying and recovering
+// — a recovered machine is rolled back like any other, journal and all.
+func TestFleetBurstHaltsWithKills(t *testing.T) {
+	o, err := New(Config{
+		Clients:   24,
+		WorkDir:   channelRoot,
+		StateRoot: t.TempDir(),
+		Workers:   8,
+		Seed:      11,
+		BurstRing: 2,
+		KillEvery: 1, // everyone is killable
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o.Close()
+	res, err := o.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Halted || res.HaltedRing != 2 {
+		t.Fatalf("rollout did not halt at ring 2: halted=%v ring=%d", res.Halted, res.HaltedRing)
+	}
+	if res.Kills == 0 {
+		t.Fatal("no machine died before the halt — the kill schedule never fired")
+	}
+	if res.Reboots != res.Kills {
+		t.Fatalf("reboots = %d but kills = %d", res.Reboots, res.Kills)
+	}
+	if res.RollbackFailures != 0 {
+		t.Fatalf("%d machines failed to roll back", res.RollbackFailures)
+	}
+	for _, row := range res.Health.Clients {
+		if row.Position != 0 {
+			t.Errorf("%s still at position %d after fleet rollback", row.Source, row.Position)
+		}
+	}
+}
+
 // TestFleetBurstHaltsAndRollsBack is the acceptance scenario: a fault
 // burst lands in ring 2, the ring fails its health gate, promotion
 // halts before ring 3 ever syncs, and every patched machine in rings

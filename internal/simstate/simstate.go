@@ -16,9 +16,16 @@ import (
 
 	"gosplice/internal/codegen"
 	"gosplice/internal/core"
+	"gosplice/internal/crashpoint"
 	"gosplice/internal/cvedb"
 	"gosplice/internal/kernel"
 	"gosplice/internal/srctree"
+)
+
+// Crash-point labels on the state file's write path.
+var (
+	cpSaveTmp  = crashpoint.L("simstate.save.tmp")
+	cpSaveDone = crashpoint.L("simstate.save.renamed")
 )
 
 // State is the persisted machine description.
@@ -47,13 +54,77 @@ func Load(path string) (*State, error) {
 	return st, nil
 }
 
-// Save writes the state file.
+// CorruptError reports a state file that exists but cannot be parsed —
+// callers that can re-derive the machine (e.g. a subscriber with a
+// journal) match it with errors.As and degrade instead of failing.
+type CorruptError struct {
+	Path string
+	Err  error
+}
+
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("simstate: %s is corrupt: %v", e.Path, e.Err)
+}
+
+func (e *CorruptError) Unwrap() error { return e.Err }
+
+// LoadOrRederive reads a state file; a corrupt or truncated file is not
+// fatal — it returns a fresh state for version plus a *CorruptError the
+// caller should warn about. A missing file also re-derives (nil error).
+func LoadOrRederive(path, version string) (*State, error) {
+	st, err := Load(path)
+	if err == nil {
+		return st, nil
+	}
+	fresh, nerr := New(version)
+	if nerr != nil {
+		return nil, nerr
+	}
+	fresh.dir = filepath.Dir(path)
+	if os.IsNotExist(err) {
+		return fresh, nil
+	}
+	return fresh, &CorruptError{Path: path, Err: err}
+}
+
+// Save writes the state file durably: temp file in the same directory,
+// fsync, atomic rename — a tool killed mid-save leaves either the old
+// state or the new one, never a torn file.
 func (st *State) Save(path string) error {
 	b, err := json.MarshalIndent(st, "", "  ")
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, append(b, '\n'), 0o644)
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".tmp-state-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(append(b, '\n')); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	crashpoint.Fire(nil, cpSaveTmp)
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	crashpoint.Fire(nil, cpSaveDone)
+	return nil
 }
 
 // New creates a fresh state for a release.

@@ -1,11 +1,13 @@
 package simstate
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"testing"
 
 	"gosplice/internal/core"
+	"gosplice/internal/crashpoint"
 	"gosplice/internal/cvedb"
 )
 
@@ -130,4 +132,100 @@ func TestReplayLifecycle(t *testing.T) {
 		}
 	}
 	_ = k
+}
+
+// TestLoadOrRederiveCorruptState: a torn or garbage state file is not
+// fatal — the caller gets a fresh state for the release plus a
+// *CorruptError to warn about; a missing file re-derives silently.
+func TestLoadOrRederiveCorruptState(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "machine.json")
+
+	// Missing: fresh state, no error.
+	st, err := LoadOrRederive(path, cvedb.Versions[0])
+	if err != nil || st.Version != cvedb.Versions[0] || len(st.Updates) != 0 {
+		t.Fatalf("missing file: state=%+v err=%v", st, err)
+	}
+
+	// Corrupt: fresh state plus a CorruptError naming the file.
+	if err := os.WriteFile(path, []byte(`{"version": "sim-`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st, err = LoadOrRederive(path, cvedb.Versions[0])
+	if st == nil || st.Version != cvedb.Versions[0] {
+		t.Fatalf("corrupt file did not re-derive: %+v", st)
+	}
+	var ce *CorruptError
+	if !errors.As(err, &ce) || ce.Path != path {
+		t.Fatalf("err = %v, want *CorruptError for %s", err, path)
+	}
+
+	// A fresh Save over the corrupt file heals it.
+	if err := st.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadOrRederive(path, cvedb.Versions[0]); err != nil {
+		t.Fatalf("after re-save: %v", err)
+	}
+
+	// Valid file: loaded as-is, no error.
+	st.Updates = append(st.Updates, "u0.tar")
+	if err := st.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := LoadOrRederive(path, cvedb.Versions[0])
+	if err != nil || len(st2.Updates) != 1 {
+		t.Fatalf("valid file: %+v, %v", st2, err)
+	}
+}
+
+// TestSaveCrashPointsAtomic kills Save at each of its crash points (via
+// the process-global hook — Save takes no instance hook) and asserts
+// the state file is never torn: it holds either the old state or the
+// new one, both parseable.
+func TestSaveCrashPointsAtomic(t *testing.T) {
+	for _, label := range []string{"simstate.save.tmp", "simstate.save.renamed"} {
+		t.Run(label, func(t *testing.T) {
+			dir := t.TempDir()
+			path := filepath.Join(dir, "machine.json")
+			old, err := New(cvedb.Versions[0])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := old.Save(path); err != nil {
+				t.Fatal(err)
+			}
+
+			next, _ := New(cvedb.Versions[0])
+			next.Updates = []string{"u0.tar"}
+			plan := crashpoint.NewPlan(label, 1)
+			restore := crashpoint.SetGlobal(plan.Hook())
+			death := crashpoint.Catch(func() {
+				if err := next.Save(path); err != nil {
+					t.Error(err)
+				}
+			})
+			restore()
+			if death == nil {
+				t.Fatalf("crash point %s never fired", label)
+			}
+
+			got, err := Load(path)
+			if err != nil {
+				t.Fatalf("state file torn after %s: %v", label, err)
+			}
+			switch len(got.Updates) {
+			case 0:
+				if label == "simstate.save.renamed" {
+					t.Error("crash after rename left the old state")
+				}
+			case 1: // new state — only possible once the rename happened
+				if label == "simstate.save.tmp" {
+					t.Error("crash before rename left the new state")
+				}
+			default:
+				t.Fatalf("state file holds %d updates", len(got.Updates))
+			}
+		})
+	}
 }

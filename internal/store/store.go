@@ -49,12 +49,19 @@ import (
 	"sync/atomic"
 	"time"
 
+	"gosplice/internal/crashpoint"
 	"gosplice/internal/telemetry"
 )
 
 // DefaultMaxBytes is the in-memory tier's cap when Options.MaxBytes is
 // unset: generous for the 64-CVE corpus, bounded for many-tenant loads.
 const DefaultMaxBytes = 256 << 20
+
+// Crash-point labels on the disk tier's write path.
+var (
+	cpDiskWriteTmp  = crashpoint.L("store.disk.write.tmp")
+	cpDiskWriteDone = crashpoint.L("store.disk.write.renamed")
+)
 
 // Source reports which tier satisfied a GetOrFill.
 type Source int
@@ -112,6 +119,11 @@ type Options struct {
 	// verification demotes the entry to a miss rather than serving bad
 	// bytes.
 	ReadFault func(b []byte) ([]byte, error)
+	// Crash, when set, receives the crash points in the disk tier's write
+	// path (see internal/crashpoint) — how crash-consistency tests kill a
+	// process between a temp-file write and its rename. Nil falls back to
+	// the process-global hook.
+	Crash crashpoint.Hook
 	// Metrics is the telemetry registry the store reports into; nil gives
 	// the store a private registry (reachable via Metrics()), so multiple
 	// stores in one process never mix their counters.
@@ -162,6 +174,7 @@ type Store struct {
 	maxBytes  int64
 	dir       string // "" = memory-only
 	readFault func(b []byte) ([]byte, error)
+	crash     crashpoint.Hook
 
 	// entries is the memory tier: key -> *entry. Resident-entry reads go
 	// straight through it with no locking; all mutation (insert, evict)
@@ -215,6 +228,7 @@ func New(o Options) (*Store, error) {
 		maxBytes:  o.MaxBytes,
 		dir:       o.Dir,
 		readFault: o.ReadFault,
+		crash:     o.Crash,
 		inflight:  map[string]*call{},
 		touched:   map[string]bool{},
 		met:       met,
@@ -249,8 +263,27 @@ func New(o Options) (*Store, error) {
 		if err := os.MkdirAll(filepath.Join(s.dir, "objects"), 0o755); err != nil {
 			return nil, fmt.Errorf("store: %w", err)
 		}
+		s.sweepTemps()
 	}
 	return s, nil
+}
+
+// sweepTemps removes temp files crashed writers left in the disk tier.
+// GC also cleans them (after an hour's grace, to spare other live
+// processes sharing the dir), but a store opening its own tier after a
+// crash reclaims them immediately: a ".tmp-" file older than a minute
+// cannot belong to a write still in flight.
+func (s *Store) sweepTemps() {
+	root := filepath.Join(s.dir, "objects")
+	filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasPrefix(d.Name(), ".tmp-") {
+			return nil
+		}
+		if info, err := d.Info(); err == nil && time.Since(info.ModTime()) > time.Minute {
+			os.Remove(path)
+		}
+		return nil
+	})
 }
 
 // MustNew is New for static configuration that cannot fail (no disk dir).
@@ -642,16 +675,24 @@ func (s *Store) writeDisk(key string, v any, k Kind) {
 		s.countDiskError()
 		return
 	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		s.countDiskError()
+		return
+	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmp.Name())
 		s.countDiskError()
 		return
 	}
+	crashpoint.Fire(s.crash, cpDiskWriteTmp)
 	if err := os.Rename(tmp.Name(), s.objectPath(key)); err != nil {
 		os.Remove(tmp.Name())
 		s.countDiskError()
 		return
 	}
+	crashpoint.Fire(s.crash, cpDiskWriteDone)
 	s.cDiskWrites.Inc()
 	s.cDiskWriteBytes.Add(uint64(len(body)))
 	s.mu.Lock()
