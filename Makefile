@@ -39,10 +39,14 @@ test:
 # roll back cleanly (-expect halt); a CLI-level signed-channel
 # round trip — keygen, signed publish, subscribe with the pinned .pub,
 # and a required refusal of an unsigned channel under the same pin;
-# and a crash-recovery smoke — a CLI subscriber killed mid-apply at a
+# a crash-recovery smoke — a CLI subscriber killed mid-apply at a
 # journal crash point (the GOSPLICE_CRASH knob), restarted over the
 # same state file, and required to converge to the channel head, with
-# a third run confirming it is exactly up to date.
+# a third run confirming it is exactly up to date; and a distributed-
+# trace round trip — a CLI subscriber syncing over HTTP against a
+# -fleet server and pushing its spans upstream, with -check-trace
+# required to find client and server spans sharing one trace id with a
+# parent/child link across the two processes in /fleet/trace.
 check:
 	$(GO) vet ./...
 	$(GO) test -race ./internal/telemetry
@@ -100,6 +104,18 @@ check:
 	$$tmp/ksplice-channel -subscribe -dir $$tmp/chan -state $$tmp/machine.json | grep -q 'up to date' && \
 	echo "check: subscriber killed mid-apply recovered to the channel head on restart" && \
 	rm -rf $$tmp
+	@tmp=$$(mktemp -d); \
+	$(GO) build -o $$tmp/ksplice-channel ./cmd/ksplice-channel && \
+	$(GO) run ./cmd/simboot -version sim-2.6.16-deb -state $$tmp/machine.json >/dev/null && \
+	$$tmp/ksplice-channel -publish -dir $$tmp/chan -version sim-2.6.16-deb -cve CVE-2006-2451 >/dev/null && \
+	{ $$tmp/ksplice-channel -serve -fleet -dir $$tmp/chan -addr 127.0.0.1:0 >$$tmp/serve.log 2>&1 & echo $$! >$$tmp/pid; } && \
+	for i in $$(seq 1 50); do grep -q '^serving ' $$tmp/serve.log && break; sleep 0.1; done; \
+	addr=$$(sed -n 's#^serving .* on ##p' $$tmp/serve.log); \
+	if [ -n "$$addr" ] && \
+	   $$tmp/ksplice-channel -subscribe -url "http://$$addr" -state $$tmp/machine.json -push-report "http://$$addr/fleet/report" >/dev/null && \
+	   $$tmp/ksplice-channel -check-trace "http://$$addr/fleet/trace"; then ok=1; else ok=0; cat $$tmp/serve.log; fi; \
+	kill $$(cat $$tmp/pid) 2>/dev/null; rm -rf $$tmp; \
+	[ $$ok -eq 1 ] && echo "check: merged cross-process trace round trip OK (subscriber and server spans share one trace id)"
 
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$'

@@ -65,7 +65,7 @@ func TestMain(m *testing.M) {
 // baseline). Metrics: patches applied without new code, with custom
 // code, and the average stop_machine pause.
 func BenchmarkEvalAll64(b *testing.B) {
-	benchEvalAll64(b, 1)
+	benchEvalAll64(b, 1, nil)
 }
 
 // BenchmarkEvalAll64Parallel runs the same evaluation with one worker
@@ -73,20 +73,31 @@ func BenchmarkEvalAll64(b *testing.B) {
 // per-release boot cache, so the pipeline parallelizes across patches.
 // Compare against BenchmarkEvalAll64 for the speedup.
 func BenchmarkEvalAll64Parallel(b *testing.B) {
-	benchEvalAll64(b, runtime.NumCPU())
+	benchEvalAll64(b, runtime.NumCPU(), nil)
 }
 
 // BenchmarkEvalAll64J2/J4/J8 pin the worker count, recording the speedup
 // curve (`make bench-json` stores each as its own stanza in
 // BENCH_eval.json). The interesting ratio is each stanza's ns/op against
 // the serial BenchmarkEvalAll64.
-func BenchmarkEvalAll64J2(b *testing.B) { benchEvalAll64(b, 2) }
-func BenchmarkEvalAll64J4(b *testing.B) { benchEvalAll64(b, 4) }
-func BenchmarkEvalAll64J8(b *testing.B) { benchEvalAll64(b, 8) }
+func BenchmarkEvalAll64J2(b *testing.B) { benchEvalAll64(b, 2, nil) }
+func BenchmarkEvalAll64J4(b *testing.B) { benchEvalAll64(b, 4, nil) }
+func BenchmarkEvalAll64J8(b *testing.B) { benchEvalAll64(b, 8, nil) }
 
-func benchEvalAll64(b *testing.B, workers int) {
+// BenchmarkEvalAll64TracingOff is the serial evaluation with span
+// recording disabled (NopTracer's zero-capacity ring makes every commit
+// an early return). Compare ns/op against BenchmarkEvalAll64 — the
+// default-tracer run — for the overhead of always-on tracing; the two
+// should sit within a few percent of each other.
+func BenchmarkEvalAll64TracingOff(b *testing.B) {
+	benchEvalAll64(b, 1, telemetry.NopTracer())
+}
+
+// benchEvalAll64 runs the full pipeline with the given worker count;
+// tracer nil means the process default (spans recorded).
+func benchEvalAll64(b *testing.B, workers int, tracer *telemetry.Tracer) {
 	for i := 0; i < b.N; i++ {
-		res, err := eval.Run(eval.Options{StressRounds: 20, Workers: workers})
+		res, err := eval.Run(eval.Options{StressRounds: 20, Workers: workers, Tracer: tracer})
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -81,6 +81,9 @@ func main() {
 	noPrebuilt := flag.Bool("no-prebuilt", false, "publish: emit no prebuilt artifacts or deltas; subscribe: build from source")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /debug/vars on this extra address (host:0 picks a port); -serve exposes them on -addr regardless")
 	traceOut := flag.String("trace-out", "", "write recorded spans as a Chrome trace to this file on exit")
+	fleetAgg := flag.Bool("fleet", false, "serve: also aggregate pushed fleet telemetry (/fleet/report, /fleet/health, /fleet/history, /fleet/events, /fleet/trace)")
+	pushReport := flag.String("push-report", "", "subscribe: push this machine's telemetry snapshot and spans to this /fleet/report URL after syncing")
+	checkTrace := flag.String("check-trace", "", "fetch this /fleet/trace URL and verify it is a merged cross-process trace")
 	flag.Parse()
 
 	// GOSPLICE_CRASH=label[:N] schedules a simulated process death at the
@@ -125,13 +128,15 @@ func main() {
 	case *publish:
 		doPublish(*dir, *version, *cveID, *signKey, *noPrebuilt)
 	case *serve:
-		doServe(*dir, *addr)
+		doServe(*dir, *addr, *fleetAgg)
 	case *subscribe:
-		doSubscribe(*dir, *url, *statePath, *verifyKey, *noPrebuilt, *timeout, *retries, apply)
+		doSubscribe(*dir, *url, *statePath, *verifyKey, *noPrebuilt, *timeout, *retries, apply, *pushReport)
 	case *scrape != "":
 		doScrape(*scrape, *timeout)
+	case *checkTrace != "":
+		doCheckTrace(*checkTrace, *timeout)
 	default:
-		fatal(fmt.Errorf("need -keygen, -publish, -serve, -subscribe, or -scrape"))
+		fatal(fmt.Errorf("need -keygen, -publish, -serve, -subscribe, -scrape, or -check-trace"))
 	}
 }
 
@@ -185,7 +190,7 @@ func doPublish(dir, version, cveID, signKeyPath string, noPrebuilt bool) {
 	}
 }
 
-func doServe(dir, addr string) {
+func doServe(dir, addr string, fleetAgg bool) {
 	m, err := channel.ReadManifest(dir)
 	if err != nil {
 		fatal(fmt.Errorf("cannot serve %s: %w", dir, err))
@@ -196,11 +201,44 @@ func doServe(dir, addr string) {
 	if err != nil {
 		fatal(err)
 	}
+	srv := channel.NewServer(dir)
+	if fleetAgg {
+		srv.Fleet = channel.NewFleetAggregator()
+		srv.Fleet.LocalProc = "channel-server"
+		fmt.Printf("fleet aggregation on http://%s/fleet/health\n", ln.Addr())
+	}
 	fmt.Printf("serving %s (%s, %d updates) on %s\n", dir, m.KernelVersion, len(m.Updates), ln.Addr())
 	fmt.Printf("metrics on http://%s/metrics\n", ln.Addr())
-	if err := http.Serve(ln, channel.NewServer(dir)); err != nil {
+	if err := http.Serve(ln, srv); err != nil {
 		fatal(err)
 	}
+}
+
+// doCheckTrace fetches a merged Chrome trace (a /fleet/trace URL, or a
+// file written by -trace-out on a fleet run) and verifies it really is
+// cross-process: at least one trace id spanning two processes with a
+// parent/child link across them. This is the make-check smoke's proof
+// that client and server spans joined one distributed trace.
+func doCheckTrace(url string, timeout time.Duration) {
+	client := &http.Client{Timeout: timeout}
+	resp, err := client.Get(url)
+	if err != nil {
+		fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		fatal(fmt.Errorf("check-trace %s: server returned %s", url, resp.Status))
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		fatal(err)
+	}
+	chk, err := telemetry.CheckMergedTrace(b)
+	if err != nil {
+		fatal(fmt.Errorf("check-trace %s: %w", url, err))
+	}
+	fmt.Printf("checked %s: %d spans across processes %s; %d cross-process trace(s) with parent/child links\n",
+		url, chk.Spans, strings.Join(chk.Procs, ", "), len(chk.CrossTraces))
 }
 
 // doScrape fetches a serving channel's /metrics, validates the
@@ -254,7 +292,7 @@ func doScrape(url string, timeout time.Duration) {
 	fmt.Printf("scraped %s: valid exposition, %d families (store, channel, and eval all present)\n", url, len(families))
 }
 
-func doSubscribe(dir, url, statePath, verifyKeyPath string, noPrebuilt bool, timeout time.Duration, retries int, apply core.ApplyOptions) {
+func doSubscribe(dir, url, statePath, verifyKeyPath string, noPrebuilt bool, timeout time.Duration, retries int, apply core.ApplyOptions, pushReport string) {
 	// Ctrl-C cancels the subscribe cleanly: the client exits mid-backoff
 	// in milliseconds, the machine keeps the position it reached, and the
 	// state file records exactly the updates that are live.
@@ -363,6 +401,16 @@ func doSubscribe(dir, url, statePath, verifyKeyPath string, noPrebuilt bool, tim
 	before := len(st.Updates)
 	cl.Bind(mgr, before)
 	applied, subErr := cl.Sync(ctx)
+	if pushReport != "" {
+		// Report after the sync so the snapshot carries its outcome and
+		// the pushed span batch carries the sync's distributed trace. A
+		// failed push never fails the subscribe — the updates are live.
+		if err := cl.Pusher(pushReport, 0).Push(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "ksplice-channel: warning: telemetry push: %v\n", err)
+		} else {
+			fmt.Printf("pushed telemetry report to %s\n", pushReport)
+		}
+	}
 	// Whatever happened, the machine's true position is what we record:
 	// every applied update is already live in the kernel.
 	if len(applied) > 0 || subErr == nil {

@@ -36,6 +36,7 @@ import (
 
 	"gosplice/internal/faultinject"
 	"gosplice/internal/fleet"
+	"gosplice/internal/telemetry"
 )
 
 func main() {
@@ -59,6 +60,9 @@ func main() {
 	workDir := flag.String("work", "", "directory for published channels (default: a temp dir)")
 	noPrebuilt := flag.Bool("no-prebuilt", false, "machines compile from source instead of installing prebuilt artifacts")
 	expect := flag.String("expect", "", "assert the outcome: \"converge\" or \"halt\"")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars, and /debug/pprof on this loopback address during the rollout")
+	traceOut := flag.String("trace-out", "", "write the merged fleet Chrome trace (member + server spans) to this file on exit")
+	eventsOut := flag.String("events-out", "", "journal the rollout event timeline to this file as JSONL")
 	quiet := flag.Bool("q", false, "suppress rollout narration")
 	flag.Parse()
 
@@ -117,6 +121,14 @@ func main() {
 		*workDir = dir
 	}
 	cfg.WorkDir = *workDir
+	cfg.EventLog = *eventsOut
+
+	if bound, stopMetrics, err := telemetry.ServeLoopback(*metricsAddr); err != nil {
+		fatalf("%v", err)
+	} else if bound != "" {
+		defer stopMetrics()
+		fmt.Fprintf(os.Stderr, "telemetry: serving http://%s/metrics\n", bound)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -132,6 +144,22 @@ func main() {
 	res, err := o.Run(ctx)
 	if err != nil {
 		fatalf("%v", err)
+	}
+	if *traceOut != "" {
+		// The merged fleet trace: every member's pushed spans plus the
+		// orchestrator process's own (rollout root, server handlers),
+		// one Chrome process lane each.
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := o.Aggregator().WriteMergedTrace(f); err != nil {
+			fatalf("trace out: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatalf("trace out: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "fleet: merged trace written to %s (trace id %s)\n", *traceOut, res.TraceID)
 	}
 
 	for _, rr := range res.Rings {

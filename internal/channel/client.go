@@ -52,6 +52,11 @@ type ClientConfig struct {
 	// creates a private one. Either way every increment also lands on
 	// the process-wide registry, so one /metrics stays coherent.
 	Registry *telemetry.Registry
+	// Tracer, when non-nil, records this client's spans (Sync roots,
+	// fetch/apply children); nil uses the process-wide tracer. A fleet
+	// gives each member its own tracer so its Pusher ships exactly that
+	// member's spans upstream.
+	Tracer *telemetry.Tracer
 	// Apply, FetchRetries, VerifyKey, NoPrebuilt, OnApplied, OnInstalled
 	// pass through to Subscribe.
 	Apply        core.ApplyOptions
@@ -72,6 +77,7 @@ type Client struct {
 	cfg      ClientConfig
 	t        Transport
 	reg      *telemetry.Registry
+	tracer   *telemetry.Tracer
 	ms       *clientMetrics
 	blobs    BlobCache
 	state    *ClientState
@@ -106,6 +112,10 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 	c.reg = cfg.Registry
 	if c.reg == nil {
 		c.reg = telemetry.NewRegistry()
+	}
+	c.tracer = cfg.Tracer
+	if c.tracer == nil {
+		c.tracer = telemetry.DefaultTracer()
 	}
 	c.ms = registryClientMetrics(c.reg)
 	switch {
@@ -153,6 +163,9 @@ func (c *Client) Name() string { return c.cfg.Name }
 // Registry returns the client's metric registry — what its Pusher
 // snapshots and pushes upstream.
 func (c *Client) Registry() *telemetry.Registry { return c.reg }
+
+// Tracer returns the client's span tracer.
+func (c *Client) Tracer() *telemetry.Tracer { return c.tracer }
 
 // Blobs returns the client's blob cache.
 func (c *Client) Blobs() BlobCache { return c.blobs }
@@ -349,6 +362,13 @@ func (c *Client) Sync(ctx context.Context) ([]*core.Update, error) {
 		return nil, err
 	}
 	defer done()
+	// The sync root span: every transport request and apply below joins
+	// this trace, and the traceparent crosses the wire to the server.
+	sp := c.tracer.Start("client.sync",
+		telemetry.A("client", c.cfg.Name),
+		telemetry.A("from", fmt.Sprintf("%d", pos)))
+	defer sp.End()
+	ctx = telemetry.ContextWithSpan(ctx, sp)
 	opts := SubscribeOptions{
 		Apply:        c.cfg.Apply,
 		FetchRetries: c.cfg.FetchRetries,
@@ -388,6 +408,8 @@ func (c *Client) Sync(ctx context.Context) ([]*core.Update, error) {
 	if pe, ok := IsPosition(err); ok {
 		newPos = pe.Position
 	}
+	sp.SetAttr("applied", fmt.Sprintf("%d", len(applied)))
+	sp.SetAttr("to", fmt.Sprintf("%d", newPos))
 	c.mu.Lock()
 	c.pos = newPos
 	c.mu.Unlock()
@@ -466,12 +488,17 @@ func (c *Client) InstallBase(ctx context.Context) (*Manifest, InstallStats, erro
 // Pusher returns a telemetry pusher that reports this client's registry
 // to a fleet aggregation endpoint under the client's name.
 func (c *Client) Pusher(url string, interval time.Duration) *telemetry.Pusher {
-	return &telemetry.Pusher{
+	p := &telemetry.Pusher{
 		URL:      url,
 		Source:   c.cfg.Name,
 		Interval: interval,
 		Gather:   func() telemetry.Snapshot { return c.reg.Snapshot() },
 	}
+	// The client's spans ride upstream with each report (deduped
+	// aggregator-side by span sequence). Fleets hand each member a
+	// private tracer so a member ships only its own spans.
+	p.Tracer = c.tracer
+	return p
 }
 
 // Close cancels every in-flight Sync and refuses new ones. It does not

@@ -5,6 +5,7 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"time"
 
@@ -44,6 +45,13 @@ type Server struct {
 	// Several servers may share one aggregator — a fleet spanning
 	// multiple channels still has one health view.
 	Fleet *FleetAggregator
+	// Tracer records handler spans (nil means the process default).
+	// When a request carries a traceparent header, the handler span
+	// adopts the caller's trace id and parents onto the remote span, so
+	// the server's side of a fetch appears inside the subscriber's
+	// distributed trace; a missing or garbage header degrades to a
+	// fresh root trace.
+	Tracer *telemetry.Tracer
 }
 
 // NewServer serves the channel directory dir.
@@ -79,19 +87,44 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case r.URL.Path == "/"+manifestName || r.URL.Path == "/":
 		route = "manifest"
-		s.serveManifest(sw, r)
 	case strings.HasPrefix(r.URL.Path, "/updates/"):
 		route = "update"
-		s.serveUpdate(sw, r, strings.TrimPrefix(r.URL.Path, "/updates/"))
 	case strings.HasPrefix(r.URL.Path, "/blob/"):
 		route = "blob"
-		s.serveBlob(sw, r, strings.TrimPrefix(r.URL.Path, "/blob/"))
 	default:
 		route = "other"
+	}
+	sp := s.startSpan(r, route)
+	switch route {
+	case "manifest":
+		s.serveManifest(sw, r)
+	case "update":
+		s.serveUpdate(sw, r, strings.TrimPrefix(r.URL.Path, "/updates/"))
+	case "blob":
+		s.serveBlob(sw, r, strings.TrimPrefix(r.URL.Path, "/blob/"))
+	default:
 		http.NotFound(sw, r)
 	}
+	sp.SetAttr("status", strconv.Itoa(sw.code))
+	sp.End()
 	cRequests(route, sw.code).Inc()
 	hRequest(route).ObserveDuration(time.Since(start))
+}
+
+// startSpan opens the handler span for one channel request: joined to
+// the caller's trace when the request carries a parseable traceparent
+// header, a fresh root trace otherwise.
+func (s *Server) startSpan(r *http.Request, route string) *telemetry.Span {
+	tr := s.Tracer
+	if tr == nil {
+		tr = telemetry.DefaultTracer()
+	}
+	name := "server." + route
+	attrs := []telemetry.Attr{telemetry.A("path", r.URL.Path)}
+	if traceID, parent, ok := telemetry.ParseTraceparent(r.Header.Get(telemetry.TraceparentHeader)); ok {
+		return tr.StartRemote(name, traceID, parent, attrs...)
+	}
+	return tr.Start(name, attrs...)
 }
 
 // statusWriter captures the status code actually sent, so the request

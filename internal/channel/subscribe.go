@@ -137,12 +137,19 @@ func Subscribe(ctx context.Context, t Transport, mgr *core.Manager, applied int,
 	}
 	var out []*core.Update
 	pos := func() int { return applied + len(out) }
+	// When the caller's context carries a span (Client.Sync's root),
+	// each entry gets fetch and apply children under it — and the fetch
+	// child's traceparent rides the transport's requests, so the
+	// server's handler spans nest inside it across the process boundary.
+	sp := telemetry.SpanFromContext(ctx)
 	for _, e := range m.Updates[applied:] {
 		if err := ctx.Err(); err != nil {
 			ms.degraded.Inc()
 			return out, &PositionError{Position: pos(), Entry: e.Name, Err: err}
 		}
-		u, b, err := fetchVerified(ctx, t, m, e, opts.Blobs, opts.FetchRetries, ms)
+		fsp := sp.Child("fetch", telemetry.A("entry", e.Name))
+		u, b, err := fetchVerified(telemetry.ContextWithSpan(ctx, fsp), t, m, e, opts.Blobs, opts.FetchRetries, ms)
+		fsp.End()
 		if err != nil {
 			ms.degraded.Inc()
 			return out, &PositionError{Position: pos(), Entry: e.Name, Err: err}
@@ -153,10 +160,13 @@ func Subscribe(ctx context.Context, t Transport, mgr *core.Manager, applied int,
 				return out, &PositionError{Position: pos(), Entry: e.Name, Err: fmt.Errorf("on-applying hook: %w", err)}
 			}
 		}
+		asp := sp.Child("apply", telemetry.A("entry", e.Name))
 		if _, err := mgr.Apply(u, opts.Apply); err != nil {
+			asp.End()
 			ms.degraded.Inc()
 			return out, &PositionError{Position: pos(), Entry: e.Name, Err: fmt.Errorf("applying: %w", err)}
 		}
+		asp.End()
 		// Commit before the apply is counted, so a journal that says
 		// "committed" never claims an update the metrics have not seen.
 		var commitErr error

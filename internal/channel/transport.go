@@ -165,6 +165,8 @@ func (t *httpTransport) backoff(ctx context.Context, attempt int) error {
 }
 
 // get issues one bounded GET. A Range header is added when offset > 0.
+// When the context carries a span, the request is stamped with its
+// traceparent so the server's handler span joins the caller's trace.
 // It returns the response with its body unread; the caller must close it.
 func (t *httpTransport) get(ctx context.Context, path string, offset int64) (*http.Response, context.CancelFunc, error) {
 	rctx, cancel := context.WithTimeout(ctx, t.opt.Timeout)
@@ -175,6 +177,9 @@ func (t *httpTransport) get(ctx context.Context, path string, offset int64) (*ht
 	}
 	if offset > 0 {
 		req.Header.Set("Range", fmt.Sprintf("bytes=%d-", offset))
+	}
+	if tp := telemetry.TraceparentFromContext(ctx); tp != "" {
+		req.Header.Set(telemetry.TraceparentHeader, tp)
 	}
 	resp, err := t.client.Do(req)
 	if err != nil {

@@ -24,6 +24,7 @@ import (
 	"math/rand"
 	"net"
 	"net/http"
+	"os"
 	"sync"
 	"time"
 
@@ -146,6 +147,10 @@ type Config struct {
 	WorkDir string
 	// NoPrebuilt disables prebuilt artifact installs fleet-wide.
 	NoPrebuilt bool
+	// EventLog, when non-empty, is a file path the rollout's typed event
+	// timeline is journaled to as JSONL (one event per line, the same
+	// records /fleet/events serves) — the post-mortem artifact.
+	EventLog string
 	// Logf, when non-nil, receives rollout narration.
 	Logf func(format string, args ...any)
 }
@@ -208,6 +213,13 @@ type Result struct {
 	// TimeToRollback is the gate's decision to the last undo.
 	TimeToHalt     time.Duration
 	TimeToRollback time.Duration
+	// TraceID is the rollout root span's trace id; every orchestrator
+	// event carries it, so the timeline and the distributed trace
+	// cross-reference.
+	TraceID string
+	// Events is the rollout's typed event timeline (what /fleet/events
+	// served), oldest first.
+	Events []channel.FleetEvent
 	// Kills is how many members were killed mid-sync by their crash
 	// schedule; Reboots is how many came back through journal recovery
 	// (equal unless a reboot itself failed).
@@ -234,6 +246,7 @@ type member struct {
 	client  *channel.Client
 	kernel  *kernel.Kernel
 	reg     *telemetry.Registry
+	tracer  *telemetry.Tracer
 	stress  *telemetry.Counter
 	pusher  *telemetry.Pusher
 
@@ -287,6 +300,25 @@ type Orchestrator struct {
 	tmpl      map[string]*kernel.Kernel
 	head      map[string]int // release -> channel length
 	stateRoot string         // killable members' state dirs live here
+	eventLog  io.Closer      // the EventLog file, closed with the servers
+
+	traceMu      sync.Mutex
+	rolloutTrace string // the rollout root span's trace id (set by Run)
+}
+
+// Aggregator exposes the shared fleet aggregator — the health, history,
+// event, and merged-trace store every server serves from.
+func (o *Orchestrator) Aggregator() *channel.FleetAggregator { return o.agg }
+
+// event records one typed rollout event, stamped with the rollout's
+// trace id unless the caller set one.
+func (o *Orchestrator) event(ev channel.FleetEvent) {
+	if ev.TraceID == "" {
+		o.traceMu.Lock()
+		ev.TraceID = o.rolloutTrace
+		o.traceMu.Unlock()
+	}
+	o.agg.RecordEvent(ev)
 }
 
 // New publishes (or adopts) the per-release channels, starts their
@@ -301,6 +333,14 @@ func New(cfg Config) (*Orchestrator, error) {
 		urls: map[string]string{},
 		tmpl: map[string]*kernel.Kernel{},
 		head: map[string]int{},
+	}
+	if cfg.EventLog != "" {
+		f, err := os.Create(cfg.EventLog)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: event log: %w", err)
+		}
+		o.agg.EventSink = f
+		o.eventLog = f
 	}
 	if cfg.KillEvery > 0 {
 		o.stateRoot = cfg.StateRoot
@@ -366,10 +406,13 @@ func New(cfg Config) (*Orchestrator, error) {
 	return o, nil
 }
 
-// Close shuts the channel servers down.
+// Close shuts the channel servers down and closes the event log.
 func (o *Orchestrator) Close() {
 	for _, s := range o.srvs {
 		s.Close()
+	}
+	if o.eventLog != nil {
+		o.eventLog.Close()
 	}
 }
 
@@ -423,6 +466,10 @@ func (o *Orchestrator) newMember(idx, ring int, burst bool) (*member, error) {
 		release: rel,
 		ring:    ring,
 		reg:     telemetry.NewRegistry(),
+		// A private tracer per member: its pusher ships exactly this
+		// machine's spans upstream, where they become one lane of the
+		// merged fleet trace.
+		tracer: telemetry.NewTracer(2048),
 	}
 	m.reg.Help(channel.MetricStressFailures, "post-apply stress probes that failed")
 	m.stress = m.reg.Counter(channel.MetricStressFailures)
@@ -450,6 +497,7 @@ func (o *Orchestrator) newMember(idx, ring int, burst bool) (*member, error) {
 		Name:       m.name,
 		Transport:  tr,
 		Registry:   m.reg,
+		Tracer:     m.tracer,
 		Apply:      o.cfg.Apply,
 		NoPrebuilt: o.cfg.NoPrebuilt,
 		OnApplied: func(channel.Entry, []byte) error {
@@ -542,6 +590,8 @@ func (o *Orchestrator) syncMember(ctx context.Context, m *member) {
 		m.kills++
 		m.mu.Unlock()
 		err = nil
+		o.event(channel.FleetEvent{Type: channel.EventKill, Ring: m.ring, Member: m.name,
+			Detail: fmt.Sprintf("died at crash point %s (hit %d)", death.Label, death.Hit)})
 		o.logf("fleet: %s killed at crash point %s (hit %d); rebooting", m.name, death.Label, death.Hit)
 		if rerr := o.rebootMember(ctx, m); rerr != nil {
 			o.logf("fleet: %s reboot failed: %v", m.name, rerr)
@@ -552,6 +602,8 @@ func (o *Orchestrator) syncMember(ctx context.Context, m *member) {
 		m.mu.Lock()
 		m.reboots++
 		m.mu.Unlock()
+		o.event(channel.FleetEvent{Type: channel.EventRecover, Ring: m.ring, Member: m.name,
+			Detail: fmt.Sprintf("journal recovery to position %d", m.client.Position())})
 		o.logf("fleet: %s recovered at position %d; rejoining ring", m.name, m.client.Position())
 	}
 	m.mu.Lock()
@@ -694,6 +746,16 @@ func (o *Orchestrator) Run(ctx context.Context) (*Result, error) {
 	res := &Result{Clients: cfg.Clients, Releases: cfg.Releases, HealthURL: o.HealthURL()}
 	start := time.Now()
 
+	// The rollout root span. Its trace id stamps every orchestrator
+	// event, so the timeline cross-references the distributed trace.
+	rsp := telemetry.DefaultTracer().Start("fleet.rollout",
+		telemetry.A("clients", fmt.Sprintf("%d", cfg.Clients)))
+	defer rsp.End()
+	o.traceMu.Lock()
+	o.rolloutTrace = rsp.TraceID()
+	o.traceMu.Unlock()
+	res.TraceID = rsp.TraceID()
+
 	// Ring assignment: shuffle the fleet deterministically, then cut it
 	// at the cumulative ring fractions.
 	rng := rand.New(rand.NewSource(cfg.Seed))
@@ -788,9 +850,13 @@ func (o *Orchestrator) Run(ctx context.Context) (*Result, error) {
 				rings[ri] = ring
 				all = append(all, m)
 				res.Joined++
+				o.event(channel.FleetEvent{Type: channel.EventJoin, Ring: ri + 1, Member: m.name,
+					Detail: "joined mid-rollout"})
 			}
 		}
 		t0 := time.Now()
+		o.event(channel.FleetEvent{Type: channel.EventRingStart, Ring: ri + 1,
+			Detail: fmt.Sprintf("syncing %d machines", len(ring))})
 		o.logf("fleet: ring %d: syncing %d machines", ri+1, len(ring))
 		syncRing(ring)
 
@@ -806,6 +872,8 @@ func (o *Orchestrator) Run(ctx context.Context) (*Result, error) {
 				o.agg.Forget(m.name)
 				m.client.Close()
 				res.Left++
+				o.event(channel.FleetEvent{Type: channel.EventLeave, Ring: ri + 1, Member: m.name,
+					Detail: fmt.Sprintf("left mid-rollout at position %d", m.client.Position())})
 				o.logf("fleet: %s left mid-rollout at position %d", m.name, m.client.Position())
 			}
 		}
@@ -837,9 +905,13 @@ func (o *Orchestrator) Run(ctx context.Context) (*Result, error) {
 			res.Halted = true
 			res.HaltedRing = ri + 1
 			res.TimeToHalt = time.Since(start)
+			o.event(channel.FleetEvent{Type: channel.EventGateFail, Ring: ri + 1,
+				Detail: fmt.Sprintf("%d/%d unhealthy: halting rollout", unhealthy, len(ring))})
 			o.logf("fleet: ring %d failed its health gate (%d/%d unhealthy): halting rollout",
 				ri+1, unhealthy, len(ring))
 		} else {
+			o.event(channel.FleetEvent{Type: channel.EventPromote, Ring: ri + 1,
+				Detail: fmt.Sprintf("%d/%d synced", synced, len(ring))})
 			o.logf("fleet: ring %d healthy (%d/%d synced): promoting", ri+1, synced, len(ring))
 		}
 	}
@@ -881,6 +953,9 @@ func (o *Orchestrator) Run(ctx context.Context) (*Result, error) {
 		}
 		wg.Wait()
 		res.TimeToRollback = time.Since(t0)
+		o.event(channel.FleetEvent{Type: channel.EventRollback, Ring: res.HaltedRing,
+			Detail: fmt.Sprintf("rolled back %d updates across the fleet (%d failures)",
+				res.RolledBack, res.RollbackFailures)})
 		o.logf("fleet: rolled back %d updates across the fleet in %s",
 			res.RolledBack, res.TimeToRollback.Round(time.Millisecond))
 	}
@@ -899,5 +974,6 @@ func (o *Orchestrator) Run(ctx context.Context) (*Result, error) {
 	res.Health = h
 	res.Applied = h.Applied
 	res.BytesOverWire = h.BytesOverWire
+	res.Events = o.agg.Events()
 	return res, nil
 }

@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"gosplice/internal/channel"
 	"gosplice/internal/cvedb"
 	"gosplice/internal/faultinject"
 )
@@ -270,5 +271,39 @@ func TestFleetBurstHaltsAndRollsBack(t *testing.T) {
 	}
 	if res.Health.Applied >= headSum*clients/2 {
 		t.Errorf("fleet applied %d updates — the halt cannot have stopped ring 3", res.Health.Applied)
+	}
+	// The event timeline tells the same story in order: the failed gate
+	// is recorded before the rollback, and both carry the rollout's
+	// trace id so a post-mortem can jump straight into the merged trace.
+	if res.TraceID == "" {
+		t.Fatal("rollout recorded no trace id")
+	}
+	gateFailAt, rollbackAt := -1, -1
+	for i, ev := range res.Events {
+		switch ev.Type {
+		case channel.EventGateFail:
+			if gateFailAt < 0 {
+				gateFailAt = i
+			}
+			if ev.Ring != 2 {
+				t.Errorf("gate_fail on ring %d, want 2", ev.Ring)
+			}
+			if ev.TraceID != res.TraceID {
+				t.Errorf("gate_fail trace id %q, want rollout's %q", ev.TraceID, res.TraceID)
+			}
+		case channel.EventRollback:
+			rollbackAt = i
+			if ev.TraceID != res.TraceID {
+				t.Errorf("rollback trace id %q, want rollout's %q", ev.TraceID, res.TraceID)
+			}
+		case channel.EventPromote:
+			if ev.Ring != 1 {
+				t.Errorf("promote on ring %d, want only ring 1 before the halt", ev.Ring)
+			}
+		}
+	}
+	if gateFailAt < 0 || rollbackAt < 0 || rollbackAt < gateFailAt {
+		t.Fatalf("timeline lacks gate_fail -> rollback (gate_fail at %d, rollback at %d): %+v",
+			gateFailAt, rollbackAt, res.Events)
 	}
 }

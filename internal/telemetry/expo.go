@@ -8,6 +8,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"sort"
 	"strconv"
 	"strings"
@@ -176,11 +177,13 @@ func Handler(gather func() []*Registry) http.Handler {
 // surface.
 func HTTPHandler() http.Handler { return Handler(GatherAll) }
 
-// ServeLoopback starts serving /metrics and /debug/vars on addr (pass
+// ServeLoopback starts serving /metrics, /debug/vars, and the
+// net/http/pprof profile endpoints under /debug/pprof/ on addr (pass
 // host:0 for an ephemeral port) and returns the bound address and a
-// stop function. This is what every cmd tool's -metrics-addr flag runs;
-// the empty addr is a no-op so callers can pass the flag through
-// unconditionally.
+// stop function. This is what every cmd tool's -metrics-addr flag runs
+// — CPU/heap/mutex profiles are grabbable during a live fleet run
+// without a -cpuprofile restart; the empty addr is a no-op so callers
+// can pass the flag through unconditionally.
 func ServeLoopback(addr string) (bound string, stop func(), err error) {
 	if addr == "" {
 		return "", func() {}, nil
@@ -189,7 +192,14 @@ func ServeLoopback(addr string) (bound string, stop func(), err error) {
 	if err != nil {
 		return "", nil, fmt.Errorf("telemetry: %w", err)
 	}
-	srv := &http.Server{Handler: HTTPHandler()}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/", HTTPHandler())
+	srv := &http.Server{Handler: mux}
 	go srv.Serve(ln)
 	return ln.Addr().String(), func() { srv.Close() }, nil
 }

@@ -26,6 +26,10 @@ type Report struct {
 	Source   string   `json:"source"`
 	Seq      uint64   `json:"seq"`
 	Snapshot Snapshot `json:"snapshot"`
+	// Spans carries the source tracer's completed spans since the last
+	// acknowledged push. Each span's Seq is the tracer's commit sequence,
+	// so an aggregator can dedupe re-sent or reordered batches.
+	Spans []SpanRecord `json:"spans,omitempty"`
 }
 
 // MaxReportBytes bounds one report's encoded size on both ends of the
@@ -51,8 +55,14 @@ type Pusher struct {
 	// OnError, when non-nil, observes push failures (Run never stops on
 	// them).
 	OnError func(error)
+	// Tracer, when non-nil, has its completed spans shipped alongside
+	// each snapshot. The span cursor only advances on a successful push,
+	// so a failed POST re-sends the batch (the aggregator dedupes by
+	// span Seq).
+	Tracer *Tracer
 
-	seq atomic.Uint64
+	seq     atomic.Uint64
+	lastSeq atomic.Uint64 // highest span Seq acknowledged by the aggregator
 }
 
 // Push sends one report now. Each call advances the sequence number, so
@@ -63,6 +73,13 @@ func (p *Pusher) Push(ctx context.Context) error {
 		gather = GatherSnapshot
 	}
 	rep := Report{Source: p.Source, Seq: p.seq.Add(1), Snapshot: gather()}
+	var spanHigh uint64
+	if p.Tracer != nil {
+		rep.Spans = p.Tracer.SnapshotSince(p.lastSeq.Load())
+		if n := len(rep.Spans); n > 0 {
+			spanHigh = rep.Spans[n-1].Seq
+		}
+	}
 	b, err := json.Marshal(rep)
 	if err != nil {
 		return fmt.Errorf("telemetry: push: %w", err)
@@ -87,6 +104,9 @@ func (p *Pusher) Push(ctx context.Context) error {
 	resp.Body.Close()
 	if resp.StatusCode/100 != 2 {
 		return fmt.Errorf("telemetry: push: server returned %s", resp.Status)
+	}
+	if spanHigh > p.lastSeq.Load() {
+		p.lastSeq.Store(spanHigh)
 	}
 	return nil
 }

@@ -1,11 +1,16 @@
 package telemetry
 
 import (
+	"context"
+	cryptorand "crypto/rand"
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"os"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 )
@@ -31,15 +36,20 @@ type Attr struct {
 // A is shorthand for constructing an Attr.
 func A(key, value string) Attr { return Attr{Key: key, Value: value} }
 
-// SpanRecord is a completed span as stored in the ring.
+// SpanRecord is a completed span as stored in the ring. The JSON tags
+// are the wire shape used when Pusher reports carry span batches to a
+// fleet aggregator.
 type SpanRecord struct {
-	ID     uint64
-	Parent uint64 // 0 for root spans
-	Root   uint64 // top-level ancestor (its own ID for roots); the Chrome trace lane
-	Name   string
-	Start  time.Time
-	End    time.Time
-	Attrs  []Attr
+	ID      uint64    `json:"id"`
+	Parent  uint64    `json:"parent,omitempty"` // 0 for root spans
+	Root    uint64    `json:"root"`             // top-level ancestor (its own ID for roots); the Chrome trace lane
+	TraceID string    `json:"trace_id,omitempty"`
+	Seq     uint64    `json:"seq,omitempty"` // per-tracer commit sequence; the push-batch cursor
+	Proc    string    `json:"proc,omitempty"`
+	Name    string    `json:"name"`
+	Start   time.Time `json:"start"`
+	End     time.Time `json:"end"`
+	Attrs   []Attr    `json:"attrs,omitempty"`
 }
 
 // Duration is the span's wall-clock extent.
@@ -60,12 +70,13 @@ func (r SpanRecord) Attr(key string) string {
 // created them; attribute mutation is mutex-guarded so an OnEnd hook
 // reading a record never races a late SetAttr.
 type Span struct {
-	t      *Tracer
-	id     uint64
-	parent uint64
-	root   uint64
-	name   string
-	start  time.Time
+	t       *Tracer
+	id      uint64
+	parent  uint64
+	root    uint64
+	traceID string
+	name    string
+	start   time.Time
 
 	mu    sync.Mutex
 	attrs []Attr
@@ -76,12 +87,14 @@ type Span struct {
 // Tracer records spans into a fixed-capacity ring (oldest evicted
 // first). The zero value is not usable; construct with NewTracer.
 type Tracer struct {
-	mu    sync.Mutex
-	ring  []SpanRecord
-	next  int // ring write cursor
-	full  bool
-	ids   uint64
-	onEnd func(SpanRecord)
+	mu      sync.Mutex
+	ring    []SpanRecord
+	next    int // ring write cursor
+	full    bool
+	seq     uint64 // commits so far; stamped on each record
+	dropped uint64 // commits that evicted an unread record
+	dropC   *Counter
+	onEnd   func(SpanRecord)
 }
 
 // DefaultCapacity bounds the default tracer ring: enough for a full
@@ -100,9 +113,122 @@ func NewTracer(capacity int) *Tracer {
 
 var defaultTracer = NewTracer(0)
 
+func init() {
+	c := Default().Counter("gosplice_trace_spans_dropped_total")
+	Default().Help("gosplice_trace_spans_dropped_total",
+		"Completed spans evicted from the default tracer's ring before export.")
+	defaultTracer.SetDropCounter(c)
+}
+
 // DefaultTracer is the process-wide tracer; the cmd tools' -trace-out
 // flag exports it on exit.
 func DefaultTracer() *Tracer { return defaultTracer }
+
+var nopTracer = &Tracer{}
+
+// NopTracer returns a shared tracer that discards every span (its ring
+// has zero capacity, so commit is an early return). It is the
+// tracing-off arm of the telemetry-overhead benchmark.
+func NopTracer() *Tracer { return nopTracer }
+
+// --- Trace ids and the traceparent wire format ---
+
+var traceIDRand = struct {
+	sync.Mutex
+	*rand.Rand
+}{Rand: func() *rand.Rand {
+	var seed [8]byte
+	if _, err := cryptorand.Read(seed[:]); err != nil {
+		return rand.New(rand.NewSource(time.Now().UnixNano()))
+	}
+	return rand.New(rand.NewSource(int64(binary.LittleEndian.Uint64(seed[:]))))
+}()}
+
+// newTraceID returns a 32-hex-char (16-byte) trace id.
+func newTraceID() string {
+	traceIDRand.Lock()
+	hi, lo := traceIDRand.Uint64(), traceIDRand.Uint64()
+	traceIDRand.Unlock()
+	return fmt.Sprintf("%016x%016x", hi, lo)
+}
+
+// TraceparentHeader is the HTTP header the channel client stamps on
+// every request so server-side handler spans join the client's trace.
+const TraceparentHeader = "Traceparent"
+
+// FormatTraceparent renders a W3C-style traceparent value:
+// version "00", 32 hex chars of trace id, 16 hex chars of parent span
+// id, flags "01" (sampled). Empty when the span carries no trace id.
+func FormatTraceparent(traceID string, spanID uint64) string {
+	if len(traceID) != 32 || spanID == 0 {
+		return ""
+	}
+	return fmt.Sprintf("00-%s-%016x-01", traceID, spanID)
+}
+
+// Traceparent renders the span's own traceparent value — what a child
+// process should adopt via StartRemote. Empty for nil spans.
+func (s *Span) Traceparent() string {
+	if s == nil {
+		return ""
+	}
+	return FormatTraceparent(s.traceID, s.id)
+}
+
+// ParseTraceparent decodes a traceparent value. ok is false for
+// anything malformed — missing fields, wrong lengths, non-hex digits,
+// or a zero span id — so a garbage header degrades to a fresh root
+// trace rather than an error.
+func ParseTraceparent(v string) (traceID string, spanID uint64, ok bool) {
+	parts := strings.Split(strings.TrimSpace(v), "-")
+	if len(parts) != 4 || len(parts[0]) != 2 || len(parts[1]) != 32 || len(parts[2]) != 16 {
+		return "", 0, false
+	}
+	if !isHex(parts[0]) || !isHex(parts[1]) || !isHex(parts[2]) {
+		return "", 0, false
+	}
+	var id uint64
+	if _, err := fmt.Sscanf(parts[2], "%016x", &id); err != nil || id == 0 {
+		return "", 0, false
+	}
+	if strings.Count(parts[1], "0") == 32 { // all-zero trace id is invalid
+		return "", 0, false
+	}
+	return parts[1], id, true
+}
+
+func isHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if !('0' <= c && c <= '9' || 'a' <= c && c <= 'f' || 'A' <= c && c <= 'F') {
+			return false
+		}
+	}
+	return true
+}
+
+// --- Context propagation ---
+
+type spanCtxKey struct{}
+
+// ContextWithSpan returns ctx carrying s for SpanFromContext.
+func ContextWithSpan(ctx context.Context, s *Span) context.Context {
+	return context.WithValue(ctx, spanCtxKey{}, s)
+}
+
+// SpanFromContext returns the span carried by ctx, or nil. All *Span
+// methods are nil-safe, so callers can chain without guards.
+func SpanFromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanCtxKey{}).(*Span)
+	return s
+}
+
+// TraceparentFromContext renders the traceparent of the span carried
+// by ctx ("" when none) — the one call sites need to stamp outbound
+// HTTP requests.
+func TraceparentFromContext(ctx context.Context) string {
+	return SpanFromContext(ctx).Traceparent()
+}
 
 // SetOnEnd installs a hook invoked (outside the ring lock) with each
 // span record as it ends — the span-event feed behind ksplice-eval's
@@ -113,27 +239,68 @@ func (t *Tracer) SetOnEnd(f func(SpanRecord)) {
 	t.mu.Unlock()
 }
 
+// nextID draws a random nonzero span id. Ids are random, not
+// sequential: every process's counter would otherwise start at 1, so a
+// merged fleet trace could not tell one process's span 1 from
+// another's, and cross-process parent links (which name the parent by
+// id alone) would resolve ambiguously.
 func (t *Tracer) nextID() uint64 {
-	t.mu.Lock()
-	t.ids++
-	id := t.ids
-	t.mu.Unlock()
-	return id
+	for {
+		traceIDRand.Lock()
+		id := traceIDRand.Uint64()
+		traceIDRand.Unlock()
+		if id != 0 {
+			return id
+		}
+	}
 }
 
-// Start opens a root span.
+// Start opens a root span with a fresh trace id.
 func (t *Tracer) Start(name string, attrs ...Attr) *Span {
 	id := t.nextID()
-	return &Span{t: t, id: id, root: id, name: name, start: time.Now(), attrs: attrs}
+	return &Span{t: t, id: id, root: id, traceID: newTraceID(), name: name, start: time.Now(), attrs: attrs}
 }
 
-// Child opens a span nested under s.
+// StartRemote opens a span that continues a trace begun in another
+// process: it adopts the caller-supplied trace id and hangs off the
+// remote parent span id, but anchors a fresh local lane (root = own
+// id) so the local Chrome export still renders it as a track.
+func (t *Tracer) StartRemote(name, traceID string, parent uint64, attrs ...Attr) *Span {
+	id := t.nextID()
+	return &Span{t: t, id: id, parent: parent, root: id, traceID: traceID, name: name, start: time.Now(), attrs: attrs}
+}
+
+// Child opens a span nested under s. A nil receiver yields nil, so
+// instrumented code can chain from SpanFromContext without guards.
 func (s *Span) Child(name string, attrs ...Attr) *Span {
-	return &Span{t: s.t, id: s.t.nextID(), parent: s.id, root: s.root, name: name, start: time.Now(), attrs: attrs}
+	if s == nil {
+		return nil
+	}
+	return &Span{t: s.t, id: s.t.nextID(), parent: s.id, root: s.root, traceID: s.traceID, name: name, start: time.Now(), attrs: attrs}
 }
 
-// SetAttr adds or replaces an attribute. After End it is a no-op.
+// ID returns the span id (0 for nil).
+func (s *Span) ID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.id
+}
+
+// TraceID returns the trace id the span belongs to ("" for nil).
+func (s *Span) TraceID() string {
+	if s == nil {
+		return ""
+	}
+	return s.traceID
+}
+
+// SetAttr adds or replaces an attribute. After End (or on a nil span)
+// it is a no-op.
 func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.ended {
@@ -149,10 +316,13 @@ func (s *Span) SetAttr(key, value string) {
 }
 
 // End closes the span at time.Now and commits it to the ring. Multiple
-// Ends are idempotent.
+// Ends are idempotent; a nil span is a no-op.
 func (s *Span) End() { s.endAt(time.Now()) }
 
 func (s *Span) endAt(end time.Time) {
+	if s == nil {
+		return
+	}
 	s.mu.Lock()
 	if s.ended {
 		s.mu.Unlock()
@@ -160,7 +330,7 @@ func (s *Span) endAt(end time.Time) {
 	}
 	s.ended = true
 	s.rec = SpanRecord{
-		ID: s.id, Parent: s.parent, Root: s.root, Name: s.name,
+		ID: s.id, Parent: s.parent, Root: s.root, TraceID: s.traceID, Name: s.name,
 		Start: s.start, End: end,
 		Attrs: append([]Attr(nil), s.attrs...),
 	}
@@ -181,6 +351,7 @@ func (t *Tracer) Record(parent *Span, name string, start, end time.Time, attrs .
 	if parent != nil {
 		rec.Parent = parent.id
 		rec.Root = parent.root
+		rec.TraceID = parent.traceID
 	} else {
 		rec.Root = rec.ID
 	}
@@ -188,8 +359,11 @@ func (t *Tracer) Record(parent *Span, name string, start, end time.Time, attrs .
 	return rec
 }
 
-// Duration returns the span's extent (zero until End).
+// Duration returns the span's extent (zero until End or on nil).
 func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if !s.ended {
@@ -204,18 +378,42 @@ func (t *Tracer) commit(rec SpanRecord) {
 		t.mu.Unlock()
 		return
 	}
+	t.seq++
+	rec.Seq = t.seq
+	var dropC *Counter
 	if len(t.ring) < cap(t.ring) {
 		t.ring = append(t.ring, rec)
 	} else {
 		t.ring[t.next] = rec
 		t.full = true
+		t.dropped++
+		dropC = t.dropC
 	}
 	t.next = (t.next + 1) % cap(t.ring)
 	hook := t.onEnd
 	t.mu.Unlock()
+	if dropC != nil {
+		dropC.Inc()
+	}
 	if hook != nil {
 		hook(rec)
 	}
+}
+
+// Dropped reports how many committed spans were evicted from the ring
+// before being snapshotted — the tracer's silent-overflow tally.
+func (t *Tracer) Dropped() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// SetDropCounter mirrors ring evictions into a registry counter so the
+// overflow shows up on /metrics. Pass nil to detach.
+func (t *Tracer) SetDropCounter(c *Counter) {
+	t.mu.Lock()
+	t.dropC = c
+	t.mu.Unlock()
 }
 
 // Snapshot returns the completed spans, oldest first.
@@ -229,6 +427,19 @@ func (t *Tracer) Snapshot() []SpanRecord {
 	out = append(out, t.ring[t.next:]...)
 	out = append(out, t.ring[:t.next]...)
 	return out
+}
+
+// SnapshotSince returns the completed spans whose commit sequence is
+// greater than since, oldest first — the Pusher's incremental batch
+// cursor. A span evicted from the ring before being read is gone (and
+// counted by Dropped).
+func (t *Tracer) SnapshotSince(since uint64) []SpanRecord {
+	out := t.Snapshot()
+	i := 0
+	for i < len(out) && out[i].Seq <= since {
+		i++
+	}
+	return out[i:]
 }
 
 // Reset drops every recorded span (live spans still End into the ring
@@ -245,14 +456,15 @@ func (t *Tracer) Reset() {
 
 // jsonlSpan is the JSONL export schema.
 type jsonlSpan struct {
-	ID     uint64            `json:"id"`
-	Parent uint64            `json:"parent,omitempty"`
-	Root   uint64            `json:"root"`
-	Name   string            `json:"name"`
-	Start  time.Time         `json:"start"`
-	End    time.Time         `json:"end"`
-	DurNS  int64             `json:"dur_ns"`
-	Attrs  map[string]string `json:"attrs,omitempty"`
+	ID      uint64            `json:"id"`
+	Parent  uint64            `json:"parent,omitempty"`
+	Root    uint64            `json:"root"`
+	TraceID string            `json:"trace_id,omitempty"`
+	Name    string            `json:"name"`
+	Start   time.Time         `json:"start"`
+	End     time.Time         `json:"end"`
+	DurNS   int64             `json:"dur_ns"`
+	Attrs   map[string]string `json:"attrs,omitempty"`
 }
 
 // WriteJSONL writes one JSON object per completed span, oldest first.
@@ -260,7 +472,7 @@ func (t *Tracer) WriteJSONL(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	for _, rec := range t.Snapshot() {
 		js := jsonlSpan{
-			ID: rec.ID, Parent: rec.Parent, Root: rec.Root, Name: rec.Name,
+			ID: rec.ID, Parent: rec.Parent, Root: rec.Root, TraceID: rec.TraceID, Name: rec.Name,
 			Start: rec.Start, End: rec.End, DurNS: int64(rec.Duration()),
 		}
 		if len(rec.Attrs) > 0 {
@@ -299,14 +511,44 @@ type chromeTraceFile struct {
 // render as parallel tracks; timestamps are microseconds relative to
 // the earliest span.
 func (t *Tracer) WriteChromeTrace(w io.Writer) error {
-	recs := t.Snapshot()
+	return WriteChromeTraceRecords(w, t.Snapshot())
+}
+
+// WriteChromeTraceRecords renders an arbitrary span set — possibly
+// gathered from several processes — in Chrome trace_event format. Each
+// distinct Proc becomes a pid (with a process_name metadata event);
+// records with an empty Proc share pid 1 and, when they are the only
+// kind present, the output is identical to the single-process export.
+// Cross-process parent/child links ride in the args (trace_id,
+// span_id, parent_id) so tooling — and CheckMergedTrace — can stitch
+// the causal chain back together.
+func WriteChromeTraceRecords(w io.Writer, recs []SpanRecord) error {
 	var epoch time.Time
+	procs := map[string]int{}
+	var names []string
 	for _, r := range recs {
 		if epoch.IsZero() || r.Start.Before(epoch) {
 			epoch = r.Start
 		}
+		if _, ok := procs[r.Proc]; !ok {
+			procs[r.Proc] = 0
+			names = append(names, r.Proc)
+		}
+	}
+	sort.Strings(names) // "" sorts first and keeps pid 1, matching the local export
+	for i, n := range names {
+		procs[n] = i + 1
 	}
 	out := chromeTraceFile{TraceEvents: []chromeTraceEvent{}, DisplayTimeUnit: "ms"}
+	for _, n := range names {
+		if n == "" {
+			continue
+		}
+		out.TraceEvents = append(out.TraceEvents, chromeTraceEvent{
+			Name: "process_name", Cat: "gosplice", Ph: "M", Pid: procs[n],
+			Args: map[string]string{"name": n},
+		})
+	}
 	for _, r := range recs {
 		ev := chromeTraceEvent{
 			Name: r.Name,
@@ -314,23 +556,38 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 			Ph:   "X",
 			Ts:   float64(r.Start.Sub(epoch).Nanoseconds()) / 1e3,
 			Dur:  float64(r.Duration().Nanoseconds()) / 1e3,
-			Pid:  1,
+			Pid:  procs[r.Proc],
 			Tid:  r.Root,
 		}
-		if len(r.Attrs) > 0 {
-			ev.Args = make(map[string]string, len(r.Attrs))
+		n := len(r.Attrs)
+		if r.TraceID != "" {
+			n += 3
+		}
+		if n > 0 {
+			ev.Args = make(map[string]string, n)
 			for _, a := range r.Attrs {
 				ev.Args[a.Key] = a.Value
 			}
 		}
+		if r.TraceID != "" {
+			ev.Args["trace_id"] = r.TraceID
+			ev.Args["span_id"] = fmt.Sprintf("%016x", r.ID)
+			if r.Parent != 0 {
+				ev.Args["parent_id"] = fmt.Sprintf("%016x", r.Parent)
+			}
+		}
 		out.TraceEvents = append(out.TraceEvents, ev)
 	}
-	// Stable export order: by start time, then id.
-	sort.Slice(out.TraceEvents, func(i, j int) bool {
-		if out.TraceEvents[i].Ts != out.TraceEvents[j].Ts {
-			return out.TraceEvents[i].Ts < out.TraceEvents[j].Ts
+	// Stable export order: metadata first, then by start time, then id.
+	sort.SliceStable(out.TraceEvents, func(i, j int) bool {
+		a, b := out.TraceEvents[i], out.TraceEvents[j]
+		if (a.Ph == "M") != (b.Ph == "M") {
+			return a.Ph == "M"
 		}
-		return out.TraceEvents[i].Tid < out.TraceEvents[j].Tid
+		if a.Ts != b.Ts {
+			return a.Ts < b.Ts
+		}
+		return a.Tid < b.Tid
 	})
 	b, err := json.MarshalIndent(out, "", " ")
 	if err != nil {
@@ -339,6 +596,101 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 	b = append(b, '\n')
 	_, err = w.Write(b)
 	return err
+}
+
+// MergedTraceCheck is CheckMergedTrace's report on a merged trace.
+type MergedTraceCheck struct {
+	Spans       int      // "X" events parsed
+	Procs       []string // distinct process names (pid lanes), sorted
+	CrossTraces []string // trace ids spanning >= 2 pids
+	Linked      bool     // some cross-process child's parent_id resolves to a span in another pid
+}
+
+// CheckMergedTrace parses a Chrome trace produced by
+// WriteChromeTraceRecords and verifies the cross-process invariant the
+// fleet smoke relies on: at least one trace id appears in two or more
+// pid lanes, and at least one parent/child link crosses a process
+// boundary. It returns a descriptive error when the invariant fails.
+func CheckMergedTrace(b []byte) (MergedTraceCheck, error) {
+	var in struct {
+		TraceEvents []struct {
+			Name string            `json:"name"`
+			Ph   string            `json:"ph"`
+			Pid  int               `json:"pid"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+	}
+	var chk MergedTraceCheck
+	if err := json.Unmarshal(b, &in); err != nil {
+		return chk, fmt.Errorf("telemetry: merged trace not JSON: %w", err)
+	}
+	procName := map[int]string{}
+	type spanKey struct {
+		trace string
+		id    string
+	}
+	spanPid := map[spanKey]int{}
+	type link struct {
+		pid           int
+		trace, parent string
+	}
+	var links []link
+	tracePids := map[string]map[int]bool{}
+	for _, ev := range in.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			if ev.Name == "process_name" {
+				procName[ev.Pid] = ev.Args["name"]
+			}
+		case "X":
+			chk.Spans++
+			tid := ev.Args["trace_id"]
+			if tid == "" {
+				continue
+			}
+			if tracePids[tid] == nil {
+				tracePids[tid] = map[int]bool{}
+			}
+			tracePids[tid][ev.Pid] = true
+			if id := ev.Args["span_id"]; id != "" {
+				spanPid[spanKey{tid, id}] = ev.Pid
+			}
+			if p := ev.Args["parent_id"]; p != "" {
+				links = append(links, link{ev.Pid, tid, p})
+			}
+		}
+	}
+	seen := map[int]bool{}
+	for _, ev := range in.TraceEvents {
+		if ev.Ph == "X" && !seen[ev.Pid] {
+			seen[ev.Pid] = true
+			name := procName[ev.Pid]
+			if name == "" {
+				name = fmt.Sprintf("pid%d", ev.Pid)
+			}
+			chk.Procs = append(chk.Procs, name)
+		}
+	}
+	sort.Strings(chk.Procs)
+	for tid, pids := range tracePids {
+		if len(pids) >= 2 {
+			chk.CrossTraces = append(chk.CrossTraces, tid)
+		}
+	}
+	sort.Strings(chk.CrossTraces)
+	for _, l := range links {
+		if pid, ok := spanPid[spanKey{l.trace, l.parent}]; ok && pid != l.pid {
+			chk.Linked = true
+			break
+		}
+	}
+	if len(chk.CrossTraces) == 0 {
+		return chk, fmt.Errorf("telemetry: no trace id spans two processes (procs %v, %d spans)", chk.Procs, chk.Spans)
+	}
+	if !chk.Linked {
+		return chk, fmt.Errorf("telemetry: cross-process trace present but no parent/child link crosses a process boundary")
+	}
+	return chk, nil
 }
 
 // WriteChromeTraceFile exports tracer t (DefaultTracer when nil) to

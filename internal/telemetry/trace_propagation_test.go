@@ -1,0 +1,212 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestTraceparentRoundTrip: Format and Parse invert each other, and the
+// ids survive the wire encoding exactly.
+func TestTraceparentRoundTrip(t *testing.T) {
+	tr := NewTracer(8)
+	sp := tr.Start("client.sync")
+	hdr := sp.Traceparent()
+	if hdr == "" {
+		t.Fatal("live root span produced no traceparent")
+	}
+	traceID, parent, ok := ParseTraceparent(hdr)
+	if !ok {
+		t.Fatalf("own header did not parse: %q", hdr)
+	}
+	if traceID != sp.TraceID() || parent != sp.ID() {
+		t.Errorf("round trip lost ids: got (%s, %d), want (%s, %d)",
+			traceID, parent, sp.TraceID(), sp.ID())
+	}
+	if got := FormatTraceparent(traceID, parent); got != hdr {
+		t.Errorf("re-format = %q, want %q", got, hdr)
+	}
+	sp.End()
+}
+
+// TestTraceparentGarbage: every malformed header is rejected, so a
+// server presented with garbage degrades to a fresh root trace instead
+// of adopting a bogus id.
+func TestTraceparentGarbage(t *testing.T) {
+	bad := []string{
+		"",
+		"not-a-traceparent",
+		"00-abc-def-01", // too short
+		"00-" + strings.Repeat("g", 32) + "-" + strings.Repeat("a", 16) + "-01", // non-hex trace id
+		"00-" + strings.Repeat("0", 32) + "-" + strings.Repeat("a", 16) + "-01", // all-zero trace id
+		"00-" + strings.Repeat("a", 32) + "-" + strings.Repeat("0", 16) + "-01", // zero span id
+		"00-" + strings.Repeat("a", 32) + "-" + strings.Repeat("a", 16),         // missing flags
+		"zz-" + strings.Repeat("a", 32) + "-" + strings.Repeat("a", 16) + "-01", // bad version field length is 2 but non-hex
+	}
+	for _, h := range bad {
+		if _, _, ok := ParseTraceparent(h); ok {
+			t.Errorf("ParseTraceparent(%q) accepted garbage", h)
+		}
+	}
+	good := "00-" + strings.Repeat("a", 32) + "-" + strings.Repeat("b", 16) + "-01"
+	traceID, parent, ok := ParseTraceparent(good)
+	if !ok || traceID != strings.Repeat("a", 32) || parent == 0 {
+		t.Errorf("ParseTraceparent(%q) = (%s, %d, %v)", good, traceID, parent, ok)
+	}
+}
+
+// TestStartRemote: an adopted span carries the remote trace id and
+// parents onto the remote span id, and its children inherit both.
+func TestStartRemote(t *testing.T) {
+	client := NewTracer(8)
+	server := NewTracer(8)
+	csp := client.Start("client.sync")
+	traceID, parent, _ := ParseTraceparent(csp.Traceparent())
+
+	ssp := server.StartRemote("server.manifest", traceID, parent)
+	child := ssp.Child("read")
+	child.End()
+	ssp.End()
+	csp.End()
+
+	recs := server.Snapshot()
+	if len(recs) != 2 {
+		t.Fatalf("server recorded %d spans, want 2", len(recs))
+	}
+	for _, r := range recs {
+		if r.TraceID != csp.TraceID() {
+			t.Errorf("span %q trace id = %q, want client's %q", r.Name, r.TraceID, csp.TraceID())
+		}
+	}
+	if recs[1].Parent != csp.ID() {
+		t.Errorf("remote span parent = %d, want client span id %d", recs[1].Parent, csp.ID())
+	}
+	if recs[0].Parent != recs[1].ID {
+		t.Errorf("child not parented on remote span")
+	}
+}
+
+// TestSnapshotSince: incremental batches pick up exactly the spans
+// committed after the sequence cursor — the pusher's re-send boundary.
+func TestSnapshotSince(t *testing.T) {
+	tr := NewTracer(16)
+	for i := 0; i < 3; i++ {
+		tr.Start("a").End()
+	}
+	first := tr.Snapshot()
+	if len(first) != 3 || first[2].Seq != 3 {
+		t.Fatalf("seed spans wrong: %d spans, last seq %d", len(first), first[len(first)-1].Seq)
+	}
+	for i := 0; i < 2; i++ {
+		tr.Start("b").End()
+	}
+	batch := tr.SnapshotSince(first[2].Seq)
+	if len(batch) != 2 {
+		t.Fatalf("SnapshotSince returned %d spans, want 2", len(batch))
+	}
+	for _, r := range batch {
+		if r.Name != "b" || r.Seq <= 3 {
+			t.Errorf("stale span leaked into batch: %+v", r)
+		}
+	}
+	if got := tr.SnapshotSince(batch[1].Seq); len(got) != 0 {
+		t.Errorf("caught-up cursor returned %d spans", len(got))
+	}
+}
+
+// TestNopTracer: the tracing-off path records nothing, counts nothing,
+// and every span operation on it is safe.
+func TestNopTracer(t *testing.T) {
+	tr := NopTracer()
+	sp := tr.Start("x")
+	sp.SetAttr("k", "v")
+	c := sp.Child("y")
+	c.End()
+	sp.End()
+	if got := len(tr.Snapshot()); got != 0 {
+		t.Errorf("nop tracer recorded %d spans", got)
+	}
+	if tr.Dropped() != 0 {
+		t.Errorf("nop tracer counted drops")
+	}
+}
+
+// TestCheckMergedTrace: the validator accepts a genuinely cross-process
+// trace and rejects single-process and unlinked ones with telling errors.
+func TestCheckMergedTrace(t *testing.T) {
+	client := NewTracer(8)
+	server := NewTracer(8)
+	csp := client.Start("client.sync")
+	traceID, parent, _ := ParseTraceparent(csp.Traceparent())
+	server.StartRemote("server.manifest", traceID, parent).End()
+	csp.End()
+
+	recs := append([]SpanRecord(nil), client.Snapshot()...)
+	for i := range recs {
+		recs[i].Proc = "client"
+	}
+	srecs := server.Snapshot()
+	for i := range srecs {
+		srecs[i].Proc = "server"
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTraceRecords(&buf, append(recs, srecs...)); err != nil {
+		t.Fatal(err)
+	}
+	chk, err := CheckMergedTrace(buf.Bytes())
+	if err != nil {
+		t.Fatalf("merged trace rejected: %v", err)
+	}
+	if chk.Spans != 2 || len(chk.Procs) != 2 || len(chk.CrossTraces) != 1 || !chk.Linked {
+		t.Errorf("check = %+v", chk)
+	}
+
+	// Single-process: same spans, one proc — must be rejected.
+	for i := range srecs {
+		srecs[i].Proc = "client"
+	}
+	buf.Reset()
+	if err := WriteChromeTraceRecords(&buf, append(recs, srecs...)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CheckMergedTrace(buf.Bytes()); err == nil {
+		t.Error("single-process trace passed the cross-process check")
+	}
+
+	// Two procs sharing a trace id but with no parent link across them.
+	unlinked := []SpanRecord{
+		{ID: 1, Root: 1, Name: "a", TraceID: traceID, Proc: "client"},
+		{ID: 2, Root: 2, Name: "b", TraceID: traceID, Proc: "server"},
+	}
+	buf.Reset()
+	if err := WriteChromeTraceRecords(&buf, unlinked); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CheckMergedTrace(buf.Bytes()); err == nil {
+		t.Error("unlinked trace passed the parent-link check")
+	}
+}
+
+// TestNewTraceIDShape: ids are 32 lowercase hex chars and collision-free
+// enough to not repeat over a small sample.
+func TestNewTraceIDShape(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		tr := NewTracer(1)
+		sp := tr.Start("x")
+		id := sp.TraceID()
+		sp.End()
+		if len(id) != 32 {
+			t.Fatalf("trace id %q has length %d", id, len(id))
+		}
+		for _, r := range id {
+			if !strings.ContainsRune("0123456789abcdef", r) {
+				t.Fatalf("trace id %q not lowercase hex", id)
+			}
+		}
+		if seen[id] {
+			t.Fatalf("trace id repeated after %d draws: %s", i, id)
+		}
+		seen[id] = true
+	}
+}

@@ -63,9 +63,12 @@ func TestRecordPreMeasured(t *testing.T) {
 	}
 }
 
-// TestRingWrap: the ring keeps the newest capacity spans, oldest first.
+// TestRingWrap: the ring keeps the newest capacity spans, oldest first,
+// and counts every evicted span as dropped.
 func TestRingWrap(t *testing.T) {
 	tr := NewTracer(4)
+	drops := NewRegistry().Counter("drops")
+	tr.SetDropCounter(drops)
 	for i := 0; i < 10; i++ {
 		s := tr.Start("s")
 		s.SetAttr("i", string(rune('0'+i)))
@@ -79,6 +82,14 @@ func TestRingWrap(t *testing.T) {
 		if got := recs[j].Attr("i"); got != want {
 			t.Errorf("slot %d = %q, want %q", j, got, want)
 		}
+	}
+	// 10 commits into a 4-slot ring: exactly 6 evictions, mirrored into
+	// the wired counter (the /metrics spans_dropped surface).
+	if got := tr.Dropped(); got != 6 {
+		t.Errorf("Dropped() = %d, want 6", got)
+	}
+	if got := drops.Value(); got != 6 {
+		t.Errorf("drop counter = %d, want 6", got)
 	}
 	tr.Reset()
 	if len(tr.Snapshot()) != 0 {
